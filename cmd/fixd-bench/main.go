@@ -1,0 +1,52 @@
+// fixd-bench regenerates every figure of the paper as a quantitative
+// experiment and prints the result tables (see DESIGN.md §4 and
+// EXPERIMENTS.md for the mapping).
+//
+// Usage:
+//
+//	fixd-bench            # full parameter sweeps
+//	fixd-bench -quick     # reduced sweeps (seconds, for CI)
+//	fixd-bench -only E3   # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	flag.Parse()
+
+	runners := map[string]func(bool) *experiments.Table{
+		"E1":  experiments.RunE1,
+		"E2":  experiments.RunE2,
+		"E3":  experiments.RunE3,
+		"E4":  experiments.RunE4,
+		"E5":  experiments.RunE5,
+		"E6":  experiments.RunE6,
+		"E7":  experiments.RunE7,
+		"E8":  experiments.RunE8,
+		"ABL": experiments.RunAblations,
+	}
+
+	if *only != "" {
+		id := strings.ToUpper(*only)
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fixd-bench: unknown experiment %q (want E1..E8 or ABL)\n", *only)
+			os.Exit(2)
+		}
+		fmt.Print(run(*quick).Format())
+		return
+	}
+	for _, tbl := range experiments.Suite(*quick) {
+		fmt.Print(tbl.Format())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,128 @@
+// modeld is the standalone ModelD model checker CLI (paper §4.3, Fig. 7).
+// It explores one of the built-in guarded-command demonstration models and
+// prints the exploration statistics and any violation trails.
+//
+// Usage:
+//
+//	modeld -model mutex -n 4 -strategy bfs
+//	modeld -model mutex-buggy -n 3 -strategy heuristic -first
+//	modeld -model counter -max-states 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/guard"
+	"repro/internal/modeld"
+)
+
+func main() {
+	model := flag.String("model", "mutex", "built-in model: mutex | mutex-buggy | counter")
+	n := flag.Int("n", 3, "number of processes in the model")
+	strategy := flag.String("strategy", "bfs", "search order: bfs | dfs | heuristic | random | single")
+	maxStates := flag.Int("max-states", 1_000_000, "state budget")
+	maxDepth := flag.Int("max-depth", 0, "depth bound (0 = unbounded)")
+	first := flag.Bool("first", false, "stop at the first violation")
+	seed := flag.Int64("seed", 1, "seed for the random strategy")
+	flag.Parse()
+
+	strat, ok := map[string]modeld.Strategy{
+		"bfs": modeld.BFS, "dfs": modeld.DFS, "heuristic": modeld.Heuristic,
+		"random": modeld.RandomWalk, "single": modeld.SinglePath,
+	}[*strategy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "modeld: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	var (
+		root   modeld.State
+		engine *modeld.Engine
+	)
+	switch *model {
+	case "mutex":
+		root, engine = buildMutex(*n, false)
+	case "mutex-buggy":
+		root, engine = buildMutex(*n, true)
+	case "counter":
+		root, engine = buildCounter()
+	default:
+		fmt.Fprintf(os.Stderr, "modeld: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	opts := modeld.Options{
+		Strategy:             strat,
+		MaxStates:            *maxStates,
+		MaxDepth:             *maxDepth,
+		StopAtFirstViolation: *first,
+		Seed:                 *seed,
+		CheckDeadlock:        true,
+	}
+	if strat == modeld.Heuristic {
+		opts.Heuristic = func(s modeld.State, depth int) int { return depth } // BFS-like default
+	}
+	res := engine.Explore(root, opts)
+
+	fmt.Printf("model=%s n=%d strategy=%s\n", *model, *n, *strategy)
+	fmt.Printf("states=%d transitions=%d maxDepth=%d truncated=%v frontierPeak=%d graphBytes=%d\n",
+		res.StatesVisited, res.Transitions, res.MaxDepthSeen, res.Truncated, res.FrontierPeak, res.GraphBytes)
+	fmt.Printf("deadlocks=%d violations=%d\n", len(res.Deadlocks), len(res.Violations))
+	if v := res.ShortestViolation(); v != nil {
+		fmt.Printf("shortest violation: invariant=%q depth=%d\n", v.Invariant, v.Depth)
+		for i, step := range v.Trail {
+			fmt.Printf("  %3d. %s\n", i+1, step.Action)
+		}
+	}
+}
+
+// buildMutex builds the n-process flag/turn mutex model; buggy adds a
+// barge-in action that ignores the turn.
+func buildMutex(n int, buggy bool) (modeld.State, *modeld.Engine) {
+	m := guard.NewModel().Init("turn", 0)
+	for i := 0; i < n; i++ {
+		i := i
+		cs := fmt.Sprintf("cs%d", i)
+		w := fmt.Sprintf("w%d", i)
+		m.Init(cs, 0)
+		m.Init(w, 0)
+		m.Action(fmt.Sprintf("p%d-enter", i)).
+			When(func(v guard.Vars) bool { return v.Get("turn") == int64(i) && v.Get(cs) == 0 }).
+			Do(func(v guard.Vars) { v.Set(cs, 1) })
+		if buggy {
+			m.Action(fmt.Sprintf("p%d-barge", i)).
+				When(func(v guard.Vars) bool { return v.Get(w) >= 2 && v.Get(cs) == 0 }).
+				Do(func(v guard.Vars) { v.Set(cs, 1) })
+		}
+		m.Action(fmt.Sprintf("p%d-leave", i)).
+			When(func(v guard.Vars) bool { return v.Get(cs) == 1 }).
+			Do(func(v guard.Vars) {
+				v.Set(cs, 0)
+				v.Set("turn", (int64(i)+1)%int64(n))
+			})
+		m.Action(fmt.Sprintf("p%d-work", i)).
+			When(func(v guard.Vars) bool { return v.Get(w) < 2 }).
+			Do(func(v guard.Vars) { v.Set(w, v.Get(w)+1) })
+	}
+	m.Invariant("mutex", func(v guard.Vars) bool {
+		in := 0
+		for i := 0; i < n; i++ {
+			in += int(v.Get(fmt.Sprintf("cs%d", i)))
+		}
+		return in <= 1
+	})
+	return m.Build()
+}
+
+// buildCounter is a trivial single-variable model for smoke testing.
+func buildCounter() (modeld.State, *modeld.Engine) {
+	m := guard.NewModel().Init("n", 0)
+	m.Action("inc").When(func(v guard.Vars) bool { return v.Get("n") < 64 }).
+		Do(func(v guard.Vars) { v.Set("n", v.Get("n")+1) })
+	m.Action("dec").When(func(v guard.Vars) bool { return v.Get("n") > 0 }).
+		Do(func(v guard.Vars) { v.Set("n", v.Get("n")-1) })
+	m.Invariant("bounded", func(v guard.Vars) bool { return v.Get("n") <= 64 })
+	return m.Build()
+}

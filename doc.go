@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "FixD: Fault
+// Detection, Bug Reporting, and Recoverability for Distributed
+// Applications" (Ţăpuş & Noblet, IPPS 2007).
+//
+// The public API lives in package repro/fixd; the substrates (Scroll,
+// Time Machine, Investigator, Healer, ModelD, distributed speculations,
+// deterministic simulator, live transport) live under repro/internal.
+// See README.md, DESIGN.md and EXPERIMENTS.md.
+//
+// The benchmarks in bench_test.go regenerate the measurement behind every
+// figure of the paper; run them with:
+//
+//	go test -bench=. -benchmem .
+package repro

@@ -1,0 +1,199 @@
+// Package fixd is the public API of the FixD reproduction: a framework for
+// fault detection, bug reporting, and recoverability of distributed
+// applications (Ţăpuş & Noblet, IPPS 2007).
+//
+// Applications are written as deterministic event-driven Machines and run
+// on a simulated distributed substrate. FixD wraps the run with its four
+// components:
+//
+//   - the Scroll records every nondeterministic action for replay;
+//   - the Time Machine checkpoints processes (copy-on-write) and rolls
+//     them back to globally consistent recovery lines, with distributed
+//     speculations for automatic absorb/commit/abort semantics;
+//   - the Investigator model-checks the actual process implementations
+//     from a restored global checkpoint and reports the trails that lead
+//     to invariant violations;
+//   - the Healer repairs the system by restarting the corrected program or
+//     dynamically updating it at a verified checkpoint.
+//
+// Quickstart:
+//
+//	sys := fixd.New(fixd.Config{Seed: 1, CICheckpoint: true})
+//	sys.Add("worker", func() fixd.Machine { return newWorker() })
+//	sys.AddInvariant(myInvariant)
+//	sys.Protect(fixd.ProtectOptions{StopAtFirstViolation: true})
+//	sys.Run()
+//	if r := sys.Response(); r != nil {
+//	    fmt.Println(r.Investigation.Trails)
+//	}
+package fixd
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+	"repro/internal/heal"
+	"repro/internal/scroll"
+)
+
+// Re-exported substrate types, so applications only import fixd.
+type (
+	// Machine is a deterministic event-driven process implementation.
+	Machine = dsim.Machine
+	// Context is the environment API available to machines.
+	Context = dsim.Context
+	// Config parameterizes the simulated distributed substrate.
+	Config = dsim.Config
+	// Stats are substrate counters (deliveries, checkpoints, rollbacks...).
+	Stats = dsim.Stats
+	// RollbackInfo tells a machine why it was rolled back.
+	RollbackInfo = dsim.RollbackInfo
+	// FaultRecord is a locally detected fault.
+	FaultRecord = dsim.FaultRecord
+	// GlobalInvariant is a safety property over all process states.
+	GlobalInvariant = fault.GlobalInvariant
+	// Program is a versioned set of process implementations for the Healer.
+	Program = heal.Program
+	// StateMapper converts old-version state to new-version state.
+	StateMapper = heal.StateMapper
+	// Response is the record of one Fig. 4 fault-response execution.
+	Response = core.Response
+	// Diagnosis is a liblog-style replay diagnosis.
+	Diagnosis = baselines.ReplayDiagnosis
+)
+
+// ProtectOptions configures the FixD coordinator.
+type ProtectOptions struct {
+	// TreatLocalFaultAsViolation hunts Context.Fault reports during
+	// investigation in addition to the registered invariants.
+	TreatLocalFaultAsViolation bool
+	// MaxStates / MaxDepth bound each investigation (defaults 20000 / 48).
+	MaxStates int
+	MaxDepth  int
+	// ModelLoss investigates under a lossy-network environment model.
+	ModelLoss bool
+	// StopAtFirstViolation ends each investigation at the first trail.
+	StopAtFirstViolation bool
+	// AutoHeal, if non-nil, is dynamically injected at the recovery line
+	// after a successful investigation; Mapper converts old states.
+	AutoHeal *Program
+	Mapper   StateMapper
+	// VerifyDepth bounds the Healer's verification exploration (0 = skip).
+	VerifyDepth int
+}
+
+// System is a distributed application under FixD protection.
+type System struct {
+	sim        *dsim.Sim
+	factories  map[string]func() dsim.Machine
+	invariants []GlobalInvariant
+	coord      *core.Coordinator
+}
+
+// New creates a system on a fresh simulated substrate.
+func New(cfg Config) *System {
+	return &System{
+		sim:       dsim.New(cfg),
+		factories: make(map[string]func() dsim.Machine),
+	}
+}
+
+// Add registers a process. The factory is called once to create the live
+// instance and kept as the process's model for the Investigator.
+func (s *System) Add(id string, factory func() Machine) {
+	s.factories[id] = factory
+	s.sim.AddProcess(id, factory())
+}
+
+// AddInvariant registers a global safety property.
+func (s *System) AddInvariant(inv GlobalInvariant) {
+	s.invariants = append(s.invariants, inv)
+}
+
+// Protect enables the FixD coordinator: the first locally detected fault
+// triggers rollback, global checkpoint assembly and investigation.
+func (s *System) Protect(opts ProtectOptions) {
+	s.coord = core.NewCoordinator(s.sim, s.factories, core.Config{
+		Invariants:                 s.invariants,
+		TreatLocalFaultAsViolation: opts.TreatLocalFaultAsViolation,
+		MaxStates:                  opts.MaxStates,
+		MaxDepth:                   opts.MaxDepth,
+		ModelLoss:                  opts.ModelLoss,
+		StopAtFirstViolation:       opts.StopAtFirstViolation,
+		AutoHealProgram:            opts.AutoHeal,
+		Mapper:                     opts.Mapper,
+		VerifyDepth:                opts.VerifyDepth,
+	})
+}
+
+// Run executes the system until quiescence, a step bound, or a protected
+// fault pauses it.
+func (s *System) Run() Stats { return s.sim.Run() }
+
+// Resume continues after a pause (e.g. after inspecting a Response or
+// applying a heal).
+func (s *System) Resume() Stats { return s.sim.Resume() }
+
+// Response returns the first fault response, or nil if no fault fired.
+func (s *System) Response() *Response {
+	if s.coord == nil || len(s.coord.Responses()) == 0 {
+		return nil
+	}
+	return s.coord.Responses()[0]
+}
+
+// CheckInvariants evaluates the registered invariants against the current
+// global state and returns the names of those violated.
+func (s *System) CheckInvariants() []string {
+	var out []string
+	for _, v := range fault.NewMonitor(s.invariants...).Check(s.sim) {
+		out = append(out, v.Invariant)
+	}
+	return out
+}
+
+// Diagnose replays one process from its scroll in isolation (liblog-style)
+// and returns the diagnosis with the merged interaction trace.
+func (s *System) Diagnose(proc string) (*Diagnosis, error) {
+	f, ok := s.factories[proc]
+	if !ok {
+		return nil, &UnknownProcessError{Proc: proc}
+	}
+	return baselines.Diagnose(s.sim, proc, f())
+}
+
+// Heal applies a corrected program by dynamic update at the most recent
+// recovery line where every registered invariant holds (paper §3.4: resume
+// "from a previously saved checkpoint where all invariants are satisfied").
+// Use Response().Line for fault-aligned lines instead.
+func (s *System) Heal(prog Program, mapper StateMapper) (*heal.Report, error) {
+	line := heal.VerifiedLine(s.sim, s.invariants)
+	if line == nil {
+		line = heal.LatestLine(s.sim, s.sim.Procs())
+	}
+	if line == nil {
+		return nil, &NoCheckpointError{}
+	}
+	return heal.Apply(s.sim, line, prog, mapper, heal.VerifyOptions{Invariants: s.invariants})
+}
+
+// MergedScroll returns the global, Lamport-ordered record of every
+// nondeterministic action in the run.
+func (s *System) MergedScroll() []scroll.Record { return s.sim.MergedScroll() }
+
+// Sim exposes the underlying substrate for advanced use (fault injection,
+// checkpoint store access, manual rollback).
+func (s *System) Sim() *dsim.Sim { return s.sim }
+
+// UnknownProcessError reports a Diagnose call for an unregistered process.
+type UnknownProcessError struct{ Proc string }
+
+func (e *UnknownProcessError) Error() string { return "fixd: unknown process " + e.Proc }
+
+// NoCheckpointError reports a Heal call before any checkpoint exists.
+type NoCheckpointError struct{}
+
+func (e *NoCheckpointError) Error() string {
+	return "fixd: no recovery line available (no checkpoints taken)"
+}

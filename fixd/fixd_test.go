@@ -1,0 +1,110 @@
+package fixd_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/fixd"
+	"repro/internal/apps"
+)
+
+func newBuggy2PC() (*fixd.System, apps.TwoPCConfig) {
+	cfg := apps.TwoPCConfig{
+		Participants: 2, NoVoters: []int{1}, SlowVoters: []int{1},
+		Timeout: 10, VoteDelay: 100, Buggy: true,
+	}
+	sys := fixd.New(fixd.Config{Seed: 1, MinLatency: 1, MaxLatency: 2, MaxSteps: 5000, CICheckpoint: true})
+	for id := range apps.NewTwoPC(cfg) {
+		id := id
+		sys.Add(id, func() fixd.Machine { return apps.NewTwoPC(cfg)[id] })
+	}
+	sys.AddInvariant(apps.TwoPCAtomicity())
+	return sys, cfg
+}
+
+func TestPublicAPIDetectInvestigate(t *testing.T) {
+	sys, _ := newBuggy2PC()
+	sys.Protect(fixd.ProtectOptions{StopAtFirstViolation: true, MaxStates: 50_000, MaxDepth: 40})
+	sys.Run()
+	resp := sys.Response()
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	if !resp.Investigation.Violating() {
+		t.Fatal("no trails")
+	}
+	if got := sys.CheckInvariants(); len(got) == 0 {
+		t.Error("global invariant check should fail after the bug")
+	}
+}
+
+func TestPublicAPIDiagnose(t *testing.T) {
+	sys, _ := newBuggy2PC()
+	sys.Run()
+	d, err := sys.Diagnose(apps.PartName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Diverged || len(d.Trace) == 0 {
+		t.Errorf("diagnosis = %+v", d)
+	}
+	if _, err := sys.Diagnose("ghost"); err == nil {
+		t.Error("want error for unknown process")
+	}
+	var ue *fixd.UnknownProcessError
+	if _, err := sys.Diagnose("ghost"); err != nil {
+		if !strings.Contains(err.Error(), "ghost") {
+			t.Errorf("err = %v", err)
+		}
+		_ = ue
+	}
+}
+
+func TestPublicAPIHeal(t *testing.T) {
+	sys, cfg := newBuggy2PC()
+	sys.Run()
+	fixedCfg := cfg
+	fixedCfg.Buggy = false
+	factories := map[string]func() fixd.Machine{}
+	for id := range apps.NewTwoPC(fixedCfg) {
+		id := id
+		factories[id] = func() fixd.Machine { return apps.NewTwoPC(fixedCfg)[id] }
+	}
+	rep, err := sys.Heal(fixd.Program{Version: "2pc-v2", Factories: factories}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The latest-line states may or may not satisfy the atomicity invariant
+	// (the line can postdate the fault); either way the API must complete
+	// and report.
+	if rep.Mode != "update" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+}
+
+func TestPublicAPIHealNoCheckpoints(t *testing.T) {
+	cfg := apps.TwoPCConfig{Participants: 1}
+	sys := fixd.New(fixd.Config{Seed: 1, MaxSteps: 100})
+	for id := range apps.NewTwoPC(cfg) {
+		id := id
+		sys.Add(id, func() fixd.Machine { return apps.NewTwoPC(cfg)[id] })
+	}
+	sys.Run()
+	if _, err := sys.Heal(fixd.Program{}, nil); err == nil {
+		t.Error("want NoCheckpointError")
+	}
+}
+
+func TestPublicAPIMergedScroll(t *testing.T) {
+	sys, _ := newBuggy2PC()
+	sys.Run()
+	recs := sys.MergedScroll()
+	if len(recs) == 0 {
+		t.Fatal("empty merged scroll")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Lamport > recs[i].Lamport {
+			t.Fatal("merged scroll out of order")
+		}
+	}
+}

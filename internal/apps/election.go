@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dsim"
+	"repro/internal/fault"
+)
+
+// ElectionConfig parameterizes a Chang–Roberts-style ring election.
+type ElectionConfig struct {
+	N int // ring size
+	// Buggy omits the step-down broadcast: if the winner's announcement is
+	// lost (or a node re-elects after a timeout), an old leader keeps
+	// believing it leads — two simultaneous leaders.
+	Buggy bool
+	// ReElectTimeout is the silence window after which a buggy node starts
+	// a fresh election even though a leader exists.
+	ReElectTimeout uint64
+}
+
+// ElectProcName returns the process ID of ring position i.
+func ElectProcName(i int) string { return fmt.Sprintf("elect%02d", i) }
+
+// electState is the serializable node state.
+type electState struct {
+	IsLeader   bool
+	LeaderSeen string // announced leader, if any
+	Forwards   int
+	Elections  int
+	SteppedOn  bool // stepped down due to a newer announcement
+}
+
+// Election is one ring node.
+type Election struct {
+	st   electState
+	cfg  ElectionConfig
+	self int
+}
+
+// NewElection builds the N ring nodes.
+func NewElection(cfg ElectionConfig) map[string]dsim.Machine {
+	if cfg.ReElectTimeout == 0 {
+		cfg.ReElectTimeout = 30
+	}
+	ms := make(map[string]dsim.Machine, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		ms[ElectProcName(i)] = &Election{cfg: cfg, self: i}
+	}
+	return ms
+}
+
+func (e *Election) next() string { return ElectProcName((e.self + 1) % e.cfg.N) }
+
+// State implements dsim.Machine.
+func (e *Election) State() any { return &e.st }
+
+// Init launches this node's candidacy (Chang–Roberts: every node may
+// start; the highest ID survives the circle) and arms the buggy
+// re-election timer.
+func (e *Election) Init(ctx dsim.Context) {
+	e.startElection(ctx)
+	if e.cfg.Buggy {
+		ctx.SetTimer("re-elect", e.cfg.ReElectTimeout)
+	}
+}
+
+func (e *Election) startElection(ctx dsim.Context) {
+	e.st.Elections++
+	ctx.Send(e.next(), []byte(fmt.Sprintf("cand|%d", e.self)))
+}
+
+// OnMessage implements the Chang–Roberts forwarding rule plus leader
+// announcement handling.
+func (e *Election) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	parts := strings.Split(string(payload), "|")
+	switch parts[0] {
+	case "cand":
+		id, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return
+		}
+		switch {
+		case id == e.self:
+			// Our candidacy returned: we win.
+			if e.st.IsLeader {
+				ctx.Fault("election: won twice without stepping down")
+				return
+			}
+			e.st.IsLeader = true
+			e.st.LeaderSeen = ElectProcName(e.self)
+			if !e.cfg.Buggy {
+				// Correct protocol: announce so any old leader steps down.
+				ctx.Send(e.next(), []byte(fmt.Sprintf("leader|%d", e.self)))
+			}
+		case id > e.self:
+			e.st.Forwards++
+			ctx.Send(e.next(), []byte(fmt.Sprintf("cand|%d", id)))
+		default:
+			// Swallow lower candidacies (we could start our own; node 0
+			// already did).
+		}
+	case "leader":
+		id, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return
+		}
+		if id == e.self {
+			return // announcement completed the circle
+		}
+		if e.st.IsLeader {
+			e.st.IsLeader = false
+			e.st.SteppedOn = true
+		}
+		e.st.LeaderSeen = ElectProcName(id)
+		ctx.Send(e.next(), []byte(fmt.Sprintf("leader|%d", id)))
+	}
+}
+
+// OnTimer implements the buggy re-election: a node that has not heard an
+// announcement assumes the leader died and elects itself — without any
+// step-down mechanism, the previous leader keeps leading.
+func (e *Election) OnTimer(ctx dsim.Context, name string) {
+	if name != "re-elect" || !e.cfg.Buggy {
+		return
+	}
+	if e.st.LeaderSeen == "" && !e.st.IsLeader {
+		// BUG: declares itself leader directly instead of running a full
+		// election round with step-down.
+		e.st.IsLeader = true
+		e.st.LeaderSeen = ElectProcName(e.self)
+	}
+}
+
+// OnRollback is the healed path: nothing to do; re-running with the fixed
+// protocol (Buggy=false machines) avoids the bug.
+func (e *Election) OnRollback(dsim.Context, dsim.RollbackInfo) {}
+
+// ElectionSafety is the global invariant: at most one node believes it is
+// the leader.
+func ElectionSafety() fault.GlobalInvariant {
+	return fault.GlobalInvariant{
+		Name: "election: at most one leader",
+		Holds: func(states map[string]json.RawMessage) bool {
+			leaders := 0
+			for proc, raw := range states {
+				if !strings.HasPrefix(proc, "elect") {
+					continue
+				}
+				var st electState
+				if err := json.Unmarshal(raw, &st); err != nil {
+					continue
+				}
+				if st.IsLeader {
+					leaders++
+				}
+			}
+			return leaders <= 1
+		},
+	}
+}

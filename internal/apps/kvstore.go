@@ -1,0 +1,199 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dsim"
+	"repro/internal/fault"
+)
+
+// KVConfig parameterizes a primary/replica key-value store.
+type KVConfig struct {
+	Replicas int // replica count (excluding the primary)
+	Writes   int // workload size issued by the client
+	Keys     int // distinct keys
+	// Buggy disables the version check on replicas, so reordered
+	// replication messages leave a stale value in place (divergence bug).
+	Buggy bool
+}
+
+// KVPrimaryName is the primary's process ID.
+const KVPrimaryName = "kvprimary"
+
+// KVClientName is the workload client's process ID.
+const KVClientName = "kvclient"
+
+// KVReplicaName returns the process ID of replica i.
+func KVReplicaName(i int) string { return fmt.Sprintf("kvrep%02d", i) }
+
+// kvState is the serializable state of a store node: the visible key
+// versions and values (bulk values also mirrored into the heap for
+// checkpoint locality).
+type kvState struct {
+	Values   map[string]string
+	Versions map[string]uint64
+	Applied  int
+	Stale    int  // buggy path: stale overwrites applied
+	Fixed    bool // alternate path: version check enabled after rollback
+}
+
+// KVNode is a primary or replica.
+type KVNode struct {
+	st      kvState
+	cfg     KVConfig
+	primary bool
+	index   int
+}
+
+// kvClientState is the workload driver's state.
+type kvClientState struct{ Issued int }
+
+// KVClient issues Writes writes to the primary, then halts.
+type KVClient struct {
+	st  kvClientState
+	cfg KVConfig
+}
+
+// NewKVStore builds the primary, replicas and client.
+func NewKVStore(cfg KVConfig) map[string]dsim.Machine {
+	if cfg.Keys == 0 {
+		cfg.Keys = 4
+	}
+	ms := map[string]dsim.Machine{
+		KVPrimaryName: &KVNode{cfg: cfg, primary: true},
+		KVClientName:  &KVClient{cfg: cfg},
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		ms[KVReplicaName(i)] = &KVNode{cfg: cfg, index: i}
+	}
+	return ms
+}
+
+// State implements dsim.Machine.
+func (n *KVNode) State() any { return &n.st }
+
+// Init allocates the maps.
+func (n *KVNode) Init(ctx dsim.Context) {
+	n.st.Values = map[string]string{}
+	n.st.Versions = map[string]uint64{}
+}
+
+// apply installs key=value@ver and mirrors it into the heap.
+func (n *KVNode) apply(ctx dsim.Context, key, val string, ver uint64) {
+	n.st.Values[key] = val
+	n.st.Versions[key] = ver
+	n.st.Applied++
+	// One heap page region per key index keeps writes page-local.
+	if idx, err := strconv.Atoi(strings.TrimPrefix(key, "k")); err == nil {
+		ctx.Heap().WriteUint64(idx*512, ver)
+	}
+}
+
+// OnMessage handles client writes (primary) and replication (replicas).
+func (n *KVNode) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	parts := strings.Split(string(payload), "|")
+	switch parts[0] {
+	case "put": // put|key|value — client write to the primary
+		if !n.primary || len(parts) != 3 {
+			return
+		}
+		key, val := parts[1], parts[2]
+		ver := n.st.Versions[key] + 1
+		n.apply(ctx, key, val, ver)
+		for i := 0; i < n.cfg.Replicas; i++ {
+			ctx.Send(KVReplicaName(i), []byte(fmt.Sprintf("repl|%s|%s|%d", key, val, ver)))
+		}
+	case "repl": // repl|key|value|version — replication to a replica
+		if n.primary || len(parts) != 4 {
+			return
+		}
+		key, val := parts[1], parts[2]
+		ver, err := strconv.ParseUint(parts[3], 10, 64)
+		if err != nil {
+			return
+		}
+		if n.cfg.Buggy && !n.st.Fixed {
+			// BUG: blind apply. With message reordering a lower version can
+			// overwrite a higher one, leaving the replica stale forever.
+			if ver < n.st.Versions[key] {
+				n.st.Stale++
+			}
+			n.apply(ctx, key, val, ver)
+			return
+		}
+		if ver > n.st.Versions[key] {
+			n.apply(ctx, key, val, ver)
+		}
+	}
+}
+
+// OnTimer is unused.
+func (n *KVNode) OnTimer(dsim.Context, string) {}
+
+// OnRollback enables the version check — the healed code path.
+func (n *KVNode) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {
+	n.st.Fixed = true
+}
+
+// State implements dsim.Machine.
+func (c *KVClient) State() any { return &c.st }
+
+// Init schedules the first write.
+func (c *KVClient) Init(ctx dsim.Context) {
+	ctx.SetTimer("write", 1)
+}
+
+// OnMessage is unused.
+func (c *KVClient) OnMessage(dsim.Context, string, []byte) {}
+
+// OnTimer issues the next write.
+func (c *KVClient) OnTimer(ctx dsim.Context, name string) {
+	if name != "write" || c.st.Issued >= c.cfg.Writes {
+		return
+	}
+	key := fmt.Sprintf("k%d", int(ctx.Random()%uint64(c.cfg.Keys)))
+	val := fmt.Sprintf("v%d", c.st.Issued)
+	ctx.Send(KVPrimaryName, []byte(fmt.Sprintf("put|%s|%s", key, val)))
+	c.st.Issued++
+	if c.st.Issued < c.cfg.Writes {
+		ctx.SetTimer("write", 1+ctx.Random()%3)
+	}
+}
+
+// OnRollback is unused.
+func (c *KVClient) OnRollback(dsim.Context, dsim.RollbackInfo) {}
+
+// KVConvergence is the global invariant that every replica's version map
+// matches the primary's. It only holds at quiescence, so experiments check
+// it after the run drains.
+func KVConvergence() fault.GlobalInvariant {
+	return fault.GlobalInvariant{
+		Name: "kv: replicas converge to primary",
+		Holds: func(states map[string]json.RawMessage) bool {
+			var primary kvState
+			if raw, ok := states[KVPrimaryName]; ok {
+				if err := json.Unmarshal(raw, &primary); err != nil {
+					return false
+				}
+			}
+			for proc, raw := range states {
+				if !strings.HasPrefix(proc, "kvrep") {
+					continue
+				}
+				var st kvState
+				if err := json.Unmarshal(raw, &st); err != nil {
+					return false
+				}
+				for k, ver := range primary.Versions {
+					if st.Versions[k] != ver || st.Values[k] != primary.Values[k] {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+}

@@ -1,0 +1,160 @@
+// Package apps contains the distributed workload applications used by the
+// FixD experiments and examples: a token-ring mutual-exclusion protocol, a
+// two-phase commit, a replicated key-value store, a ring leader election,
+// and a distributed bank. Each app has a correct and a seeded-bug variant;
+// the bugs are of the classes the paper motivates — scheduling races,
+// timeout mis-handling, and lost-message corner cases that only manifest
+// under particular interleavings (paper §1, §2.1).
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dsim"
+	"repro/internal/fault"
+)
+
+// TokenRingConfig parameterizes a token-ring instance.
+type TokenRingConfig struct {
+	N        int    // ring size
+	Rounds   int    // full token circulations before halting
+	HoldTime uint64 // virtual ticks the token is held
+	// Buggy enables token regeneration on timeout without checking whether
+	// the token is merely slow — the classic duplicate-token race.
+	Buggy bool
+	// RegenTimeout is the silence window after which a buggy node
+	// regenerates the token.
+	RegenTimeout uint64
+}
+
+// tokenRingState is the serializable per-node state.
+type tokenRingState struct {
+	HasToken  bool
+	Passes    int  // times this node forwarded the token
+	Regens    int  // tokens regenerated (buggy path)
+	InCS      bool // currently in the critical section
+	CSEntries int
+	Fixed     bool // alternate path taken after rollback: stop regenerating
+}
+
+// TokenRing is one node of the ring.
+type TokenRing struct {
+	st   tokenRingState
+	cfg  TokenRingConfig
+	self int // position in the ring
+}
+
+// RingProcName returns the process ID of ring position i.
+func RingProcName(i int) string { return fmt.Sprintf("ring%02d", i) }
+
+// NewTokenRing builds the N machines of a token ring.
+func NewTokenRing(cfg TokenRingConfig) map[string]dsim.Machine {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = 2
+	}
+	if cfg.RegenTimeout == 0 {
+		cfg.RegenTimeout = 15
+	}
+	ms := make(map[string]dsim.Machine, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		ms[RingProcName(i)] = &TokenRing{cfg: cfg, self: i}
+	}
+	return ms
+}
+
+func (t *TokenRing) next() string { return RingProcName((t.self + 1) % t.cfg.N) }
+
+// State implements dsim.Machine.
+func (t *TokenRing) State() any { return &t.st }
+
+// Init gives node 0 the initial token and arms the watchdog everywhere.
+func (t *TokenRing) Init(ctx dsim.Context) {
+	if t.self == 0 {
+		t.st.HasToken = true
+		t.enterCS(ctx)
+	}
+	if t.cfg.Buggy {
+		ctx.SetTimer("regen", t.cfg.RegenTimeout)
+	}
+}
+
+// enterCS marks the node in its critical section and schedules the exit.
+func (t *TokenRing) enterCS(ctx dsim.Context) {
+	t.st.InCS = true
+	t.st.CSEntries++
+	// Record critical-section occupancy in the heap (one slot per node).
+	ctx.Heap().WriteUint64(t.self*8, uint64(t.st.CSEntries))
+	ctx.SetTimer("leave", t.cfg.HoldTime)
+}
+
+// OnMessage handles token arrival.
+func (t *TokenRing) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	if string(payload) != "token" {
+		return
+	}
+	if t.st.HasToken || t.st.InCS {
+		// Duplicate token: the local manifestation of the regeneration race.
+		ctx.Fault("token-ring: received token while already holding one")
+		return
+	}
+	t.st.HasToken = true
+	t.enterCS(ctx)
+}
+
+// OnTimer leaves the critical section or regenerates a "lost" token.
+func (t *TokenRing) OnTimer(ctx dsim.Context, name string) {
+	switch name {
+	case "leave":
+		if !t.st.InCS {
+			return
+		}
+		t.st.InCS = false
+		t.st.HasToken = false
+		t.st.Passes++
+		if t.self == t.cfg.N-1 && t.st.Passes >= t.cfg.Rounds {
+			ctx.Halt()
+			return
+		}
+		ctx.Send(t.next(), []byte("token"))
+	case "regen":
+		if t.cfg.Buggy && !t.st.Fixed && !t.st.HasToken {
+			// BUG: the token may just be slow; a correct protocol would
+			// run a ring-wide query before regenerating.
+			t.st.Regens++
+			t.st.HasToken = true
+			t.enterCS(ctx)
+		}
+		if t.cfg.Buggy && !t.st.Fixed {
+			ctx.SetTimer("regen", t.cfg.RegenTimeout)
+		}
+	}
+}
+
+// OnRollback takes the alternate execution path: stop regenerating tokens
+// (the paper's "different branch of execution that could bypass the error",
+// §3.2).
+func (t *TokenRing) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {
+	t.st.Fixed = true
+}
+
+// TokenRingInvariant is the global mutual-exclusion property: at most one
+// node holds the token / is in its critical section.
+func TokenRingInvariant() fault.GlobalInvariant {
+	return fault.GlobalInvariant{
+		Name: "token-ring: at most one holder",
+		Holds: func(states map[string]json.RawMessage) bool {
+			holders := 0
+			for _, raw := range states {
+				var st tokenRingState
+				if err := json.Unmarshal(raw, &st); err != nil {
+					continue // not a ring node
+				}
+				if st.InCS {
+					holders++
+				}
+			}
+			return holders <= 1
+		},
+	}
+}

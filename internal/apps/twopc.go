@@ -1,0 +1,225 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/dsim"
+	"repro/internal/fault"
+)
+
+// TwoPCConfig parameterizes a two-phase-commit instance.
+type TwoPCConfig struct {
+	Participants int
+	// NoVoters lists participants (by index) that vote no.
+	NoVoters []int
+	// SlowVoters lists participants whose vote is delayed beyond the
+	// coordinator's timeout.
+	SlowVoters []int
+	// VoteDelay is the extra delay applied by slow voters.
+	VoteDelay uint64
+	// Timeout is how long the (buggy) coordinator waits for votes.
+	Timeout uint64
+	// Buggy makes the coordinator decide COMMIT on timeout with the votes
+	// it has ("lost ack treated as success") instead of aborting — the
+	// atomicity bug the Investigator hunts in experiment E3.
+	Buggy bool
+}
+
+// CoordName is the coordinator's process ID.
+const CoordName = "coord"
+
+// PartName returns the process ID of participant i.
+func PartName(i int) string { return fmt.Sprintf("part%02d", i) }
+
+// coordState is the coordinator's serializable state.
+type coordState struct {
+	Phase    string // "prepare", "done"
+	Yes, No  int
+	Decision string // "", "commit", "abort"
+	TimedOut bool
+}
+
+// Coordinator drives one round of 2PC.
+type Coordinator struct {
+	st  coordState
+	cfg TwoPCConfig
+}
+
+// partState is a participant's serializable state.
+type partState struct {
+	Voted    string // "", "yes", "no"
+	Decision string // "", "commit", "abort"
+}
+
+// Participant votes and applies the coordinator's decision.
+type Participant struct {
+	st   partState
+	cfg  TwoPCConfig
+	self int
+}
+
+// NewTwoPC builds a coordinator plus participants.
+func NewTwoPC(cfg TwoPCConfig) map[string]dsim.Machine {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 20
+	}
+	if cfg.VoteDelay == 0 {
+		cfg.VoteDelay = 50
+	}
+	ms := map[string]dsim.Machine{CoordName: &Coordinator{cfg: cfg}}
+	for i := 0; i < cfg.Participants; i++ {
+		ms[PartName(i)] = &Participant{cfg: cfg, self: i}
+	}
+	return ms
+}
+
+// State implements dsim.Machine.
+func (c *Coordinator) State() any { return &c.st }
+
+// Init broadcasts PREPARE and arms the vote timeout.
+func (c *Coordinator) Init(ctx dsim.Context) {
+	c.st.Phase = "prepare"
+	for i := 0; i < c.cfg.Participants; i++ {
+		ctx.Send(PartName(i), []byte("prepare"))
+	}
+	ctx.SetTimer("vote-timeout", c.cfg.Timeout)
+}
+
+// decide broadcasts the decision.
+func (c *Coordinator) decide(ctx dsim.Context, d string) {
+	c.st.Decision = d
+	c.st.Phase = "done"
+	for i := 0; i < c.cfg.Participants; i++ {
+		ctx.Send(PartName(i), []byte(d))
+	}
+}
+
+// OnMessage tallies votes.
+func (c *Coordinator) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	if c.st.Phase != "prepare" {
+		return
+	}
+	switch string(payload) {
+	case "yes":
+		c.st.Yes++
+	case "no":
+		c.st.No++
+	}
+	if c.st.Yes+c.st.No == c.cfg.Participants {
+		if c.st.No == 0 {
+			c.decide(ctx, "commit")
+		} else {
+			c.decide(ctx, "abort")
+		}
+	}
+}
+
+// OnTimer fires the vote timeout.
+func (c *Coordinator) OnTimer(ctx dsim.Context, name string) {
+	if name != "vote-timeout" || c.st.Phase != "prepare" {
+		return
+	}
+	c.st.TimedOut = true
+	if c.cfg.Buggy {
+		// BUG: missing votes are treated as silent assent. A participant
+		// that voted "no" (but slowly) will abort unilaterally while the
+		// rest commit — atomicity violated.
+		if c.st.No == 0 {
+			c.decide(ctx, "commit")
+			return
+		}
+	}
+	c.decide(ctx, "abort")
+}
+
+// OnRollback resets the round so the fixed protocol can re-run.
+func (c *Coordinator) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {}
+
+// State implements dsim.Machine.
+func (p *Participant) State() any { return &p.st }
+
+// Init does nothing; participants are reactive.
+func (p *Participant) Init(ctx dsim.Context) {}
+
+func (p *Participant) votesNo() bool {
+	for _, i := range p.cfg.NoVoters {
+		if i == p.self {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Participant) isSlow() bool {
+	for _, i := range p.cfg.SlowVoters {
+		if i == p.self {
+			return true
+		}
+	}
+	return false
+}
+
+// OnMessage handles PREPARE and the decision.
+func (p *Participant) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	switch string(payload) {
+	case "prepare":
+		vote := "yes"
+		if p.votesNo() {
+			vote = "no"
+			// A no-voter knows the outcome must be abort and aborts
+			// unilaterally (standard 2PC: a NO vote is binding).
+			p.st.Decision = "abort"
+		}
+		p.st.Voted = vote
+		if p.isSlow() {
+			ctx.SetTimer("slow-vote", p.cfg.VoteDelay)
+		} else {
+			ctx.Send(CoordName, []byte(vote))
+		}
+	case "commit", "abort":
+		d := string(payload)
+		if p.st.Decision == "" {
+			p.st.Decision = d
+		} else if p.st.Decision != d {
+			// Local detection of the atomicity violation: the coordinator's
+			// decision contradicts this participant's binding vote.
+			ctx.Fault(fmt.Sprintf("2pc: coordinator says %s but local decision is %s", d, p.st.Decision))
+		}
+	}
+}
+
+// OnTimer sends the delayed vote.
+func (p *Participant) OnTimer(ctx dsim.Context, name string) {
+	if name == "slow-vote" && p.st.Voted != "" {
+		ctx.Send(CoordName, []byte(p.st.Voted))
+	}
+}
+
+// OnRollback does nothing; the coordinator restarts rounds.
+func (p *Participant) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {}
+
+// TwoPCAtomicity is the global invariant: no two processes decide
+// differently (ignoring undecided ones).
+func TwoPCAtomicity() fault.GlobalInvariant {
+	return fault.GlobalInvariant{
+		Name: "2pc: uniform decision",
+		Holds: func(states map[string]json.RawMessage) bool {
+			decisions := map[string]bool{}
+			for proc, raw := range states {
+				if !strings.HasPrefix(proc, "part") && proc != CoordName {
+					continue
+				}
+				var st struct{ Decision string }
+				if err := json.Unmarshal(raw, &st); err != nil {
+					continue
+				}
+				if st.Decision != "" {
+					decisions[st.Decision] = true
+				}
+			}
+			return len(decisions) <= 1
+		},
+	}
+}

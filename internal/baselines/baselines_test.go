@@ -1,0 +1,138 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+	"repro/internal/recovery"
+)
+
+func TestDiagnoseBuggy2PC(t *testing.T) {
+	cfg := apps.TwoPCConfig{Participants: 2, NoVoters: []int{1}, SlowVoters: []int{1}, Timeout: 10, VoteDelay: 100, Buggy: true}
+	ms := apps.NewTwoPC(cfg)
+	s := dsim.New(dsim.Config{Seed: 1, MinLatency: 1, MaxLatency: 2, MaxSteps: 1000})
+	for id, m := range ms {
+		s.AddProcess(id, m)
+	}
+	s.Run()
+
+	// Replay the no-voting participant: its scroll contains the fault.
+	fresh := apps.NewTwoPC(cfg)[apps.PartName(1)]
+	d, err := Diagnose(s, apps.PartName(1), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Diverged {
+		t.Error("replay diverged on an untampered scroll")
+	}
+	if len(d.Faults) == 0 {
+		t.Error("replay did not reproduce the local fault")
+	}
+	if len(d.Trace) == 0 {
+		t.Error("empty merged trace")
+	}
+	// The trace must show the coordinator's commit broadcast.
+	joined := strings.Join(d.Trace, "\n")
+	if !strings.Contains(joined, "coord") {
+		t.Errorf("trace lacks coordinator lines:\n%s", joined)
+	}
+}
+
+func TestCMCCheckFindsBugFromInitialState(t *testing.T) {
+	cfg := apps.TwoPCConfig{Participants: 2, NoVoters: []int{1}, SlowVoters: []int{1}, Buggy: true}
+	factories := map[string]func() dsim.Machine{}
+	for id := range apps.NewTwoPC(cfg) {
+		id := id
+		factories[id] = func() dsim.Machine { return apps.NewTwoPC(cfg)[id] }
+	}
+	rep, err := CMCCheck(factories, []fault.GlobalInvariant{apps.TwoPCAtomicity()}, 50_000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatalf("CMC-style check missed the bug: %+v", rep)
+	}
+	if rep.ShortestTrail == 0 {
+		t.Error("no trail length recorded")
+	}
+}
+
+func TestExtractDependencies(t *testing.T) {
+	// Periodic checkpointing on a ping-pong workload yields intervals and
+	// messages crossing them.
+	ms := apps.NewTokenRing(apps.TokenRingConfig{N: 3, Rounds: 6})
+	s := dsim.New(dsim.Config{Seed: 2, CheckpointEvery: 2, MaxSteps: 10_000})
+	for id, m := range ms {
+		s.AddProcess(id, m)
+	}
+	s.Run()
+	counts, msgs := ExtractDependencies(s)
+	if len(counts) != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	totalCkpts := 0
+	for _, c := range counts {
+		totalCkpts += c
+	}
+	if totalCkpts == 0 {
+		t.Fatal("no checkpoints extracted")
+	}
+	if len(msgs) == 0 {
+		t.Fatal("no messages extracted")
+	}
+	for _, m := range msgs {
+		if m.SendInterval > counts[m.From] || m.RecvInterval > counts[m.To] {
+			t.Errorf("message %v exceeds interval bounds %v", m, counts)
+		}
+	}
+}
+
+func TestAnalyzeRecoveryConsistent(t *testing.T) {
+	ms := apps.NewTokenRing(apps.TokenRingConfig{N: 4, Rounds: 8})
+	s := dsim.New(dsim.Config{Seed: 3, CheckpointEvery: 3, MaxSteps: 20_000})
+	for id, m := range ms {
+		s.AddProcess(id, m)
+	}
+	s.Run()
+	rep := AnalyzeRecovery(s, apps.RingProcName(1))
+	_, msgs := ExtractDependencies(s)
+	if !recovery.Consistent(rep.Line, msgs) {
+		t.Errorf("recovery line %v inconsistent", rep.Line)
+	}
+	if rep.FailedProc != apps.RingProcName(1) {
+		t.Errorf("failed proc = %s", rep.FailedProc)
+	}
+}
+
+func TestCICAvoidsDominoVersusUncoordinated(t *testing.T) {
+	// The headline of experiment E6 in miniature: with communication-
+	// induced checkpoints the rollback distance stays bounded (typically
+	// <= 1 interval), while sparse uncoordinated checkpoints cascade.
+	run := func(cic bool, every uint64) DominoReport {
+		ms := apps.NewTokenRing(apps.TokenRingConfig{N: 4, Rounds: 10})
+		cfg := dsim.Config{Seed: 5, MaxSteps: 50_000}
+		if cic {
+			cfg.CICheckpoint = true
+		} else {
+			cfg.CheckpointEvery = every
+		}
+		s := dsim.New(cfg)
+		for id, m := range ms {
+			s.AddProcess(id, m)
+		}
+		s.Run()
+		return AnalyzeRecovery(s, apps.RingProcName(0))
+	}
+	cic := run(true, 0)
+	unco := run(false, 7)
+	if cic.MaxRollback > 1 {
+		t.Errorf("CIC max rollback = %d, want <= 1", cic.MaxRollback)
+	}
+	if unco.Rollbacks < cic.Rollbacks {
+		t.Errorf("uncoordinated rollbacks (%d) unexpectedly cheaper than CIC (%d)",
+			unco.Rollbacks, cic.Rollbacks)
+	}
+}

@@ -1,0 +1,282 @@
+// Package checkpoint implements process state capture for the Time Machine
+// (paper §3.2, §4.2).
+//
+// Two mechanisms are provided, mirroring the paper's distinction between
+// "certain types of traditional checkpointing" and the lightweight
+// speculation checkpoints:
+//
+//   - Full snapshots deep-copy the entire process heap (the traditional,
+//     expensive mechanism — our baseline).
+//   - COW snapshots capture the page table only; pages are copied lazily
+//     when the running process first writes them after the snapshot, so a
+//     checkpoint costs O(pages touched), not O(heap size). This reproduces
+//     the copy-on-write shadow mechanism of Flashback and of distributed
+//     speculations (paper §4.2: "Speculations use a copy-on-write mechanism
+//     to build lightweight, incremental checkpoints of processes").
+//
+// Application state lives in a paged Heap so that page-granular dirty
+// tracking is meaningful, the same way kernel-level tools exploit hardware
+// pages.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// DefaultPageSize is the page granularity used when Options.PageSize is 0.
+const DefaultPageSize = 4096
+
+// page is one copy-on-write unit. A page value is immutable once it is
+// shared with a snapshot; the heap copies it before mutating (see ensure).
+type page struct {
+	data  []byte
+	epoch uint64 // heap epoch in which this page version was created
+}
+
+// Heap is a paged, growable memory region with copy-on-write snapshots.
+// It is safe for concurrent use.
+type Heap struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    []*page
+	size     int
+	epoch    uint64 // bumped on every snapshot/restore
+	copied   uint64 // pages copied due to COW since creation (metric)
+	writes   uint64 // write operations (metric)
+}
+
+// NewHeap returns a zeroed heap of the given size in bytes using the
+// default page size.
+func NewHeap(size int) *Heap { return NewHeapPages(size, DefaultPageSize) }
+
+// NewHeapPages returns a zeroed heap with an explicit page size.
+func NewHeapPages(size, pageSize int) *Heap {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	h := &Heap{pageSize: pageSize}
+	h.grow(size)
+	return h
+}
+
+// grow extends the heap to at least size bytes. Caller holds mu (or is the
+// constructor).
+func (h *Heap) grow(size int) {
+	for h.size < size {
+		h.pages = append(h.pages, &page{data: make([]byte, h.pageSize), epoch: h.epoch})
+		h.size += h.pageSize
+	}
+}
+
+// Size returns the heap size in bytes.
+func (h *Heap) Size() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.size
+}
+
+// PageSize returns the page granularity in bytes.
+func (h *Heap) PageSize() int { return h.pageSize }
+
+// NumPages returns the number of pages.
+func (h *Heap) NumPages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pages)
+}
+
+// CopiedPages returns how many page copies COW has performed since the heap
+// was created. Experiment E2 uses this to show checkpoint cost tracks the
+// write set, not the heap size.
+func (h *Heap) CopiedPages() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.copied
+}
+
+// Writes returns the number of Write operations performed.
+func (h *Heap) Writes() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.writes
+}
+
+// ensure makes page i privately writable in the current epoch, copying it
+// if it is shared with an earlier snapshot. Caller holds mu.
+func (h *Heap) ensure(i int) *page {
+	p := h.pages[i]
+	if p.epoch == h.epoch {
+		return p
+	}
+	cp := &page{data: append([]byte(nil), p.data...), epoch: h.epoch}
+	h.pages[i] = cp
+	h.copied++
+	return cp
+}
+
+// Write copies b into the heap at offset off, growing the heap if needed.
+func (h *Heap) Write(off int, b []byte) {
+	if off < 0 {
+		panic(fmt.Sprintf("checkpoint: negative offset %d", off))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.grow(off + len(b))
+	h.writes++
+	for len(b) > 0 {
+		pi := off / h.pageSize
+		po := off % h.pageSize
+		p := h.ensure(pi)
+		n := copy(p.data[po:], b)
+		b = b[n:]
+		off += n
+	}
+}
+
+// Read copies len(b) bytes from offset off into b. Reads beyond the current
+// size yield zeros.
+func (h *Heap) Read(off int, b []byte) {
+	if off < 0 {
+		panic(fmt.Sprintf("checkpoint: negative offset %d", off))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(b) > 0 {
+		if off >= h.size {
+			for i := range b {
+				b[i] = 0
+			}
+			return
+		}
+		pi := off / h.pageSize
+		po := off % h.pageSize
+		n := copy(b, h.pages[pi].data[po:])
+		b = b[n:]
+		off += n
+	}
+}
+
+// WriteUint64 stores v little-endian at offset off.
+func (h *Heap) WriteUint64(off int, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(off, buf[:])
+}
+
+// ReadUint64 loads a little-endian uint64 from offset off.
+func (h *Heap) ReadUint64(off int) uint64 {
+	var buf [8]byte
+	h.Read(off, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Hash returns a 64-bit FNV-1a digest of the heap contents, used by replay
+// fidelity checks (identical state ⇔ identical hash with high probability).
+func (h *Heap) Hash() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := fnv.New64a()
+	for _, p := range h.pages {
+		d.Write(p.data)
+	}
+	return d.Sum64()
+}
+
+// Snapshot captures the current heap state in O(#pages) pointer copies,
+// without copying page data. Subsequent writes to the heap copy pages
+// lazily (COW), leaving the snapshot unchanged.
+func (h *Heap) Snapshot() *Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.epoch++
+	pages := make([]*page, len(h.pages))
+	copy(pages, h.pages)
+	return &Snapshot{pageSize: h.pageSize, pages: pages, size: h.size}
+}
+
+// FullSnapshot eagerly deep-copies the entire heap (the traditional
+// checkpoint baseline measured in experiment E2/A1).
+func (h *Heap) FullSnapshot() *Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pages := make([]*page, len(h.pages))
+	for i, p := range h.pages {
+		pages[i] = &page{data: append([]byte(nil), p.data...)}
+	}
+	return &Snapshot{pageSize: h.pageSize, pages: pages, size: h.size, full: true}
+}
+
+// Restore rewinds the heap to the snapshot's state. The heap's size becomes
+// the snapshot's size. Restoring is O(#pages) pointer copies; pages become
+// shared again and will be re-copied on write.
+func (h *Heap) Restore(s *Snapshot) {
+	if s.pageSize != h.pageSize {
+		panic("checkpoint: restore with mismatched page size")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.epoch++
+	h.pages = make([]*page, len(s.pages))
+	copy(h.pages, s.pages)
+	h.size = s.size
+}
+
+// DirtyPagesSince reports how many of the heap's current pages differ (by
+// identity) from the given snapshot — the write set since that snapshot.
+func (h *Heap) DirtyPagesSince(s *Snapshot) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for i, p := range h.pages {
+		if i >= len(s.pages) || s.pages[i] != p {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot is an immutable capture of a heap's state.
+type Snapshot struct {
+	pageSize int
+	pages    []*page
+	size     int
+	full     bool
+}
+
+// Size returns the captured heap size in bytes.
+func (s *Snapshot) Size() int { return s.size }
+
+// PageSize returns the page granularity of the captured heap.
+func (s *Snapshot) PageSize() int { return s.pageSize }
+
+// NewHeapFrom materializes a fresh heap initialized to the snapshot's
+// contents (pages are shared copy-on-write until written).
+func NewHeapFrom(s *Snapshot) *Heap {
+	h := NewHeapPages(s.size, s.pageSize)
+	h.Restore(s)
+	return h
+}
+
+// Full reports whether this snapshot was taken eagerly (deep copy).
+func (s *Snapshot) Full() bool { return s.full }
+
+// Bytes materializes the snapshot contents as a contiguous byte slice.
+func (s *Snapshot) Bytes() []byte {
+	out := make([]byte, 0, s.size)
+	for _, p := range s.pages {
+		out = append(out, p.data...)
+	}
+	return out[:s.size]
+}
+
+// Hash returns the FNV-1a digest of the snapshot contents.
+func (s *Snapshot) Hash() uint64 {
+	d := fnv.New64a()
+	for _, p := range s.pages {
+		d.Write(p.data)
+	}
+	return d.Sum64()
+}

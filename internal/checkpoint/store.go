@@ -1,0 +1,159 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Checkpoint is a recorded local state of one process: the heap snapshot
+// plus the metadata needed to place it in the global execution (vector
+// clock, scroll position, virtual time). The Time Machine assembles sets of
+// these into globally consistent recovery lines (paper §3.2).
+type Checkpoint struct {
+	ID        string    // unique within a store
+	Proc      string    // owning process
+	Clock     vclock.VC // vector time when taken
+	ScrollSeq uint64    // scroll position when taken (for log truncation/replay)
+	Time      uint64    // virtual time when taken
+	Snap      *Snapshot // heap contents
+	Extra     []byte    // serialized non-heap state (opaque to the store)
+	SpecID    string    // speculation that induced this checkpoint, if any
+	Timers    []string  // names of timers pending when the checkpoint was taken
+}
+
+// Store keeps the checkpoints of one or more processes. It is safe for
+// concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	byID   map[string]*Checkpoint
+	byProc map[string][]*Checkpoint // in Put order, oldest first
+	nextID uint64
+}
+
+// NewStore returns an empty checkpoint store.
+func NewStore() *Store {
+	return &Store{byID: make(map[string]*Checkpoint), byProc: make(map[string][]*Checkpoint)}
+}
+
+// Put stores a checkpoint. If c.ID is empty an ID is assigned. It returns
+// the stored checkpoint's ID.
+func (s *Store) Put(c *Checkpoint) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.ID == "" {
+		s.nextID++
+		c.ID = fmt.Sprintf("ckpt-%s-%d", c.Proc, s.nextID)
+	}
+	s.byID[c.ID] = c
+	s.byProc[c.Proc] = append(s.byProc[c.Proc], c)
+	return c.ID
+}
+
+// Get returns the checkpoint with the given ID, or nil.
+func (s *Store) Get(id string) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// Latest returns the most recently stored checkpoint for proc, or nil.
+func (s *Store) Latest(proc string) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.byProc[proc]
+	if len(list) == 0 {
+		return nil
+	}
+	return list[len(list)-1]
+}
+
+// List returns proc's checkpoints oldest-first.
+func (s *Store) List(proc string) []*Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Checkpoint, len(s.byProc[proc]))
+	copy(out, s.byProc[proc])
+	return out
+}
+
+// Procs returns the sorted list of processes with at least one checkpoint.
+func (s *Store) Procs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	procs := make([]string, 0, len(s.byProc))
+	for p, list := range s.byProc {
+		if len(list) > 0 {
+			procs = append(procs, p)
+		}
+	}
+	sort.Strings(procs)
+	return procs
+}
+
+// Len returns the total number of stored checkpoints.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// Remove deletes the checkpoint with the given ID. It reports whether the
+// checkpoint existed.
+func (s *Store) Remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	delete(s.byID, id)
+	list := s.byProc[c.Proc]
+	for i, x := range list {
+		if x.ID == id {
+			s.byProc[c.Proc] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// PruneBefore discards, for each process, all checkpoints older than the
+// newest n. It returns how many were removed. Committed speculations allow
+// earlier checkpoints to be reclaimed (paper §4.2).
+func (s *Store) PruneBefore(keep int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for proc, list := range s.byProc {
+		if len(list) <= keep {
+			continue
+		}
+		drop := list[:len(list)-keep]
+		for _, c := range drop {
+			delete(s.byID, c.ID)
+			removed++
+		}
+		s.byProc[proc] = append([]*Checkpoint(nil), list[len(list)-keep:]...)
+	}
+	return removed
+}
+
+// LatestNotAfter returns the most recent checkpoint of proc whose vector
+// clock does not causally follow limit — i.e. a state from before (or
+// concurrent with) the observation described by limit. The Time Machine
+// uses this to pick rollback targets that precede the fault.
+func (s *Store) LatestNotAfter(proc string, limit vclock.VC) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.byProc[proc]
+	for i := len(list) - 1; i >= 0; i-- {
+		c := list[i]
+		if o := c.Clock.Compare(limit); o != vclock.After {
+			return c
+		}
+	}
+	return nil
+}

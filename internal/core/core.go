@@ -1,0 +1,249 @@
+// Package core is the FixD runtime: the glue that composes the Scroll, the
+// Time Machine, the Investigator and the Healer into the fault-response
+// pipeline of the paper's Figure 4.
+//
+// When a process detects a fault locally (Context.Fault), the coordinator:
+//
+//  1. rolls the detecting process back to a recent stored checkpoint and
+//     notifies the other processes that an error occurred;
+//  2. collects from each process a reply of (local checkpoint, model) —
+//     the checkpoint chosen so that the assembled set satisfies global
+//     consistency (recovery.MaxConsistentSet), the model being the process
+//     implementation itself;
+//  3. pieces the replies into a consistent global checkpoint and feeds it
+//     to the Investigator, which explores execution paths and returns the
+//     trails that lead to invariant violations;
+//  4. optionally hands the trails to the Healer, which repairs the system
+//     either by dynamic update + resume from the recovery line, or by
+//     restart with the corrected program.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+	"repro/internal/heal"
+	"repro/internal/investigate"
+	"repro/internal/recovery"
+	"repro/internal/scroll"
+	"repro/internal/vclock"
+)
+
+// Config parameterizes the coordinator.
+type Config struct {
+	// Invariants are the global safety properties the Investigator checks.
+	Invariants []fault.GlobalInvariant
+	// TreatLocalFaultAsViolation also hunts Context.Fault reports.
+	TreatLocalFaultAsViolation bool
+	// MaxStates / MaxDepth bound the investigation.
+	MaxStates int
+	MaxDepth  int
+	// ModelLoss adds a lossy-network environment model.
+	ModelLoss bool
+	// StopAtFirstViolation ends each investigation at the first trail.
+	StopAtFirstViolation bool
+	// AutoHealProgram, if set, is applied via dynamic update after a
+	// successful investigation; Mapper transforms checkpoint states.
+	AutoHealProgram *heal.Program
+	Mapper          heal.StateMapper
+	// VerifyDepth bounds the Healer's verification exploration (0 = skip).
+	VerifyDepth int
+	// MaxResponses stops handling faults after this many responses
+	// (default 1: first fault triggers the pipeline and stops the run).
+	MaxResponses int
+}
+
+// Response records one complete execution of the Fig. 4 protocol.
+type Response struct {
+	Fault         dsim.FaultRecord
+	Line          map[string]string // proc -> checkpoint ID of the recovery line
+	LineClocks    map[string]vclock.VC
+	FellBackToNow bool // no consistent checkpoint set existed; used current states
+	Messages      int  // protocol messages exchanged (notify + replies)
+	Investigation *investigate.Report
+	Heal          *heal.Report
+	Elapsed       time.Duration
+}
+
+// Coordinator drives FixD on top of a simulation.
+type Coordinator struct {
+	sim       *dsim.Sim
+	factories map[string]func() dsim.Machine
+	cfg       Config
+	responses []*Response
+}
+
+// NewCoordinator wires a coordinator to the simulation. factories must
+// provide a fresh-instance constructor for every process (the "model" each
+// process ships on request — here, its own implementation, as the paper
+// permits).
+func NewCoordinator(s *dsim.Sim, factories map[string]func() dsim.Machine, cfg Config) *Coordinator {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = 20_000
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 48
+	}
+	if cfg.MaxResponses <= 0 {
+		cfg.MaxResponses = 1
+	}
+	c := &Coordinator{sim: s, factories: factories, cfg: cfg}
+	s.FaultHandler = c.onFault
+	return c
+}
+
+// Responses returns the fault responses executed so far.
+func (c *Coordinator) Responses() []*Response { return c.responses }
+
+// onFault is installed as the simulation's FaultHandler.
+func (c *Coordinator) onFault(s *dsim.Sim, f dsim.FaultRecord) bool {
+	if len(c.responses) >= c.cfg.MaxResponses {
+		return false
+	}
+	resp, err := c.Respond(f)
+	if err != nil {
+		// A coordinator failure is itself a fault; record it and stop.
+		resp = &Response{Fault: f}
+	}
+	c.responses = append(c.responses, resp)
+	return true // pause the simulation; caller decides whether to Resume
+}
+
+// Respond executes the Fig. 4 protocol for the given fault and returns the
+// full response record.
+func (c *Coordinator) Respond(f dsim.FaultRecord) (*Response, error) {
+	start := time.Now()
+	resp := &Response{Fault: f, Line: map[string]string{}, LineClocks: map[string]vclock.VC{}}
+
+	procs := c.sim.Procs()
+	// Step 1-2: notify peers, collect (checkpoint, model) replies. One
+	// notification out and one reply back per peer.
+	resp.Messages = 2 * (len(procs) - 1)
+
+	// Choose a consistent set of checkpoints. Every process has an implicit
+	// initial checkpoint (empty clock — concurrent with everything), so a
+	// consistent set always exists.
+	ckpts := make(map[string][]recovery.CkptMeta, len(procs))
+	byID := make(map[string]*checkpoint.Checkpoint)
+	for _, id := range procs {
+		metas := []recovery.CkptMeta{{ID: "", Proc: id, Index: -1, Clock: vclock.New()}}
+		for i, ck := range c.sim.Store().List(id) {
+			metas = append(metas, recovery.CkptMeta{ID: ck.ID, Proc: id, Index: i, Clock: ck.Clock})
+			byID[ck.ID] = ck
+		}
+		ckpts[id] = metas
+	}
+	set := recovery.MaxConsistentSet(ckpts)
+	if set == nil {
+		return nil, fmt.Errorf("core: no consistent checkpoint set (unreachable: initial states are concurrent)")
+	}
+
+	// Step 3: assemble the global checkpoint and models, plus the channel
+	// contents at the line: messages whose send is inside the cut but
+	// whose receive is not, and the timers pending at each checkpoint.
+	var (
+		models  []investigate.ProcModel
+		timers  []investigate.Timer
+		lineSeq = make(map[string]uint64, len(procs))
+	)
+	for _, meta := range set {
+		factory, ok := c.factories[meta.Proc]
+		if !ok {
+			return nil, fmt.Errorf("core: no model factory for process %q", meta.Proc)
+		}
+		pm := investigate.ProcModel{Proc: meta.Proc, New: factory}
+		if meta.ID != "" {
+			ck := byID[meta.ID]
+			pm.State = append([]byte(nil), ck.Extra...)
+			pm.Heap = ck.Snap
+			resp.Line[meta.Proc] = meta.ID
+			resp.LineClocks[meta.Proc] = ck.Clock.Copy()
+			lineSeq[meta.Proc] = ck.ScrollSeq
+			for _, name := range ck.Timers {
+				timers = append(timers, investigate.Timer{Proc: meta.Proc, Name: name})
+			}
+		}
+		models = append(models, pm)
+	}
+	if len(resp.Line) == 0 {
+		resp.FellBackToNow = true
+	}
+	inTransit := c.inTransitAt(lineSeq)
+
+	rep, err := investigate.Run(models, inTransit, timers, investigate.Config{
+		Invariants:                 c.cfg.Invariants,
+		TreatLocalFaultAsViolation: c.cfg.TreatLocalFaultAsViolation,
+		MaxStates:                  c.cfg.MaxStates,
+		MaxDepth:                   c.cfg.MaxDepth,
+		ModelLoss:                  c.cfg.ModelLoss,
+		StopAtFirstViolation:       c.cfg.StopAtFirstViolation,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: investigation: %w", err)
+	}
+	resp.Investigation = rep
+
+	// Step 4: optional healing with the corrected program.
+	if c.cfg.AutoHealProgram != nil && len(resp.Line) > 0 {
+		hrep, err := heal.Apply(c.sim, resp.Line, *c.cfg.AutoHealProgram, c.cfg.Mapper, heal.VerifyOptions{
+			Invariants:   c.cfg.Invariants,
+			ExploreDepth: c.cfg.VerifyDepth,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: heal: %w", err)
+		}
+		resp.Heal = hrep
+	}
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// inTransitAt computes the messages crossing the recovery line: sends
+// recorded within a process's line prefix whose matching receive is not
+// within the receiver's prefix. Processes restored to their initial state
+// have an empty prefix (no sends, no receives).
+func (c *Coordinator) inTransitAt(lineSeq map[string]uint64) []investigate.Msg {
+	received := make(map[string]bool)
+	for _, id := range c.sim.Procs() {
+		limit := lineSeq[id]
+		for _, r := range c.sim.Scroll(id).Records() {
+			if r.Seq >= limit {
+				break
+			}
+			if r.Kind == scroll.KindRecv {
+				received[r.MsgID] = true
+			}
+		}
+	}
+	var out []investigate.Msg
+	for _, id := range c.sim.Procs() {
+		limit := lineSeq[id]
+		for _, r := range c.sim.Scroll(id).Records() {
+			if r.Seq >= limit {
+				break
+			}
+			if r.Kind == scroll.KindSend && !received[r.MsgID] {
+				out = append(out, investigate.Msg{From: id, To: r.Peer, Payload: append([]byte(nil), r.Payload...)})
+			}
+		}
+	}
+	return out
+}
+
+// RunProtected runs the simulation under coordinator protection and
+// returns the first response, or nil if the run completed without faults.
+func (c *Coordinator) RunProtected() *Response {
+	c.sim.Run()
+	if len(c.responses) == 0 {
+		return nil
+	}
+	return c.responses[0]
+}
+
+// ResumeAfterHeal continues the simulation after a successful heal.
+func (c *Coordinator) ResumeAfterHeal() dsim.Stats {
+	return c.sim.Resume()
+}

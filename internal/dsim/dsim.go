@@ -1,0 +1,874 @@
+// Package dsim is a deterministic discrete-event simulator for distributed
+// applications: the testbed substrate on which FixD's mechanisms are
+// exercised and measured (see DESIGN.md §2 for the substitution rationale).
+//
+// Processes are event-driven state machines (Machine) exchanging messages
+// through a simulated network with seeded random latency, loss, duplication
+// and partitions. Every nondeterministic input a machine observes — message
+// deliveries, timer fires, random draws, clock reads — flows through the
+// per-process Scroll, so executions can be replayed deterministically
+// (paper §3.1). Processes checkpoint their state through the paged COW heap
+// (paper §4.2) under configurable policies (communication-induced,
+// periodic/uncoordinated, or speculation-driven), and a speculation manager
+// provides absorb/commit/abort semantics with automatic rollback.
+//
+// Given identical Config (including Seed) and machines, two runs produce
+// identical event orders, scrolls and final states.
+package dsim
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/scroll"
+	"repro/internal/speculation"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Machine is a deterministic, event-driven process implementation. All of
+// its durable state must be reachable from State() (JSON-serializable) or
+// stored in the context's Heap; dsim snapshots and restores both.
+type Machine interface {
+	// State returns a pointer to the machine's serializable state.
+	State() any
+	// Init runs once at simulation start (virtual time 0).
+	Init(ctx Context)
+	// OnMessage handles a delivered message.
+	OnMessage(ctx Context, from string, payload []byte)
+	// OnTimer handles a timer the machine previously set.
+	OnTimer(ctx Context, name string)
+	// OnRollback runs after the process state has been restored to a
+	// checkpoint, letting the machine take an alternate execution path
+	// (paper §4.2, difference (2)).
+	OnRollback(ctx Context, info RollbackInfo)
+}
+
+// Context is the environment API a machine programs against. The simulator
+// provides the live implementation (recording every nondeterministic
+// outcome in the Scroll); the replay runner provides one that feeds
+// recorded outcomes back (paper §2.3); the Investigator provides one that
+// captures effects for model checking (paper §3.3).
+type Context interface {
+	// Self returns the process ID.
+	Self() string
+	// Now returns the current virtual time (a recorded nondeterministic
+	// input).
+	Now() uint64
+	// Random returns a pseudo-random value (recorded).
+	Random() uint64
+	// Send transmits a message to the named process.
+	Send(to string, payload []byte)
+	// SetTimer schedules OnTimer(name) after delay ticks.
+	SetTimer(name string, delay uint64)
+	// Heap is the process's checkpointable bulk store.
+	Heap() *checkpoint.Heap
+	// Log records an informational note.
+	Log(format string, args ...any)
+	// Fault reports a locally detected invariant violation.
+	Fault(desc string)
+	// Checkpoint takes an explicit checkpoint, returning its ID.
+	Checkpoint(label string) string
+	// Speculate begins a speculation; Commit/AbortSpec resolve it.
+	Speculate(assumption string) (string, error)
+	Commit(specID string) error
+	AbortSpec(specID, reason string) error
+	// Halt stops the process permanently.
+	Halt()
+}
+
+// RollbackInfo tells a machine why it was rolled back.
+type RollbackInfo struct {
+	SpecID     string // aborted speculation, if any
+	Assumption string // the invalidated assumption
+	Reason     string // how it was invalidated
+	Manual     bool   // true for Time-Machine/crash-restart rollbacks
+}
+
+// FaultRecord is a locally detected fault reported through Context.Fault.
+type FaultRecord struct {
+	Proc  string
+	Desc  string
+	Time  uint64
+	Clock vclock.VC
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	Seed       int64
+	MinLatency uint64 // message latency lower bound (virtual ticks); default 1
+	MaxLatency uint64 // upper bound; default 10
+	// CICheckpoint takes a checkpoint before every message delivery
+	// (communication-induced checkpointing, Fig. 6).
+	CICheckpoint bool
+	// CheckpointEvery takes a periodic (uncoordinated) checkpoint every N
+	// delivered events per process, staggered across processes. 0 = off.
+	CheckpointEvery uint64
+	// FullCheckpoints uses eager deep-copy snapshots instead of COW.
+	FullCheckpoints bool
+	// InitCheckpoint takes a checkpoint of every process right after Init,
+	// guaranteeing a non-trivial recovery line exists from the start.
+	InitCheckpoint bool
+	// FIFO forces per-channel in-order delivery (each sender-receiver pair
+	// delivers in send order), as required by marker-based snapshot
+	// protocols like Chandy-Lamport. Without it, latency jitter may
+	// reorder messages on a channel.
+	FIFO bool
+	// DropRate is the probability a message is lost in transit.
+	DropRate float64
+	// DupRate is the probability a message is delivered twice.
+	DupRate float64
+	// MaxSteps bounds the number of processed events (0 = 1_000_000).
+	MaxSteps int
+	// HeapSize is each process's initial heap size in bytes (default 64KiB).
+	HeapSize int
+	// HeapPageSize overrides the checkpoint page size (default 4096).
+	HeapPageSize int
+}
+
+// Stats are cumulative simulation counters.
+type Stats struct {
+	Delivered   uint64
+	Dropped     uint64
+	Duplicated  uint64
+	TimerFires  uint64
+	Checkpoints uint64
+	Rollbacks   uint64
+	Crashes     uint64
+	Restarts    uint64
+	Steps       uint64
+}
+
+// event is a scheduled occurrence.
+type event struct {
+	time uint64
+	seq  uint64 // tie-break and identity
+	kind eventKind
+
+	// message fields
+	msgID      string
+	from, to   string
+	payload    []byte
+	lamport    uint64
+	clock      vclock.VC
+	specs      []string
+	creatorSeq uint64 // sender's scroll seq when created (for purging)
+
+	// timer fields
+	timerName string
+
+	// control fields
+	proc string
+}
+
+type eventKind int
+
+const (
+	evMessage eventKind = iota
+	evTimer
+	evCrash
+	evRestart
+)
+
+// eventQueue is a min-heap ordered by (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// proc is the simulator's bookkeeping for one process.
+type proc struct {
+	id        string
+	machine   Machine
+	heap      *checkpoint.Heap
+	scroll    *scroll.Scroll
+	clock     vclock.VC
+	lamport   vclock.Lamport
+	crashed   bool
+	halted    bool
+	delivered uint64 // events delivered (for periodic checkpoints)
+	ckptSkew  uint64 // stagger offset for periodic checkpoints
+}
+
+// partition is a temporary network split.
+type partition struct {
+	groupA   map[string]bool
+	from, to uint64
+}
+
+// Sim is a deterministic distributed-system simulation.
+type Sim struct {
+	cfg   Config
+	rng   *rand.Rand
+	now   uint64
+	seq   uint64
+	queue eventQueue
+	dead  map[uint64]bool // lazily deleted event seqs
+	procs map[string]*proc
+	order []string
+
+	specs    *speculation.Manager
+	store    *checkpoint.Store
+	faults   []FaultRecord
+	stats    Stats
+	parts    []partition
+	msgN     uint64
+	stop     bool
+	lastFIFO map[string]uint64 // per-channel last scheduled delivery time
+
+	// FaultHandler, if set, is invoked on every Context.Fault report. The
+	// FixD coordinator (internal/core) uses it to trigger the Fig. 4
+	// response protocol. Returning true stops the simulation.
+	FaultHandler func(*Sim, FaultRecord) bool
+}
+
+// New creates a simulation with the given configuration.
+func New(cfg Config) *Sim {
+	if cfg.MinLatency == 0 {
+		cfg.MinLatency = 1
+	}
+	if cfg.MaxLatency < cfg.MinLatency {
+		cfg.MaxLatency = cfg.MinLatency + 9
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	if cfg.HeapSize <= 0 {
+		cfg.HeapSize = 64 << 10
+	}
+	if cfg.HeapPageSize <= 0 {
+		cfg.HeapPageSize = checkpoint.DefaultPageSize
+	}
+	s := &Sim{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		dead:     make(map[uint64]bool),
+		procs:    make(map[string]*proc),
+		store:    checkpoint.NewStore(),
+		lastFIFO: make(map[string]uint64),
+	}
+	s.specs = speculation.NewManager(specCtl{s})
+	return s
+}
+
+// AddProcess registers a machine under the given process ID. It must be
+// called before Run.
+func (s *Sim) AddProcess(id string, m Machine) {
+	if _, dup := s.procs[id]; dup {
+		panic(fmt.Sprintf("dsim: duplicate process %q", id))
+	}
+	p := &proc{
+		id:      id,
+		machine: m,
+		heap:    checkpoint.NewHeapPages(s.cfg.HeapSize, s.cfg.HeapPageSize),
+		scroll:  scroll.NewMemory(id),
+		clock:   vclock.New(),
+	}
+	if s.cfg.CheckpointEvery > 0 {
+		p.ckptSkew = uint64(len(s.order)) % s.cfg.CheckpointEvery
+	}
+	s.procs[id] = p
+	s.order = append(s.order, id)
+	sort.Strings(s.order)
+}
+
+// Store exposes the simulation's checkpoint store.
+func (s *Sim) Store() *checkpoint.Store { return s.store }
+
+// Speculations exposes the speculation manager.
+func (s *Sim) Speculations() *speculation.Manager { return s.specs }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() uint64 { return s.now }
+
+// Stats returns the cumulative counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Faults returns all locally detected faults so far.
+func (s *Sim) Faults() []FaultRecord { return append([]FaultRecord(nil), s.faults...) }
+
+// Procs returns the sorted process IDs.
+func (s *Sim) Procs() []string { return append([]string(nil), s.order...) }
+
+// Scroll returns the scroll of the given process (nil if unknown).
+func (s *Sim) Scroll(id string) *scroll.Scroll {
+	if p, ok := s.procs[id]; ok {
+		return p.scroll
+	}
+	return nil
+}
+
+// Heap returns the heap of the given process (nil if unknown).
+func (s *Sim) Heap(id string) *checkpoint.Heap {
+	if p, ok := s.procs[id]; ok {
+		return p.heap
+	}
+	return nil
+}
+
+// MachineState returns the JSON encoding of a process's current machine
+// state.
+func (s *Sim) MachineState(id string) []byte {
+	p, ok := s.procs[id]
+	if !ok {
+		return nil
+	}
+	b, err := json.Marshal(p.machine.State())
+	if err != nil {
+		panic(fmt.Sprintf("dsim: state of %s not serializable: %v", id, err))
+	}
+	return b
+}
+
+// Clock returns a copy of the process's vector clock.
+func (s *Sim) Clock(id string) vclock.VC {
+	if p, ok := s.procs[id]; ok {
+		return p.clock.Copy()
+	}
+	return nil
+}
+
+// Trace merges all process scrolls into a global trace.
+func (s *Sim) Trace() *trace.Trace {
+	scrolls := make([]*scroll.Scroll, 0, len(s.order))
+	for _, id := range s.order {
+		scrolls = append(scrolls, s.procs[id].scroll)
+	}
+	return scroll.ToTrace(scroll.Merge(scrolls...))
+}
+
+// MergedScroll returns all scroll records in global (Lamport) order.
+func (s *Sim) MergedScroll() []scroll.Record {
+	scrolls := make([]*scroll.Scroll, 0, len(s.order))
+	for _, id := range s.order {
+		scrolls = append(scrolls, s.procs[id].scroll)
+	}
+	return scroll.Merge(scrolls...)
+}
+
+// CrashAt schedules a crash of proc at virtual time t.
+func (s *Sim) CrashAt(procID string, t uint64) {
+	s.push(&event{time: t, kind: evCrash, proc: procID})
+}
+
+// RestartAt schedules a restart of proc at virtual time t: the process is
+// restored from its most recent checkpoint (or reinitialized if none).
+func (s *Sim) RestartAt(procID string, t uint64) {
+	s.push(&event{time: t, kind: evRestart, proc: procID})
+}
+
+// Partition splits the network into groupA vs everyone else during the
+// half-open virtual-time interval [from, to): messages across the split are
+// dropped.
+func (s *Sim) Partition(groupA []string, from, to uint64) {
+	g := make(map[string]bool, len(groupA))
+	for _, id := range groupA {
+		g[id] = true
+	}
+	s.parts = append(s.parts, partition{groupA: g, from: from, to: to})
+}
+
+// Stop makes Run return after the current event.
+func (s *Sim) Stop() { s.stop = true }
+
+func (s *Sim) push(e *event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.queue, e)
+}
+
+// partitioned reports whether a message from -> to is cut at time t.
+func (s *Sim) partitioned(from, to string, t uint64) bool {
+	for _, p := range s.parts {
+		if t >= p.from && t < p.to && p.groupA[from] != p.groupA[to] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run initializes all machines and processes events until the queue is
+// empty, MaxSteps is reached, or Stop is called. It returns the stats.
+func (s *Sim) Run() Stats {
+	for _, id := range s.order {
+		p := s.procs[id]
+		p.machine.Init(&simContext{sim: s, proc: p})
+	}
+	if s.cfg.InitCheckpoint {
+		for _, id := range s.order {
+			s.takeCheckpoint(s.procs[id], "", "init")
+		}
+	}
+	return s.Resume()
+}
+
+// Resume continues processing events without re-initializing machines —
+// used after a Time-Machine rollback or an external Stop.
+func (s *Sim) Resume() Stats {
+	s.stop = false
+	for len(s.queue) > 0 && !s.stop && int(s.stats.Steps) < s.cfg.MaxSteps {
+		ev := heap.Pop(&s.queue).(*event)
+		if s.dead[ev.seq] {
+			delete(s.dead, ev.seq)
+			continue
+		}
+		s.stats.Steps++
+		if ev.time > s.now {
+			s.now = ev.time
+		}
+		switch ev.kind {
+		case evMessage:
+			s.deliver(ev)
+		case evTimer:
+			s.fireTimer(ev)
+		case evCrash:
+			s.crash(ev.proc)
+		case evRestart:
+			s.restart(ev.proc)
+		}
+	}
+	return s.stats
+}
+
+// deliver hands a message event to its target process.
+func (s *Sim) deliver(ev *event) {
+	p, ok := s.procs[ev.to]
+	if !ok || p.crashed || p.halted {
+		s.stats.Dropped++
+		return
+	}
+	// Loss model: the sender recorded the send, but the network loses the
+	// message in transit (so the scroll shows a send with no receive — an
+	// in-transit message for recovery purposes).
+	if s.cfg.DropRate > 0 && s.rng.Float64() < s.cfg.DropRate {
+		s.stats.Dropped++
+		return
+	}
+	// Messages belonging to an aborted speculation are discarded: their
+	// contents were produced by rolled-back computation.
+	for _, specID := range ev.specs {
+		if sp := s.specs.Get(specID); sp != nil && sp.Status() == speculation.Aborted {
+			s.stats.Dropped++
+			return
+		}
+	}
+	if s.partitioned(ev.from, ev.to, s.now) {
+		s.stats.Dropped++
+		return
+	}
+	// Communication-induced checkpoint: save state before consuming a new
+	// message (Fig. 6).
+	if s.cfg.CICheckpoint {
+		s.takeCheckpoint(p, "", "cic")
+	}
+	// Speculative absorption checkpoints the pre-consumption state too.
+	if err := s.specs.OnDeliver(ev.to, ev.specs); err != nil {
+		panic(fmt.Sprintf("dsim: absorption failed: %v", err))
+	}
+	p.clock.Merge(ev.clock)
+	p.clock.Tick(p.id)
+	lam := p.lamport.Witness(ev.lamport)
+	if _, err := p.scroll.Append(scroll.Record{
+		Kind: scroll.KindRecv, MsgID: ev.msgID, Peer: ev.from,
+		Payload: ev.payload, Lamport: lam, Clock: p.clock.Copy(),
+	}); err != nil {
+		panic(fmt.Sprintf("dsim: scroll append: %v", err))
+	}
+	p.delivered++
+	s.stats.Delivered++
+	p.machine.OnMessage(&simContext{sim: s, proc: p}, ev.from, ev.payload)
+	// Periodic (uncoordinated) checkpoint policy.
+	if n := s.cfg.CheckpointEvery; n > 0 && (p.delivered+p.ckptSkew)%n == 0 {
+		s.takeCheckpoint(p, "", "periodic")
+	}
+}
+
+// fireTimer hands a timer event to its owner.
+func (s *Sim) fireTimer(ev *event) {
+	p, ok := s.procs[ev.proc]
+	if !ok || p.crashed || p.halted {
+		return
+	}
+	p.clock.Tick(p.id)
+	lam := p.lamport.Tick()
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindCustom, MsgID: "timer:" + ev.timerName,
+		Payload: []byte(ev.timerName), Lamport: lam, Clock: p.clock.Copy(),
+	})
+	s.stats.TimerFires++
+	p.machine.OnTimer(&simContext{sim: s, proc: p}, ev.timerName)
+}
+
+// crash marks a process crashed; its pending timers die with it.
+func (s *Sim) crash(id string) {
+	p, ok := s.procs[id]
+	if !ok || p.crashed {
+		return
+	}
+	p.crashed = true
+	s.stats.Crashes++
+}
+
+// restart revives a crashed process from its latest checkpoint.
+func (s *Sim) restart(id string) {
+	p, ok := s.procs[id]
+	if !ok || !p.crashed {
+		return
+	}
+	p.crashed = false
+	s.stats.Restarts++
+	if ck := s.store.Latest(id); ck != nil {
+		s.restoreProc(p, ck)
+		p.machine.OnRollback(&simContext{sim: s, proc: p}, RollbackInfo{Manual: true, Reason: "crash restart"})
+	} else {
+		p.machine.Init(&simContext{sim: s, proc: p})
+	}
+}
+
+// takeCheckpoint snapshots a process. specID tags speculation-induced
+// checkpoints; label describes the policy that triggered it.
+func (s *Sim) takeCheckpoint(p *proc, specID, label string) *checkpoint.Checkpoint {
+	var snap *checkpoint.Snapshot
+	if s.cfg.FullCheckpoints {
+		snap = p.heap.FullSnapshot()
+	} else {
+		snap = p.heap.Snapshot()
+	}
+	extra, err := json.Marshal(p.machine.State())
+	if err != nil {
+		panic(fmt.Sprintf("dsim: state of %s not serializable: %v", p.id, err))
+	}
+	ck := &checkpoint.Checkpoint{
+		Proc:      p.id,
+		Clock:     p.clock.Copy(),
+		ScrollSeq: uint64(p.scroll.Len()),
+		Time:      s.now,
+		Snap:      snap,
+		Extra:     extra,
+		SpecID:    specID,
+	}
+	for _, ev := range s.queue {
+		if ev.kind == evTimer && ev.proc == p.id && !s.dead[ev.seq] {
+			ck.Timers = append(ck.Timers, ev.timerName)
+		}
+	}
+	s.store.Put(ck)
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindCkpt, MsgID: ck.ID, Payload: []byte(label),
+		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+	})
+	s.stats.Checkpoints++
+	return ck
+}
+
+// restoreProc rewinds a process to a checkpoint: heap, machine state,
+// vector clock and scroll position. Events the process created after the
+// checkpoint are purged from the queue.
+func (s *Sim) restoreProc(p *proc, ck *checkpoint.Checkpoint) {
+	p.heap.Restore(ck.Snap)
+	if err := json.Unmarshal(ck.Extra, p.machine.State()); err != nil {
+		panic(fmt.Sprintf("dsim: restore state of %s: %v", p.id, err))
+	}
+	p.clock = ck.Clock.Copy()
+	p.scroll.Truncate(ck.ScrollSeq)
+	p.halted = false
+	for _, ev := range s.queue {
+		if ev.kind == evMessage && ev.from == p.id && ev.creatorSeq >= ck.ScrollSeq {
+			s.dead[ev.seq] = true
+		}
+		if ev.kind == evTimer && ev.proc == p.id {
+			s.dead[ev.seq] = true
+		}
+	}
+	// Re-arm the timers that were pending when the checkpoint was taken
+	// (their original deadlines are gone; a fresh latency draw is within
+	// the asynchronous timing model).
+	for _, name := range ck.Timers {
+		s.push(&event{
+			time: s.now + s.latency(), kind: evTimer,
+			proc: p.id, timerName: name, creatorSeq: ck.ScrollSeq,
+		})
+	}
+	s.stats.Rollbacks++
+}
+
+// RollbackTo restores a set of processes to the given checkpoints (a
+// recovery line computed by the Time Machine) and re-delivers the messages
+// that were in transit across the line, reading them from the scrolls.
+// Checkpoint IDs map process -> checkpoint ID.
+func (s *Sim) RollbackTo(line map[string]string) error {
+	procIDs := make([]string, 0, len(line))
+	for id := range line {
+		procIDs = append(procIDs, id)
+	}
+	sort.Strings(procIDs)
+	cks := make(map[string]*checkpoint.Checkpoint, len(line))
+	for _, id := range procIDs {
+		ck := s.store.Get(line[id])
+		if ck == nil {
+			return fmt.Errorf("dsim: unknown checkpoint %q for %s", line[id], id)
+		}
+		if ck.Proc != id {
+			return fmt.Errorf("dsim: checkpoint %q belongs to %s, not %s", line[id], ck.Proc, id)
+		}
+		cks[id] = ck
+	}
+	// Purge queued events invalidated by the rollback: anything addressed
+	// to a rolled-back process (it will be re-delivered from the scroll if
+	// still in transit at the line), anything created by a rolled-back
+	// process after its checkpoint, and post-checkpoint timers.
+	rolled := make(map[string]bool, len(line))
+	for _, id := range procIDs {
+		rolled[id] = true
+	}
+	for _, ev := range s.queue {
+		switch ev.kind {
+		case evMessage:
+			if rolled[ev.to] {
+				s.dead[ev.seq] = true
+			}
+			if rolled[ev.from] && ev.creatorSeq >= cks[ev.from].ScrollSeq {
+				s.dead[ev.seq] = true
+			}
+		case evTimer:
+			if rolled[ev.proc] && ev.creatorSeq >= cks[ev.proc].ScrollSeq {
+				s.dead[ev.seq] = true
+			}
+		}
+	}
+	for _, id := range procIDs {
+		p := s.procs[id]
+		s.restoreProc(p, cks[id])
+	}
+	// Re-deliver in-transit messages addressed to rolled-back processes:
+	// sends preserved in *any* process's scroll (rolled scrolls are already
+	// truncated to the line, so every record they retain is preserved)
+	// whose matching receive is no longer in the receiver's scroll.
+	received := make(map[string]bool)
+	for _, id := range procIDs {
+		for _, r := range s.procs[id].scroll.Records() {
+			if r.Kind == scroll.KindRecv {
+				received[r.MsgID] = true
+			}
+		}
+	}
+	for _, id := range s.order {
+		for _, r := range s.procs[id].scroll.Records() {
+			if r.Kind != scroll.KindSend || received[r.MsgID] || !rolled[r.Peer] {
+				continue
+			}
+			s.push(&event{
+				time: s.now + s.latency(), kind: evMessage,
+				msgID: r.MsgID, from: r.Proc, to: r.Peer,
+				payload: r.Payload, lamport: r.Lamport, clock: r.Clock.Copy(),
+			})
+		}
+	}
+	// Notify machines (alternate path opportunity), in sorted order.
+	for _, id := range procIDs {
+		p := s.procs[id]
+		p.machine.OnRollback(&simContext{sim: s, proc: p}, RollbackInfo{Manual: true, Reason: "time machine rollback"})
+	}
+	return nil
+}
+
+// ReplaceMachine swaps a process's implementation for a new one — the
+// dynamic-update primitive the Healer builds on (paper §3.4, §4.4). The
+// process keeps its heap, scroll, clock and queue position; state (JSON)
+// is loaded into the new machine, which must accept it (type safety: a
+// mismatch is an error, the update is refused).
+func (s *Sim) ReplaceMachine(procID string, m Machine, state []byte) error {
+	p, ok := s.procs[procID]
+	if !ok {
+		return fmt.Errorf("dsim: unknown process %q", procID)
+	}
+	if state != nil {
+		if err := json.Unmarshal(state, m.State()); err != nil {
+			return fmt.Errorf("dsim: update state of %s rejected: %w", procID, err)
+		}
+	}
+	p.machine = m
+	return nil
+}
+
+func (s *Sim) latency() uint64 {
+	if s.cfg.MaxLatency == s.cfg.MinLatency {
+		return s.cfg.MinLatency
+	}
+	return s.cfg.MinLatency + uint64(s.rng.Int63n(int64(s.cfg.MaxLatency-s.cfg.MinLatency+1)))
+}
+
+// specCtl adapts Sim to speculation.ProcessControl.
+type specCtl struct{ s *Sim }
+
+func (c specCtl) TakeCheckpoint(procID, specID string) (string, error) {
+	p, ok := c.s.procs[procID]
+	if !ok {
+		return "", fmt.Errorf("dsim: unknown process %q", procID)
+	}
+	ck := c.s.takeCheckpoint(p, specID, "speculation")
+	return ck.ID, nil
+}
+
+func (c specCtl) Rollback(procID, ckptID string, aborted *speculation.Speculation) error {
+	p, ok := c.s.procs[procID]
+	if !ok {
+		return fmt.Errorf("dsim: unknown process %q", procID)
+	}
+	ck := c.s.store.Get(ckptID)
+	if ck == nil {
+		return fmt.Errorf("dsim: unknown checkpoint %q", ckptID)
+	}
+	c.s.restoreProc(p, ck)
+	p.machine.OnRollback(&simContext{sim: c.s, proc: p}, RollbackInfo{
+		SpecID: aborted.ID, Assumption: aborted.Assumption, Reason: aborted.Reason,
+	})
+	return nil
+}
+
+// simContext is the live Context implementation backed by the simulator. All
+// nondeterministic results are recorded in the process's scroll.
+type simContext struct {
+	sim  *Sim
+	proc *proc
+}
+
+// Self returns the process ID.
+func (c *simContext) Self() string { return c.proc.id }
+
+// Now returns the virtual time and records the read.
+func (c *simContext) Now() uint64 {
+	t := c.sim.now
+	c.proc.scroll.Append(scroll.Record{
+		Kind: scroll.KindTime, Payload: binary.LittleEndian.AppendUint64(nil, t),
+		Lamport: c.proc.lamport.Now(), Clock: c.proc.clock.Copy(),
+	})
+	return t
+}
+
+// Random returns a deterministic pseudo-random uint64 and records it.
+func (c *simContext) Random() uint64 {
+	v := c.sim.rng.Uint64()
+	c.proc.scroll.Append(scroll.Record{
+		Kind: scroll.KindRandom, Payload: binary.LittleEndian.AppendUint64(nil, v),
+		Lamport: c.proc.lamport.Now(), Clock: c.proc.clock.Copy(),
+	})
+	return v
+}
+
+// Send transmits payload to the named process with simulated latency,
+// recording the send in the scroll and tagging the message with the
+// sender's active speculations.
+func (c *simContext) Send(to string, payload []byte) {
+	s, p := c.sim, c.proc
+	p.clock.Tick(p.id)
+	lam := p.lamport.Tick()
+	s.msgN++
+	id := fmt.Sprintf("m%d", s.msgN)
+	body := append([]byte(nil), payload...)
+	rec := scroll.Record{
+		Kind: scroll.KindSend, MsgID: id, Peer: to, Payload: body,
+		Lamport: lam, Clock: p.clock.Copy(),
+	}
+	seq, _ := p.scroll.Append(rec)
+	specs := s.specs.ActiveSpecs(p.id)
+	deliver := func() {
+		t := s.now + s.latency()
+		if s.cfg.FIFO {
+			// Per-channel monotone delivery times; equal times fall back
+			// to seq order, which is send order.
+			key := p.id + ">" + to
+			if t < s.lastFIFO[key] {
+				t = s.lastFIFO[key]
+			}
+			s.lastFIFO[key] = t
+		}
+		s.push(&event{
+			time: t, kind: evMessage,
+			msgID: id, from: p.id, to: to, payload: body,
+			lamport: lam, clock: p.clock.Copy(), specs: specs, creatorSeq: seq,
+		})
+	}
+	deliver()
+	if s.cfg.DupRate > 0 && s.rng.Float64() < s.cfg.DupRate {
+		s.stats.Duplicated++
+		deliver()
+	}
+}
+
+// SetTimer schedules OnTimer(name) after delay virtual ticks.
+func (c *simContext) SetTimer(name string, delay uint64) {
+	c.sim.push(&event{
+		time: c.sim.now + delay, kind: evTimer,
+		proc: c.proc.id, timerName: name, creatorSeq: uint64(c.proc.scroll.Len()),
+	})
+}
+
+// Heap returns the process's checkpointable bulk store.
+func (c *simContext) Heap() *checkpoint.Heap { return c.proc.heap }
+
+// Log appends an informational custom record to the scroll.
+func (c *simContext) Log(format string, args ...any) {
+	c.proc.scroll.Append(scroll.Record{
+		Kind: scroll.KindCustom, MsgID: "log",
+		Payload: []byte(fmt.Sprintf(format, args...)),
+		Lamport: c.proc.lamport.Now(), Clock: c.proc.clock.Copy(),
+	})
+}
+
+// Fault reports a locally detected fault (invariant violation). It is
+// recorded in the scroll and forwarded to the simulation's FaultHandler.
+func (c *simContext) Fault(desc string) {
+	s, p := c.sim, c.proc
+	rec := FaultRecord{Proc: p.id, Desc: desc, Time: s.now, Clock: p.clock.Copy()}
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindFault, Payload: []byte(desc),
+		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+	})
+	s.faults = append(s.faults, rec)
+	if s.FaultHandler != nil && s.FaultHandler(s, rec) {
+		s.stop = true
+	}
+}
+
+// Checkpoint takes an explicit checkpoint and returns its ID.
+func (c *simContext) Checkpoint(label string) string {
+	return c.sim.takeCheckpoint(c.proc, "", label).ID
+}
+
+// Speculate begins a speculation based on the given assumption; the
+// process is checkpointed and subsequent sends are tagged (paper §4.2).
+func (c *simContext) Speculate(assumption string) (string, error) {
+	return c.sim.specs.Begin(c.proc.id, assumption)
+}
+
+// Commit validates a speculation's assumption.
+func (c *simContext) Commit(specID string) error { return c.sim.specs.Commit(specID) }
+
+// AbortSpec invalidates a speculation: every absorbed process rolls back
+// and receives OnRollback.
+func (c *simContext) AbortSpec(specID, reason string) error {
+	return c.sim.specs.Abort(specID, reason)
+}
+
+// Halt stops the process permanently (normal termination).
+func (c *simContext) Halt() { c.proc.halted = true }

@@ -1,0 +1,639 @@
+package dsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/scroll"
+	"repro/internal/trace"
+)
+
+// pingpong bounces a counter between two processes until Limit rounds.
+type pingpongState struct {
+	Count int
+	Done  bool
+}
+
+type pingpong struct {
+	st     pingpongState
+	peer   string
+	opener bool
+	limit  int
+}
+
+func (m *pingpong) State() any { return &m.st }
+
+func (m *pingpong) Init(ctx Context) {
+	if m.opener {
+		ctx.Send(m.peer, []byte{0})
+	}
+}
+
+func (m *pingpong) OnMessage(ctx Context, from string, payload []byte) {
+	m.st.Count++
+	if m.st.Count >= m.limit {
+		m.st.Done = true
+		return
+	}
+	ctx.Send(from, []byte{byte(m.st.Count)})
+}
+
+func (m *pingpong) OnTimer(Context, string)          {}
+func (m *pingpong) OnRollback(Context, RollbackInfo) {}
+
+func newPingPair(limit int) (*pingpong, *pingpong) {
+	a := &pingpong{peer: "b", opener: true, limit: limit}
+	b := &pingpong{peer: "a", limit: limit}
+	return a, b
+}
+
+func TestPingPongDelivery(t *testing.T) {
+	s := New(Config{Seed: 1})
+	a, b := newPingPair(6)
+	s.AddProcess("a", a)
+	s.AddProcess("b", b)
+	stats := s.Run()
+	// Deliveries alternate b,a,b,a,...; the opener's peer reaches the limit
+	// first, after 2*limit-1 total deliveries.
+	if got := a.st.Count + b.st.Count; got != 11 {
+		t.Errorf("total count = %d, want 11", got)
+	}
+	if stats.Delivered != 11 {
+		t.Errorf("delivered = %d, want 11", stats.Delivered)
+	}
+	if !a.st.Done && !b.st.Done {
+		t.Error("neither side finished")
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func() ([]scroll.Record, string) {
+		s := New(Config{Seed: 42, MaxLatency: 20})
+		a, b := newPingPair(10)
+		s.AddProcess("a", a)
+		s.AddProcess("b", b)
+		s.Run()
+		return s.MergedScroll(), fmt.Sprintf("%+v%+v", a.st, b.st)
+	}
+	recs1, st1 := run()
+	recs2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("final states differ: %s vs %s", st1, st2)
+	}
+	if len(recs1) != len(recs2) {
+		t.Fatalf("scroll lengths differ: %d vs %d", len(recs1), len(recs2))
+	}
+	for i := range recs1 {
+		if recs1[i].Proc != recs2[i].Proc || recs1[i].Kind != recs2[i].Kind ||
+			recs1[i].Lamport != recs2[i].Lamport || recs1[i].MsgID != recs2[i].MsgID {
+			t.Fatalf("record %d differs: %+v vs %+v", i, recs1[i], recs2[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	final := func(seed int64) uint64 {
+		s := New(Config{Seed: seed, MaxLatency: 50})
+		a, b := newPingPair(10)
+		s.AddProcess("a", a)
+		s.AddProcess("b", b)
+		s.Run()
+		// The message ordering itself is the same here (sequential
+		// ping-pong), so compare virtual completion times instead.
+		return s.Now()
+	}
+	if final(1) == final(2) {
+		t.Skip("seeds coincided; latency draw happened to match")
+	}
+}
+
+// timerMachine counts timer fires.
+type timerMachine struct {
+	st struct{ Fires int }
+}
+
+func (m *timerMachine) State() any { return &m.st }
+func (m *timerMachine) Init(ctx Context) {
+	ctx.SetTimer("tick", 5)
+	ctx.SetTimer("tock", 10)
+}
+func (m *timerMachine) OnMessage(Context, string, []byte) {}
+func (m *timerMachine) OnTimer(ctx Context, name string) {
+	m.st.Fires++
+	if name == "tick" && m.st.Fires < 4 {
+		ctx.SetTimer("tick", 5)
+	}
+}
+func (m *timerMachine) OnRollback(Context, RollbackInfo) {}
+
+func TestTimers(t *testing.T) {
+	s := New(Config{Seed: 1})
+	m := &timerMachine{}
+	s.AddProcess("t", m)
+	stats := s.Run()
+	if m.st.Fires != 4 { // tick at 5,10,15 (3 fires, stops at 4 incl tock) + tock at 10
+		t.Errorf("fires = %d, want 4", m.st.Fires)
+	}
+	if stats.TimerFires != 4 {
+		t.Errorf("stats.TimerFires = %d", stats.TimerFires)
+	}
+}
+
+// counter machine: receives "inc" messages, writes its count into the heap,
+// checkpoints at a threshold, and reports a fault at a trigger value.
+type counterState struct {
+	Count    int
+	Alt      bool // set when taking the alternate path after rollback
+	Rolledby string
+}
+
+type counterMachine struct {
+	st         counterState
+	ckptAt     int
+	faultAt    int
+	haltAfter  int
+	checkpoint string
+}
+
+func (m *counterMachine) State() any   { return &m.st }
+func (m *counterMachine) Init(Context) {}
+
+func (m *counterMachine) OnMessage(ctx Context, from string, payload []byte) {
+	m.st.Count++
+	ctx.Heap().WriteUint64(0, uint64(m.st.Count))
+	if m.ckptAt > 0 && m.st.Count == m.ckptAt {
+		m.checkpoint = ctx.Checkpoint("manual")
+	}
+	if m.faultAt > 0 && m.st.Count == m.faultAt {
+		ctx.Fault(fmt.Sprintf("count reached %d", m.st.Count))
+	}
+	if m.haltAfter > 0 && m.st.Count >= m.haltAfter {
+		ctx.Halt()
+	}
+}
+
+func (m *counterMachine) OnTimer(Context, string) {}
+func (m *counterMachine) OnRollback(ctx Context, info RollbackInfo) {
+	m.st.Alt = true
+	m.st.Rolledby = info.Reason
+}
+
+// driver sends n inc messages to a target at Init.
+type driver struct {
+	st     struct{ Sent int }
+	target string
+	n      int
+}
+
+func (d *driver) State() any { return &d.st }
+func (d *driver) Init(ctx Context) {
+	for i := 0; i < d.n; i++ {
+		ctx.Send(d.target, []byte("inc"))
+		d.st.Sent++
+	}
+}
+func (d *driver) OnMessage(Context, string, []byte) {}
+func (d *driver) OnTimer(Context, string)           {}
+func (d *driver) OnRollback(Context, RollbackInfo)  {}
+
+func TestManualCheckpointAndRollbackTo(t *testing.T) {
+	s := New(Config{Seed: 3})
+	c := &counterMachine{ckptAt: 4}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 10})
+	s.Run()
+	if c.st.Count != 10 {
+		t.Fatalf("count = %d, want 10", c.st.Count)
+	}
+	ck := s.Store().Latest("ctr")
+	if ck == nil {
+		t.Fatal("no checkpoint stored")
+	}
+	if err := s.RollbackTo(map[string]string{"ctr": ck.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if c.st.Count != 4 {
+		t.Errorf("count after rollback = %d, want 4", c.st.Count)
+	}
+	if got := s.Heap("ctr").ReadUint64(0); got != 4 {
+		t.Errorf("heap after rollback = %d, want 4", got)
+	}
+	if !c.st.Alt || c.st.Rolledby != "time machine rollback" {
+		t.Errorf("OnRollback not signaled: %+v", c.st)
+	}
+	// Scroll truncated to the checkpoint position.
+	if got := uint64(s.Scroll("ctr").Len()); got != ck.ScrollSeq {
+		t.Errorf("scroll len = %d, want %d", got, ck.ScrollSeq)
+	}
+}
+
+func TestRollbackToUnknownCheckpoint(t *testing.T) {
+	s := New(Config{Seed: 1})
+	s.AddProcess("x", &counterMachine{})
+	if err := s.RollbackTo(map[string]string{"x": "ghost"}); err == nil {
+		t.Error("want error for unknown checkpoint")
+	}
+}
+
+func TestFaultHandlerStopsSim(t *testing.T) {
+	s := New(Config{Seed: 1})
+	c := &counterMachine{faultAt: 3}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 10})
+	var seen []FaultRecord
+	s.FaultHandler = func(_ *Sim, f FaultRecord) bool {
+		seen = append(seen, f)
+		return true
+	}
+	s.Run()
+	if len(seen) != 1 || seen[0].Proc != "ctr" {
+		t.Fatalf("faults = %+v", seen)
+	}
+	if c.st.Count != 3 {
+		t.Errorf("count = %d, want 3 (stopped at fault)", c.st.Count)
+	}
+	if len(s.Faults()) != 1 {
+		t.Errorf("Faults() = %v", s.Faults())
+	}
+}
+
+func TestCICheckpointPolicy(t *testing.T) {
+	s := New(Config{Seed: 1, CICheckpoint: true})
+	c := &counterMachine{}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 5})
+	stats := s.Run()
+	// One checkpoint before each of the 5 deliveries.
+	if stats.Checkpoints != 5 {
+		t.Errorf("checkpoints = %d, want 5", stats.Checkpoints)
+	}
+	if got := len(s.Store().List("ctr")); got != 5 {
+		t.Errorf("stored = %d, want 5", got)
+	}
+}
+
+func TestPeriodicCheckpointPolicy(t *testing.T) {
+	s := New(Config{Seed: 1, CheckpointEvery: 3})
+	c := &counterMachine{}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 9})
+	s.Run()
+	// ctr is index 0 (sorted: ctr < drv -> "ctr","drv"): skew 0, so
+	// checkpoints after deliveries 3, 6, 9.
+	if got := len(s.Store().List("ctr")); got != 3 {
+		t.Errorf("stored = %d, want 3", got)
+	}
+}
+
+func TestCrashAndRestartFromCheckpoint(t *testing.T) {
+	s := New(Config{Seed: 5, MinLatency: 1, MaxLatency: 1})
+	c := &counterMachine{ckptAt: 3}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 6}) // deliveries at t=1..~6
+	s.CrashAt("ctr", 4)
+	s.RestartAt("ctr", 100)
+	stats := s.Run()
+	if stats.Crashes != 1 || stats.Restarts != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// After restart the counter resumes from the checkpoint (count=3);
+	// messages in flight during the crash were dropped.
+	if !c.st.Alt {
+		t.Error("restart should signal OnRollback")
+	}
+	if c.st.Count != 3 {
+		t.Errorf("count = %d, want 3 (restored)", c.st.Count)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	s := New(Config{Seed: 7, DropRate: 1.0})
+	c := &counterMachine{}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 5})
+	stats := s.Run()
+	if stats.Delivered != 0 {
+		t.Errorf("delivered = %d, want 0", stats.Delivered)
+	}
+	if stats.Dropped != 5 {
+		t.Errorf("dropped = %d, want 5", stats.Dropped)
+	}
+	// Sends are still in the scroll (in-transit semantics).
+	sends := 0
+	for _, r := range s.Scroll("drv").Records() {
+		if r.Kind == scroll.KindSend {
+			sends++
+		}
+	}
+	if sends != 5 {
+		t.Errorf("send records = %d, want 5", sends)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	s := New(Config{Seed: 1, MinLatency: 1, MaxLatency: 1})
+	c := &counterMachine{}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 4}) // all delivered at t=1
+	s.Partition([]string{"drv"}, 0, 100)
+	stats := s.Run()
+	if stats.Delivered != 0 || stats.Dropped != 4 {
+		t.Errorf("stats = %+v, want all dropped", stats)
+	}
+}
+
+func TestDupRate(t *testing.T) {
+	s := New(Config{Seed: 9, DupRate: 1.0})
+	c := &counterMachine{}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 3})
+	stats := s.Run()
+	if stats.Delivered != 6 {
+		t.Errorf("delivered = %d, want 6 (all duplicated)", stats.Delivered)
+	}
+	if c.st.Count != 6 {
+		t.Errorf("count = %d", c.st.Count)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(Config{Seed: 1})
+	c := &counterMachine{haltAfter: 2}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 10})
+	stats := s.Run()
+	if c.st.Count != 2 {
+		t.Errorf("count = %d, want 2", c.st.Count)
+	}
+	if stats.Delivered != 2 {
+		t.Errorf("delivered = %d, want 2", stats.Delivered)
+	}
+}
+
+func TestDuplicateProcessPanics(t *testing.T) {
+	s := New(Config{})
+	s.AddProcess("x", &counterMachine{})
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on duplicate process")
+		}
+	}()
+	s.AddProcess("x", &counterMachine{})
+}
+
+// randomUser exercises Random/Now recording.
+type randomUser struct {
+	st struct {
+		Draws []uint64
+		Times []uint64
+	}
+	peer string
+}
+
+func (m *randomUser) State() any { return &m.st }
+func (m *randomUser) Init(ctx Context) {
+	if m.peer != "" {
+		ctx.Send(m.peer, []byte("go"))
+	}
+}
+func (m *randomUser) OnMessage(ctx Context, from string, payload []byte) {
+	m.st.Draws = append(m.st.Draws, ctx.Random())
+	m.st.Times = append(m.st.Times, ctx.Now())
+	v := ctx.Random() % 3
+	ctx.Heap().WriteUint64(int(8*(len(m.st.Draws)%100)), v)
+	if len(m.st.Draws) < 5 {
+		ctx.Send(from, []byte("again"))
+	}
+}
+func (m *randomUser) OnTimer(Context, string)          {}
+func (m *randomUser) OnRollback(Context, RollbackInfo) {}
+
+func TestReplayReproducesExecution(t *testing.T) {
+	s := New(Config{Seed: 11})
+	a := &randomUser{peer: "b"}
+	b := &randomUser{}
+	s.AddProcess("a", a)
+	s.AddProcess("b", b)
+	s.Run()
+
+	liveHash := s.Heap("b").Hash()
+	liveDraws := append([]uint64(nil), b.st.Draws...)
+
+	fresh := &randomUser{}
+	res, err := Replay("b", fresh, s.Scroll("b").Records(), 64<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged {
+		t.Fatalf("replay diverged at %d", res.DivergeAt)
+	}
+	if len(fresh.st.Draws) != len(liveDraws) {
+		t.Fatalf("draws = %d, want %d", len(fresh.st.Draws), len(liveDraws))
+	}
+	for i := range liveDraws {
+		if fresh.st.Draws[i] != liveDraws[i] {
+			t.Errorf("draw %d = %d, want %d", i, fresh.st.Draws[i], liveDraws[i])
+		}
+	}
+	if res.HeapHash != liveHash {
+		t.Errorf("replayed heap hash %x != live %x", res.HeapHash, liveHash)
+	}
+	if res.Events == 0 || res.Sends == 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestReplayDetectsTamperedScroll(t *testing.T) {
+	s := New(Config{Seed: 13})
+	a := &randomUser{peer: "b"}
+	b := &randomUser{}
+	s.AddProcess("a", a)
+	s.AddProcess("b", b)
+	s.Run()
+
+	recs := s.Scroll("b").Records()
+	// Tamper with the second recorded random outcome (the one feeding the
+	// heap write: draw%3) so the replayed heap must differ: (v+1)%3 != v%3.
+	tampered := false
+	seen := 0
+	for i, r := range recs {
+		if r.Kind == scroll.KindRandom {
+			seen++
+			if seen == 2 {
+				v := binary.LittleEndian.Uint64(r.Payload)
+				recs[i].Payload = binary.LittleEndian.AppendUint64(nil, v+1)
+				tampered = true
+				break
+			}
+		}
+	}
+	if !tampered {
+		t.Skip("no random record to tamper")
+	}
+	fresh := &randomUser{}
+	res, err := Replay("b", fresh, recs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The +1 tampering changes a heap write only (draw%3), not sends, so
+	// divergence may not be flagged — but the heap hash must differ from
+	// an untampered replay.
+	clean := &randomUser{}
+	cleanRes, err := Replay("b", clean, s.Scroll("b").Records(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverged && res.HeapHash == cleanRes.HeapHash {
+		t.Error("tampering had no observable effect")
+	}
+}
+
+func TestResumeAfterStop(t *testing.T) {
+	s := New(Config{Seed: 1})
+	c := &counterMachine{faultAt: 3}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 10})
+	s.FaultHandler = func(*Sim, FaultRecord) bool { return true } // stop at fault
+	s.Run()
+	if c.st.Count != 3 {
+		t.Fatalf("count = %d", c.st.Count)
+	}
+	c.faultAt = 0 // "fix" the bug
+	s.Resume()
+	if c.st.Count != 10 {
+		t.Errorf("count after resume = %d, want 10", c.st.Count)
+	}
+}
+
+// specMachine exercises speculation absorb/abort through real messages.
+type specState struct {
+	Applied  int
+	AltPath  bool
+	SpecID   string
+	Rollback string
+}
+
+type specMachine struct {
+	st       specState
+	peer     string
+	initiate bool
+}
+
+func (m *specMachine) State() any { return &m.st }
+func (m *specMachine) Init(ctx Context) {
+	if m.initiate {
+		id, err := ctx.Speculate("peer will accept")
+		if err != nil {
+			panic(err)
+		}
+		m.st.SpecID = id
+		ctx.Send(m.peer, []byte("speculative-data"))
+		ctx.SetTimer("verify", 50)
+	}
+}
+func (m *specMachine) OnMessage(ctx Context, from string, payload []byte) {
+	m.st.Applied++
+	ctx.Heap().WriteUint64(0, uint64(m.st.Applied))
+}
+func (m *specMachine) OnTimer(ctx Context, name string) {
+	if name == "verify" && m.st.SpecID != "" {
+		// Assumption turns out false: abort.
+		ctx.AbortSpec(m.st.SpecID, "peer rejected")
+	}
+}
+func (m *specMachine) OnRollback(ctx Context, info RollbackInfo) {
+	m.st.AltPath = true
+	m.st.Rollback = info.Reason
+}
+
+func TestSpeculationAbortRollsBackBothProcesses(t *testing.T) {
+	s := New(Config{Seed: 2, MinLatency: 1, MaxLatency: 1})
+	init := &specMachine{peer: "recv", initiate: true}
+	recv := &specMachine{}
+	s.AddProcess("init", init)
+	s.AddProcess("recv", recv)
+	s.Run()
+
+	// The receiver consumed the speculative message (Applied=1), then the
+	// abort rolled it back to its absorption checkpoint (Applied=0).
+	if recv.st.Applied != 0 {
+		t.Errorf("receiver Applied = %d, want 0 after rollback", recv.st.Applied)
+	}
+	if got := s.Heap("recv").ReadUint64(0); got != 0 {
+		t.Errorf("receiver heap = %d, want 0", got)
+	}
+	if !recv.st.AltPath || recv.st.Rollback != "peer rejected" {
+		t.Errorf("receiver rollback info = %+v", recv.st)
+	}
+	if !init.st.AltPath {
+		t.Error("initiator should have rolled back too")
+	}
+	st := s.Speculations().Stats()
+	if st.Aborts != 1 || st.Absorptions != 1 || st.Rollbacks != 2 {
+		t.Errorf("spec stats = %+v", st)
+	}
+}
+
+func TestSpeculationCommitKeepsState(t *testing.T) {
+	s := New(Config{Seed: 2, MinLatency: 1, MaxLatency: 1})
+	init := &specMachine{peer: "recv", initiate: true}
+	recv := &specMachine{}
+	// Replace abort with commit by clearing SpecID before the timer...
+	// simpler: use a machine whose timer commits.
+	init2 := &commitMachine{specMachine: init}
+	s.AddProcess("init", init2)
+	s.AddProcess("recv", recv)
+	s.Run()
+	if recv.st.Applied != 1 {
+		t.Errorf("receiver Applied = %d, want 1 (committed)", recv.st.Applied)
+	}
+	if recv.st.AltPath {
+		t.Error("no rollback expected on commit")
+	}
+}
+
+// commitMachine overrides the verify timer to commit instead of abort.
+type commitMachine struct{ *specMachine }
+
+func (m *commitMachine) OnTimer(ctx Context, name string) {
+	if name == "verify" && m.st.SpecID != "" {
+		ctx.Commit(m.st.SpecID)
+	}
+}
+
+func TestFullCheckpointConfig(t *testing.T) {
+	s := New(Config{Seed: 1, FullCheckpoints: true, CICheckpoint: true})
+	c := &counterMachine{}
+	s.AddProcess("ctr", c)
+	s.AddProcess("drv", &driver{target: "ctr", n: 2})
+	s.Run()
+	for _, ck := range s.Store().List("ctr") {
+		if !ck.Snap.Full() {
+			t.Error("expected full snapshots")
+		}
+	}
+}
+
+func TestTraceConsistencyOfFullRun(t *testing.T) {
+	s := New(Config{Seed: 21})
+	a, b := newPingPair(8)
+	s.AddProcess("a", a)
+	s.AddProcess("b", b)
+	s.Run()
+	tr := s.Trace()
+	full := map[string]int{}
+	for p, evs := range tr.ByProcess() {
+		full[p] = len(evs)
+	}
+	cut := make(map[string]int, len(full))
+	for k, v := range full {
+		cut[k] = v
+	}
+	if !traceCut(cut).Consistent(tr) {
+		t.Error("full cut of a completed run must be consistent")
+	}
+}
+
+// traceCut converts a plain map into a trace.Cut.
+func traceCut(m map[string]int) trace.Cut { return trace.Cut(m) }

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// RunE2 reproduces Figure 2 (the Time Machine) and ablation A1: the cost
+// of taking and restoring checkpoints, contrasting eager full-copy
+// snapshots with the speculation-style lightweight COW snapshots (paper
+// §4.2 claim (1): "checkpoints generated using speculations introduce less
+// overhead than certain types of traditional checkpointing").
+//
+// Shape expectation: full-copy cost grows with heap size; COW snapshot
+// cost is near-constant, with the real cost deferred to first-touch page
+// copies — proportional to the dirty fraction, not the heap.
+func RunE2(quick bool) *Table {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Figure 2: the Time Machine — checkpoint cost, full vs COW",
+		Header: []string{"heap KiB", "dirty %", "full ns/ckpt", "cow ns/ckpt", "cow+touch ns", "restore ns", "full/cow"},
+	}
+	heaps := []int{64 << 10, 256 << 10, 1 << 20}
+	dirtyPcts := []int{1, 10, 50, 100}
+	iters := 40
+	if quick {
+		heaps = []int{64 << 10, 256 << 10}
+		dirtyPcts = []int{10, 100}
+		iters = 10
+	}
+	for _, size := range heaps {
+		for _, pct := range dirtyPcts {
+			full, cow, cowTouch, restore := measureCheckpoint(size, pct, iters)
+			ratio := float64(full) / float64(maxI64(cowTouch, 1))
+			t.Add(size>>10, pct, full, cow, cowTouch, restore, ratio)
+		}
+	}
+	t.Note("cow ns/ckpt is the snapshot call alone; cow+touch adds the deferred page copies for the dirty fraction")
+	t.Note("expected shape: full cost scales with heap size; cow+touch scales with dirty pages only (A1)")
+	return t
+}
+
+// measureCheckpoint returns (fullNs, cowNs, cowPlusTouchNs, restoreNs) per
+// operation for the given heap size and dirty percentage.
+func measureCheckpoint(size, dirtyPct, iters int) (int64, int64, int64, int64) {
+	const pageSize = 4096
+	h := checkpoint.NewHeapPages(size, pageSize)
+	pages := size / pageSize
+	dirtyPages := pages * dirtyPct / 100
+	if dirtyPages == 0 {
+		dirtyPages = 1
+	}
+	buf := make([]byte, 8)
+
+	touch := func() {
+		for p := 0; p < dirtyPages; p++ {
+			h.Write(p*pageSize+16, buf)
+		}
+	}
+	// Warm the heap so every page exists.
+	touch()
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		h.FullSnapshot()
+	}
+	fullNs := time.Since(start).Nanoseconds() / int64(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		h.Snapshot()
+	}
+	cowNs := time.Since(start).Nanoseconds() / int64(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		h.Snapshot()
+		touch() // deferred COW copies for the dirty working set
+	}
+	cowTouchNs := time.Since(start).Nanoseconds() / int64(iters)
+
+	snap := h.Snapshot()
+	touch()
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		h.Restore(snap)
+	}
+	restoreNs := time.Since(start).Nanoseconds() / int64(iters)
+	return fullNs, cowNs, cowTouchNs, restoreNs
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+	"repro/internal/heal"
+	"repro/internal/modeld"
+)
+
+// Capability is one column of the paper's Figure 8.
+type Capability int
+
+// The five service dimensions of Figure 8.
+const (
+	Preventive    Capability = iota // finds bugs before deployment
+	Diagnostic                      // explains a concrete failure
+	Treatment                       // repairs / resumes the system
+	Comprehensive                   // covers the space of behaviours, not just one run
+	Opportunistic                   // operates on executions as they happen
+)
+
+// Capabilities in column order.
+var Capabilities = []Capability{Preventive, Diagnostic, Treatment, Comprehensive, Opportunistic}
+
+// String returns the column label.
+func (c Capability) String() string {
+	switch c {
+	case Preventive:
+		return "preventive"
+	case Diagnostic:
+		return "diagnostic"
+	case Treatment:
+		return "treatment"
+	case Comprehensive:
+		return "comprehensive"
+	case Opportunistic:
+		return "opportunistic"
+	default:
+		return fmt.Sprintf("Capability(%d)", int(c))
+	}
+}
+
+// MatrixRow is one technique or tool with its capability set and, for each
+// claimed capability, an executable demonstration.
+type MatrixRow struct {
+	Name  string
+	Techs string // technique composition, e.g. "L & CR"
+	Has   map[Capability]bool
+	Demos map[Capability]func() error
+}
+
+// PaperMatrix returns Figure 8 exactly as printed in the paper. Rows for
+// *tools* carry executable demos proving each √ against this repository's
+// implementations.
+func PaperMatrix() []MatrixRow {
+	row := func(name, techs string, caps ...Capability) MatrixRow {
+		r := MatrixRow{Name: name, Techs: techs, Has: map[Capability]bool{}, Demos: map[Capability]func() error{}}
+		for _, c := range caps {
+			r.Has[c] = true
+		}
+		return r
+	}
+	mc := row("Model Checking (MC)", "MC", Preventive, Comprehensive)
+	logging := row("Logging (L)", "L", Diagnostic, Opportunistic)
+	cr := row("Checkpoint & Rollback (CR)", "CR", Opportunistic)
+	du := row("Dynamic Updates (DU)", "DU", Treatment)
+	spec := row("Speculations (S)", "S", Treatment, Opportunistic)
+
+	liblog := row("liblog (L & CR)", "L & CR", Diagnostic, Opportunistic)
+	liblog.Demos[Diagnostic] = demoLiblogDiagnose
+	liblog.Demos[Opportunistic] = demoLiblogDiagnose // recording happens on the live run
+
+	cmc := row("CMC (MC)", "MC", Opportunistic)
+	cmc.Demos[Opportunistic] = demoCMC
+
+	fixd := row("FixD (MC & L & S & DU)", "MC & L & S & DU",
+		Preventive, Diagnostic, Treatment, Comprehensive, Opportunistic)
+	fixd.Demos[Preventive] = demoFixDPreventive
+	fixd.Demos[Diagnostic] = demoFixDDiagnostic
+	fixd.Demos[Treatment] = demoFixDTreatment
+	fixd.Demos[Comprehensive] = demoFixDComprehensive
+	fixd.Demos[Opportunistic] = demoFixDOpportunistic
+
+	return []MatrixRow{mc, logging, cr, du, spec, liblog, cmc, fixd}
+}
+
+// RunE8 reproduces Figure 8 and executes every tool demo as evidence.
+func RunE8(quick bool) *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Figure 8: characteristics of techniques and tools",
+		Header: []string{"system", "preventive", "diagnostic", "treatment", "comprehensive", "opportunistic", "demos"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "Y"
+		}
+		return "-"
+	}
+	for _, r := range PaperMatrix() {
+		passed, total := 0, 0
+		for _, c := range Capabilities {
+			if demo, ok := r.Demos[c]; ok {
+				total++
+				if demo() == nil {
+					passed++
+				}
+			}
+		}
+		demoCell := "(taxonomy)"
+		if total > 0 {
+			demoCell = fmt.Sprintf("%d/%d pass", passed, total)
+		}
+		t.Add(r.Name, mark(r.Has[Preventive]), mark(r.Has[Diagnostic]), mark(r.Has[Treatment]),
+			mark(r.Has[Comprehensive]), mark(r.Has[Opportunistic]), demoCell)
+	}
+	t.Note("Y/- reproduce the paper's check marks; tool rows carry executable demos against this repo's implementations")
+	return t
+}
+
+// buggy2PC builds a small faulty run shared by the demos.
+func buggy2PC() (*dsim.Sim, map[string]func() dsim.Machine, apps.TwoPCConfig) {
+	cfg := apps.TwoPCConfig{
+		Participants: 2, NoVoters: []int{1}, SlowVoters: []int{1},
+		Timeout: 10, VoteDelay: 100, Buggy: true,
+	}
+	s := dsim.New(dsim.Config{Seed: 1, MinLatency: 1, MaxLatency: 2, MaxSteps: 5000, CICheckpoint: true})
+	for id, m := range apps.NewTwoPC(cfg) {
+		s.AddProcess(id, m)
+	}
+	factories := map[string]func() dsim.Machine{}
+	for id := range apps.NewTwoPC(cfg) {
+		id := id
+		factories[id] = func() dsim.Machine { return apps.NewTwoPC(cfg)[id] }
+	}
+	return s, factories, cfg
+}
+
+func demoLiblogDiagnose() error {
+	s, factories, _ := buggy2PC()
+	s.Run()
+	d, err := baselines.Diagnose(s, apps.PartName(1), factories[apps.PartName(1)]())
+	if err != nil {
+		return err
+	}
+	if d.Diverged || len(d.Faults) == 0 {
+		return fmt.Errorf("diagnosis incomplete: %+v", d)
+	}
+	return nil
+}
+
+func demoCMC() error {
+	_, factories, _ := buggy2PC()
+	rep, err := baselines.CMCCheck(factories, []fault.GlobalInvariant{apps.TwoPCAtomicity()}, 50_000, 40)
+	if err != nil {
+		return err
+	}
+	if rep.Violations == 0 {
+		return fmt.Errorf("CMC missed the bug")
+	}
+	return nil
+}
+
+func demoFixDPreventive() error {
+	// Verify an abstract guarded-command model before deployment.
+	root, engine := mutexModel(3)
+	res := engine.Explore(root, modeld.Options{Strategy: modeld.BFS, MaxStates: 500_000})
+	if len(res.Violations) != 0 || res.Truncated {
+		return fmt.Errorf("preventive verification failed: %d violations", len(res.Violations))
+	}
+	return nil
+}
+
+func demoFixDDiagnostic() error {
+	s, factories, _ := buggy2PC()
+	coord := core.NewCoordinator(s, factories, core.Config{
+		Invariants:           []fault.GlobalInvariant{apps.TwoPCAtomicity()},
+		StopAtFirstViolation: true, MaxStates: 50_000, MaxDepth: 40,
+	})
+	resp := coord.RunProtected()
+	if resp == nil || !resp.Investigation.Violating() {
+		return fmt.Errorf("no violation trail produced")
+	}
+	return nil
+}
+
+func demoFixDTreatment() error {
+	s, factories, cfg := buggy2PC()
+	fixedCfg := cfg
+	fixedCfg.Buggy = false
+	fixedFactories := map[string]func() dsim.Machine{}
+	for id := range apps.NewTwoPC(fixedCfg) {
+		id := id
+		fixedFactories[id] = func() dsim.Machine { return apps.NewTwoPC(fixedCfg)[id] }
+	}
+	_ = factories
+	s.Run()
+	line := heal.LatestLine(s, s.Procs())
+	if line == nil {
+		return fmt.Errorf("no recovery line")
+	}
+	rep, err := heal.Apply(s, line, heal.Program{Version: "fixed", Factories: fixedFactories}, nil, heal.VerifyOptions{})
+	if err != nil {
+		return err
+	}
+	if !rep.Verified() {
+		return fmt.Errorf("update refused: %v", rep.Failures)
+	}
+	return nil
+}
+
+func demoFixDComprehensive() error {
+	// The Investigator must exhaust the bounded state space (not a single
+	// path) and return the complete set of violating trails within it.
+	s, factories, _ := buggy2PC()
+	coord := core.NewCoordinator(s, factories, core.Config{
+		Invariants: []fault.GlobalInvariant{apps.TwoPCAtomicity()},
+		MaxStates:  200_000, MaxDepth: 32,
+	})
+	resp := coord.RunProtected()
+	if resp == nil {
+		return fmt.Errorf("no fault")
+	}
+	if resp.Investigation.Truncated {
+		return fmt.Errorf("exploration truncated")
+	}
+	if !resp.Investigation.Violating() {
+		return fmt.Errorf("no trails")
+	}
+	return nil
+}
+
+func demoFixDOpportunistic() error {
+	// Live speculation rollback on a concrete run: the receiver is
+	// absorbed, the abort rolls both back.
+	s := dsim.New(dsim.Config{Seed: 2, MinLatency: 1, MaxLatency: 1})
+	ms := apps.NewBank(apps.BankConfig{Branches: 2, AccountsPer: 2, InitialBalance: 100, Transfers: 0})
+	for id, m := range ms {
+		s.AddProcess(id, m)
+	}
+	s.Run()
+	specs := s.Speculations()
+	id, err := specs.Begin(apps.BankProcName(0), "demo assumption")
+	if err != nil {
+		return err
+	}
+	if err := specs.OnDeliver(apps.BankProcName(1), []string{id}); err != nil {
+		return err
+	}
+	if err := specs.Abort(id, "assumption false"); err != nil {
+		return err
+	}
+	if st := specs.Stats(); st.Rollbacks != 2 {
+		return fmt.Errorf("rollbacks = %d, want 2", st.Rollbacks)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+// Package fault provides fault injection plans and fault detectors for
+// simulated distributed applications.
+//
+// FixD's pipeline starts when "one process (or potentially more than one)
+// detects a fault locally" (paper §3.3). This package supplies the two
+// standard local detection mechanisms — invariant monitors over process
+// state and heartbeat-based crash detection — plus a declarative injection
+// plan used by the experiments to provoke the faults in the first place.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dsim"
+)
+
+// Kind classifies injected faults.
+type Kind int
+
+// Injected fault kinds.
+const (
+	Crash     Kind = iota // process stops executing
+	Restart               // crashed process restarts from its checkpoint
+	Partition             // network split for a time window
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case Partition:
+		return "partition"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injection is one planned fault.
+type Injection struct {
+	Kind  Kind
+	Proc  string   // Crash/Restart target
+	Group []string // Partition group A
+	At    uint64   // virtual time (start, for Partition)
+	Until uint64   // Partition end
+}
+
+// Plan is a reproducible fault schedule.
+type Plan struct {
+	Injections []Injection
+}
+
+// Apply arms every injection on the simulation. Call before Sim.Run.
+func (p *Plan) Apply(s *dsim.Sim) {
+	for _, inj := range p.Injections {
+		switch inj.Kind {
+		case Crash:
+			s.CrashAt(inj.Proc, inj.At)
+		case Restart:
+			s.RestartAt(inj.Proc, inj.At)
+		case Partition:
+			s.Partition(inj.Group, inj.At, inj.Until)
+		}
+	}
+}
+
+// CrashRestart builds a plan that crashes proc at t and restarts it at t2.
+func CrashRestart(proc string, t, t2 uint64) *Plan {
+	return &Plan{Injections: []Injection{
+		{Kind: Crash, Proc: proc, At: t},
+		{Kind: Restart, Proc: proc, At: t2},
+	}}
+}
+
+// GlobalInvariant is a safety property over the decoded machine states of
+// all processes (proc -> raw JSON state).
+type GlobalInvariant struct {
+	Name  string
+	Holds func(states map[string]json.RawMessage) bool
+}
+
+// Violation is a failed global invariant check.
+type Violation struct {
+	Invariant string
+	Time      uint64
+}
+
+// Monitor evaluates global invariants against a simulation's current
+// machine states. It is the omniscient-observer counterpart to the local
+// Context.Fault mechanism; experiments use it as ground truth.
+type Monitor struct {
+	invariants []GlobalInvariant
+}
+
+// NewMonitor returns a monitor with the given invariants.
+func NewMonitor(invs ...GlobalInvariant) *Monitor {
+	return &Monitor{invariants: invs}
+}
+
+// Check evaluates all invariants and returns the violations found.
+func (m *Monitor) Check(s *dsim.Sim) []Violation {
+	states := make(map[string]json.RawMessage)
+	for _, id := range s.Procs() {
+		states[id] = json.RawMessage(s.MachineState(id))
+	}
+	var out []Violation
+	for _, inv := range m.invariants {
+		if !inv.Holds(states) {
+			out = append(out, Violation{Invariant: inv.Name, Time: s.Now()})
+		}
+	}
+	return out
+}
+
+// heartbeatState is the serializable state of a HeartbeatMonitor.
+type heartbeatState struct {
+	LastSeen map[string]uint64 // peer -> last heartbeat virtual time
+	Reported map[string]bool   // peers already declared dead
+}
+
+// HeartbeatMonitor is a dsim machine that watches peers for periodic
+// heartbeats and reports a Fault when one goes silent for more than
+// Timeout ticks — the classic local crash detector.
+type HeartbeatMonitor struct {
+	st       heartbeatState
+	Peers    []string
+	Interval uint64 // check period
+	Timeout  uint64 // silence threshold
+}
+
+// State implements dsim.Machine.
+func (m *HeartbeatMonitor) State() any { return &m.st }
+
+// Init starts the periodic check timer.
+func (m *HeartbeatMonitor) Init(ctx dsim.Context) {
+	m.st.LastSeen = make(map[string]uint64)
+	m.st.Reported = make(map[string]bool)
+	ctx.SetTimer("hb-check", m.Interval)
+}
+
+// OnMessage records a peer heartbeat.
+func (m *HeartbeatMonitor) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	if string(payload) == "hb" {
+		m.st.LastSeen[from] = ctx.Now()
+	}
+}
+
+// OnTimer checks for silent peers and re-arms the timer.
+func (m *HeartbeatMonitor) OnTimer(ctx dsim.Context, name string) {
+	if name != "hb-check" {
+		return
+	}
+	now := ctx.Now()
+	for _, p := range m.Peers {
+		last, seen := m.st.LastSeen[p]
+		if m.st.Reported[p] {
+			continue
+		}
+		if (seen && now-last > m.Timeout) || (!seen && now > m.Timeout) {
+			m.st.Reported[p] = true
+			ctx.Fault(fmt.Sprintf("heartbeat: peer %s silent for > %d ticks", p, m.Timeout))
+		}
+	}
+	ctx.SetTimer("hb-check", m.Interval)
+}
+
+// OnRollback clears suspicion state so a restored monitor re-evaluates.
+func (m *HeartbeatMonitor) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {}
+
+// Heartbeater is a dsim machine that sends periodic heartbeats to a
+// monitor.
+type Heartbeater struct {
+	st       struct{ Sent int }
+	Monitor  string
+	Interval uint64
+}
+
+// State implements dsim.Machine.
+func (h *Heartbeater) State() any { return &h.st }
+
+// Init sends the first heartbeat and arms the timer.
+func (h *Heartbeater) Init(ctx dsim.Context) {
+	ctx.Send(h.Monitor, []byte("hb"))
+	h.st.Sent++
+	ctx.SetTimer("hb", h.Interval)
+}
+
+// OnMessage ignores input.
+func (h *Heartbeater) OnMessage(dsim.Context, string, []byte) {}
+
+// OnTimer sends the next heartbeat.
+func (h *Heartbeater) OnTimer(ctx dsim.Context, name string) {
+	if name != "hb" {
+		return
+	}
+	ctx.Send(h.Monitor, []byte("hb"))
+	h.st.Sent++
+	ctx.SetTimer("hb", h.Interval)
+}
+
+// OnRollback does nothing; heartbeats resume from the restored state.
+func (h *Heartbeater) OnRollback(dsim.Context, dsim.RollbackInfo) {}

@@ -1,0 +1,126 @@
+package guard
+
+import (
+	"testing"
+
+	"repro/internal/modeld"
+)
+
+func TestVarsKeyCanonical(t *testing.T) {
+	a := Vars{"x": 1, "y": 2}
+	b := Vars{"y": 2, "x": 1}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if got, want := a.Key(), "x=1,y=2"; got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+}
+
+func TestVarsCloneIndependent(t *testing.T) {
+	a := Vars{"x": 1}
+	c := a.Clone().(Vars)
+	c.Set("x", 9)
+	if a.Get("x") != 1 {
+		t.Error("Clone aliased")
+	}
+}
+
+func TestMutexModel(t *testing.T) {
+	// Two processes compete for a critical section with a broken protocol:
+	// the check ("is the other in the CS?") and the set ("enter") are
+	// separate steps, so both can pass the check before either enters —
+	// exactly the scheduling bug class model checking excels at (paper §2.1).
+	m := NewModel().
+		Init("ready0", 0).Init("ready1", 0).Init("cs0", 0).Init("cs1", 0)
+	m.Action("p0-check").When(func(v Vars) bool { return v.Get("ready0") == 0 && v.Get("cs0") == 0 && v.Get("cs1") == 0 }).
+		Do(func(v Vars) { v.Set("ready0", 1) })
+	m.Action("p0-enter").When(func(v Vars) bool { return v.Get("ready0") == 1 }).
+		Do(func(v Vars) { v.Set("cs0", 1); v.Set("ready0", 0) })
+	m.Action("p0-leave").When(func(v Vars) bool { return v.Get("cs0") == 1 }).
+		Do(func(v Vars) { v.Set("cs0", 0) })
+	m.Action("p1-check").When(func(v Vars) bool { return v.Get("ready1") == 0 && v.Get("cs0") == 0 && v.Get("cs1") == 0 }).
+		Do(func(v Vars) { v.Set("ready1", 1) })
+	m.Action("p1-enter").When(func(v Vars) bool { return v.Get("ready1") == 1 }).
+		Do(func(v Vars) { v.Set("cs1", 1); v.Set("ready1", 0) })
+	m.Action("p1-leave").When(func(v Vars) bool { return v.Get("cs1") == 1 }).
+		Do(func(v Vars) { v.Set("cs1", 0) })
+	m.Invariant("mutual-exclusion", func(v Vars) bool {
+		return !(v.Get("cs0") == 1 && v.Get("cs1") == 1)
+	})
+
+	root, engine := m.Build()
+	res := engine.Explore(root, modeld.Options{Strategy: modeld.BFS})
+	if len(res.Violations) == 0 {
+		t.Fatal("broken mutex should violate mutual exclusion")
+	}
+	v := res.ShortestViolation()
+	if len(v.Trail) == 0 {
+		t.Error("violation without trail")
+	}
+}
+
+func TestCorrectProtocolNoViolation(t *testing.T) {
+	// Fixed protocol: entering requires the other is neither in CS nor
+	// wanting with priority. Simple alternating token.
+	m := NewModel().Init("token", 0).Init("cs0", 0).Init("cs1", 0)
+	m.Action("p0-enter").When(func(v Vars) bool { return v.Get("token") == 0 && v.Get("cs0") == 0 }).
+		Do(func(v Vars) { v.Set("cs0", 1) })
+	m.Action("p0-leave").When(func(v Vars) bool { return v.Get("cs0") == 1 }).
+		Do(func(v Vars) { v.Set("cs0", 0); v.Set("token", 1) })
+	m.Action("p1-enter").When(func(v Vars) bool { return v.Get("token") == 1 && v.Get("cs1") == 0 }).
+		Do(func(v Vars) { v.Set("cs1", 1) })
+	m.Action("p1-leave").When(func(v Vars) bool { return v.Get("cs1") == 1 }).
+		Do(func(v Vars) { v.Set("cs1", 0); v.Set("token", 0) })
+	m.Invariant("mutual-exclusion", func(v Vars) bool {
+		return !(v.Get("cs0") == 1 && v.Get("cs1") == 1)
+	})
+	root, engine := m.Build()
+	res := engine.Explore(root, modeld.Options{Strategy: modeld.BFS})
+	if len(res.Violations) != 0 {
+		t.Errorf("token protocol should be safe, got %v", res.Violations)
+	}
+	if res.StatesVisited == 0 || res.Truncated {
+		t.Errorf("unexpected result %+v", res)
+	}
+}
+
+func TestDefaultGuardAlwaysEnabled(t *testing.T) {
+	m := NewModel().Init("n", 0)
+	m.Action("inc").Do(func(v Vars) {
+		if v.Get("n") < 3 {
+			v.Set("n", v.Get("n")+1)
+		}
+	})
+	root, engine := m.Build()
+	res := engine.Explore(root, modeld.Options{Strategy: modeld.BFS})
+	if res.StatesVisited != 4 {
+		t.Errorf("states = %d, want 4", res.StatesVisited)
+	}
+}
+
+func TestDoBranch(t *testing.T) {
+	m := NewModel().Init("n", 0)
+	m.Action("flip").When(func(v Vars) bool { return v.Get("n") == 0 }).
+		DoBranch(func(v Vars) []Vars {
+			a := v.Clone().(Vars)
+			a.Set("n", 1)
+			b := v.Clone().(Vars)
+			b.Set("n", 2)
+			return []Vars{a, b}
+		})
+	root, engine := m.Build()
+	res := engine.Explore(root, modeld.Options{Strategy: modeld.BFS})
+	if res.StatesVisited != 3 {
+		t.Errorf("states = %d, want 3", res.StatesVisited)
+	}
+}
+
+func TestInitialCopy(t *testing.T) {
+	m := NewModel().Init("x", 5)
+	v := m.Initial()
+	v.Set("x", 9)
+	if m.Initial().Get("x") != 5 {
+		t.Error("Initial returned aliased state")
+	}
+}

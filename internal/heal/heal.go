@@ -1,0 +1,300 @@
+// Package heal implements the Healer, FixD's fourth component (paper §3.4,
+// §4.4, Fig. 5).
+//
+// Once the Investigator has produced violation trails and the programmer
+// has prepared corrected code (a new Program version), there are two
+// recovery options:
+//
+//   - Restart: run the corrected program from the initial state — simple,
+//     but all computation performed so far is lost.
+//   - Update: roll the system back to a stable checkpoint where all
+//     invariants hold and resume with the corrected code dynamically
+//     injected, preserving the work up to the checkpoint.
+//
+// Dynamic update must not break type safety or invalidate invariants
+// (paper §3.4). The Ginseng-inspired safety pipeline here is three-staged:
+// the new machine must accept the mapped state (type safety), the mapped
+// global state must satisfy the invariants (state equivalence at the
+// update point), and optionally a bounded model-checking run of the
+// updated program from the mapped state must be violation-free (the
+// "automatically verified" equivalence of §4.4).
+package heal
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+	"repro/internal/investigate"
+	"repro/internal/recovery"
+)
+
+// Program is a versioned set of process implementations.
+type Program struct {
+	Version   string
+	Factories map[string]func() dsim.Machine
+}
+
+// StateMapper transforms a process's checkpointed state (old program
+// format, JSON) into the new program's format. Identity if nil.
+type StateMapper func(proc string, old []byte) ([]byte, error)
+
+// VerifyOptions controls the safety checks performed before an update is
+// applied.
+type VerifyOptions struct {
+	// Invariants must hold on the mapped global state.
+	Invariants []fault.GlobalInvariant
+	// ExploreDepth > 0 runs a bounded exploration of the updated program
+	// from the mapped state and requires it violation-free.
+	ExploreDepth int
+	// MaxStates bounds that exploration (default 5000).
+	MaxStates int
+}
+
+// Report describes the outcome of a recovery.
+type Report struct {
+	Mode          string // "update" or "restart"
+	Version       string
+	Line          map[string]string // recovery line used (update mode)
+	TypeSafe      bool
+	InvariantsOK  bool
+	ExploreOK     bool
+	ExploreStates int
+	Failures      []string // reasons the update was refused
+}
+
+// Verified reports whether every requested check passed.
+func (r *Report) Verified() bool { return len(r.Failures) == 0 }
+
+// Restart builds a fresh simulation running the corrected program from its
+// initial state — recovery option one (paper §3.4).
+func Restart(cfg dsim.Config, prog Program) (*dsim.Sim, *Report) {
+	s := dsim.New(cfg)
+	ids := make([]string, 0, len(prog.Factories))
+	for id := range prog.Factories {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s.AddProcess(id, prog.Factories[id]())
+	}
+	return s, &Report{Mode: "restart", Version: prog.Version, TypeSafe: true, InvariantsOK: true, ExploreOK: true}
+}
+
+// Apply performs a dynamic update on a live simulation: roll back to the
+// recovery line (proc -> checkpoint ID), verify safety, and swap in the
+// corrected program with mapped states — recovery option two. If any check
+// fails, the simulation is left untouched and the report lists the
+// failures.
+func Apply(s *dsim.Sim, line map[string]string, prog Program, mapper StateMapper, opts VerifyOptions) (*Report, error) {
+	rep := &Report{Mode: "update", Version: prog.Version, Line: line}
+	if mapper == nil {
+		mapper = func(_ string, old []byte) ([]byte, error) { return old, nil }
+	}
+	procs := make([]string, 0, len(line))
+	for id := range line {
+		procs = append(procs, id)
+	}
+	sort.Strings(procs)
+
+	// Stage 0: gather and map the checkpointed states.
+	mapped := make(map[string][]byte, len(line))
+	heaps := make(map[string]*investigate.ProcModel)
+	for _, id := range procs {
+		ck := s.Store().Get(line[id])
+		if ck == nil {
+			return nil, fmt.Errorf("heal: unknown checkpoint %q for %s", line[id], id)
+		}
+		if ck.Proc != id {
+			return nil, fmt.Errorf("heal: checkpoint %q belongs to %s, not %s", line[id], ck.Proc, id)
+		}
+		m, err := mapper(id, ck.Extra)
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("state mapping for %s: %v", id, err))
+			continue
+		}
+		mapped[id] = m
+		f, ok := prog.Factories[id]
+		if !ok {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("program %s has no implementation for %s", prog.Version, id))
+			continue
+		}
+		heaps[id] = &investigate.ProcModel{Proc: id, New: f, State: m, Heap: ck.Snap}
+	}
+	if len(rep.Failures) > 0 {
+		return rep, nil
+	}
+
+	// Stage 1: type safety — the new implementation must accept the mapped
+	// state.
+	rep.TypeSafe = true
+	for _, id := range procs {
+		probe := prog.Factories[id]()
+		if err := json.Unmarshal(mapped[id], probe.State()); err != nil {
+			rep.TypeSafe = false
+			rep.Failures = append(rep.Failures, fmt.Sprintf("type safety: %s rejects mapped state: %v", id, err))
+		}
+	}
+	if !rep.TypeSafe {
+		return rep, nil
+	}
+
+	// Stage 2: the mapped global state must satisfy the invariants.
+	rep.InvariantsOK = true
+	states := make(map[string]json.RawMessage, len(mapped))
+	for id, b := range mapped {
+		states[id] = json.RawMessage(b)
+	}
+	for _, inv := range opts.Invariants {
+		if !inv.Holds(states) {
+			rep.InvariantsOK = false
+			rep.Failures = append(rep.Failures, fmt.Sprintf("invariant %q fails at the update point", inv.Name))
+		}
+	}
+	if !rep.InvariantsOK {
+		return rep, nil
+	}
+
+	// Stage 3: optional bounded exploration of the updated program.
+	rep.ExploreOK = true
+	if opts.ExploreDepth > 0 {
+		models := make([]investigate.ProcModel, 0, len(heaps))
+		for _, id := range procs {
+			models = append(models, *heaps[id])
+		}
+		maxStates := opts.MaxStates
+		if maxStates <= 0 {
+			maxStates = 5000
+		}
+		irep, err := investigate.Run(models, nil, nil, investigate.Config{
+			Invariants:                 opts.Invariants,
+			TreatLocalFaultAsViolation: true,
+			StopAtFirstViolation:       true,
+			MaxDepth:                   opts.ExploreDepth,
+			MaxStates:                  maxStates,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("heal: verification exploration: %w", err)
+		}
+		rep.ExploreStates = irep.StatesExplored
+		if irep.Violating() {
+			rep.ExploreOK = false
+			tr := irep.ShortestTrail()
+			rep.Failures = append(rep.Failures, fmt.Sprintf("updated program still violates %q within depth %d", tr.Invariant, opts.ExploreDepth))
+		}
+	}
+	if !rep.ExploreOK {
+		return rep, nil
+	}
+
+	// All checks passed: roll back and inject the corrected code.
+	if err := s.RollbackTo(line); err != nil {
+		return nil, fmt.Errorf("heal: rollback: %w", err)
+	}
+	for _, id := range procs {
+		if err := s.ReplaceMachine(id, prog.Factories[id](), mapped[id]); err != nil {
+			return nil, fmt.Errorf("heal: inject: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// LatestLine builds a recovery line from each process's most recent
+// checkpoint. It returns nil if any process lacks one.
+func LatestLine(s *dsim.Sim, procs []string) map[string]string {
+	line := make(map[string]string, len(procs))
+	for _, id := range procs {
+		ck := s.Store().Latest(id)
+		if ck == nil {
+			return nil
+		}
+		line[id] = ck.ID
+	}
+	return line
+}
+
+// VerifiedLine finds the most recent recovery line that is both globally
+// consistent (no orphan messages, by vector-clock analysis) and satisfies
+// every given invariant — the state the paper requires for resumption: "a
+// previously saved checkpoint where all invariants are satisfied" (§3.4).
+// It walks backwards, discarding the newest offending checkpoint until a
+// verified line emerges, and returns nil if none exists (callers should
+// then restart from scratch).
+func VerifiedLine(s *dsim.Sim, invariants []fault.GlobalInvariant) map[string]string {
+	// Processes without any checkpoint are left out of the line (they are
+	// not rolled back; RollbackTo re-delivers their in-transit sends).
+	// Invariant functions receive only the line members' states and must
+	// tolerate absent processes.
+	lists := make(map[string][]*checkpoint.Checkpoint)
+	for _, id := range s.Procs() {
+		if cks := s.Store().List(id); len(cks) > 0 {
+			lists[id] = cks
+		}
+	}
+	if len(lists) == 0 {
+		return nil
+	}
+	for {
+		metas := make(map[string][]recovery.CkptMeta, len(lists))
+		byID := make(map[string]*checkpoint.Checkpoint)
+		for id, cks := range lists {
+			if len(cks) == 0 {
+				return nil
+			}
+			ms := make([]recovery.CkptMeta, len(cks))
+			for i, ck := range cks {
+				ms[i] = recovery.CkptMeta{ID: ck.ID, Proc: id, Index: i, Clock: ck.Clock}
+				byID[ck.ID] = ck
+			}
+			metas[id] = ms
+		}
+		set := recovery.MaxConsistentSet(metas)
+		if set == nil {
+			return nil
+		}
+		states := make(map[string]json.RawMessage, len(set))
+		for _, meta := range set {
+			states[meta.Proc] = json.RawMessage(byID[meta.ID].Extra)
+		}
+		ok := true
+		for _, inv := range invariants {
+			if !inv.Holds(states) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			line := make(map[string]string, len(set))
+			for _, meta := range set {
+				line[meta.Proc] = meta.ID
+			}
+			return line
+		}
+		// Discard the newest checkpoint in the offending set and retry.
+		newestProc, newestTime := "", uint64(0)
+		for _, meta := range set {
+			ck := byID[meta.ID]
+			if newestProc == "" || ck.Time >= newestTime {
+				newestProc, newestTime = meta.Proc, ck.Time
+			}
+		}
+		cks := lists[newestProc]
+		// The set member is the last *consistent* one; trim the list so it
+		// (and anything after it) is no longer considered.
+		var target string
+		for _, meta := range set {
+			if meta.Proc == newestProc {
+				target = meta.ID
+			}
+		}
+		for i, ck := range cks {
+			if ck.ID == target {
+				lists[newestProc] = cks[:i]
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package investigate
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/dsim"
+)
+
+// sandboxUser exercises every Context facility inside the explorer.
+type sandboxUserState struct {
+	Draws  int
+	Times  int
+	HeapOK bool
+	Specs  int
+	Logged int
+	Done   bool
+}
+
+type sandboxUser struct{ st sandboxUserState }
+
+func (m *sandboxUser) State() any            { return &m.st }
+func (m *sandboxUser) Init(ctx dsim.Context) {}
+
+func (m *sandboxUser) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	if ctx.Self() != "user" {
+		return
+	}
+	v1, v2 := ctx.Random(), ctx.Random()
+	if v1 != v2 {
+		m.st.Draws += 2
+	}
+	_ = ctx.Now()
+	m.st.Times++
+	ctx.Heap().WriteUint64(0, v1)
+	m.st.HeapOK = ctx.Heap().ReadUint64(0) == v1
+	if id, err := ctx.Speculate("sandbox"); err == nil && id != "" {
+		m.st.Specs++
+		ctx.Commit(id)
+		ctx.AbortSpec(id, "x") // no-op in sandbox
+	}
+	ctx.Log("step %d", m.st.Draws)
+	m.st.Logged++
+	ctx.Checkpoint("probe")
+	m.st.Done = true
+	ctx.Halt()
+}
+
+func (m *sandboxUser) OnTimer(dsim.Context, string)               {}
+func (m *sandboxUser) OnRollback(dsim.Context, dsim.RollbackInfo) {}
+
+func TestSandboxContextFacilities(t *testing.T) {
+	models := []ProcModel{{
+		Proc: "user",
+		New:  func() dsim.Machine { return &sandboxUser{} },
+	}}
+	rep, err := Run(models, []Msg{{From: "env", To: "user", Payload: []byte("go")}}, nil, Config{
+		MaxStates: 100, MaxDepth: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatesExplored < 2 {
+		t.Fatalf("states = %d", rep.StatesExplored)
+	}
+	// Halted processes stop consuming: re-delivery is modeled as consumed.
+	if rep.Deadlocks == 0 {
+		t.Error("halted end state should deadlock (no enabled actions)")
+	}
+}
+
+func TestModelDupEnlargesSpace(t *testing.T) {
+	cfg := apps.TwoPCConfig{Participants: 1}
+	build := func() []ProcModel {
+		var out []ProcModel
+		for id := range apps.NewTwoPC(cfg) {
+			id := id
+			out = append(out, ProcModel{Proc: id, New: func() dsim.Machine { return apps.NewTwoPC(cfg)[id] }})
+		}
+		return out
+	}
+	plain, err := Run(build(), nil, nil, Config{MaxStates: 10_000, MaxDepth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := Run(build(), nil, nil, Config{ModelDup: true, MaxStates: 10_000, MaxDepth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.StatesExplored <= plain.StatesExplored {
+		t.Errorf("dup model should enlarge space: %d vs %d", dup.StatesExplored, plain.StatesExplored)
+	}
+}
+
+func TestModelCrashFindsFailStopOnlyBugs(t *testing.T) {
+	// Correct 2PC stays safe even when any process may fail-stop.
+	cfg := apps.TwoPCConfig{Participants: 2}
+	var models []ProcModel
+	for id := range apps.NewTwoPC(cfg) {
+		id := id
+		models = append(models, ProcModel{Proc: id, New: func() dsim.Machine { return apps.NewTwoPC(cfg)[id] }})
+	}
+	rep, err := Run(models, nil, nil, Config{
+		ModelCrash: true,
+		MaxStates:  30_000, MaxDepth: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatesExplored < 10 {
+		t.Errorf("crash model explored only %d states", rep.StatesExplored)
+	}
+	if rep.Violating() {
+		t.Error("crash model alone must not create violations without invariants")
+	}
+}
+
+func TestFromSimGathersCheckpointsAndStates(t *testing.T) {
+	cfg := apps.TwoPCConfig{Participants: 1}
+	s := dsim.New(dsim.Config{Seed: 1, MaxSteps: 1000, CICheckpoint: true})
+	for id, m := range apps.NewTwoPC(cfg) {
+		s.AddProcess(id, m)
+	}
+	s.Run()
+	factories := map[string]func() dsim.Machine{}
+	for id := range apps.NewTwoPC(cfg) {
+		id := id
+		factories[id] = func() dsim.Machine { return apps.NewTwoPC(cfg)[id] }
+	}
+	models, inTransit := FromSim(s, factories)
+	if len(models) != 2 {
+		t.Fatalf("models = %d", len(models))
+	}
+	for _, pm := range models {
+		if pm.State == nil || pm.Heap == nil || pm.New == nil {
+			t.Errorf("model %s incomplete: %+v", pm.Proc, pm)
+		}
+	}
+	if inTransit != nil {
+		t.Errorf("FromSim returns nil in-transit by contract, got %v", inTransit)
+	}
+	// Partial factories: unknown procs are skipped.
+	partial, _ := FromSim(s, map[string]func() dsim.Machine{apps.CoordName: factories[apps.CoordName]})
+	if len(partial) != 1 {
+		t.Errorf("partial models = %d, want 1", len(partial))
+	}
+	// The gathered models must run.
+	rep, err := Run(models, nil, nil, Config{MaxStates: 1000, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatesExplored == 0 {
+		t.Error("no exploration from FromSim models")
+	}
+}
+
+func TestShortestTrailPicksMinimum(t *testing.T) {
+	r := &Report{Trails: []Trail{
+		{Invariant: "a", Steps: []string{"x", "y", "z"}},
+		{Invariant: "b", Steps: []string{"x"}},
+		{Invariant: "c", Steps: []string{"x", "y"}},
+	}}
+	if got := r.ShortestTrail(); got.Invariant != "b" {
+		t.Errorf("ShortestTrail = %+v", got)
+	}
+	empty := &Report{}
+	if empty.ShortestTrail() != nil {
+		t.Error("empty report should return nil")
+	}
+}

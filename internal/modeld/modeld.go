@@ -1,0 +1,591 @@
+// Package modeld implements ModelD, the guarded-command model checker that
+// is one of the paper's stated contributions (§1, §4.3, Fig. 7).
+//
+// The engine mirrors the paper's description of the back-end component: the
+// behaviour of a system is a set of guarded commands (Actions) that "can be
+// chosen for execution any time" their guard holds; the engine performs the
+// state transitions, keeps track of visited execution paths (the
+// reachability graph), and verifies that no user-specified invariant is
+// violated. Two properties the paper calls out are central here:
+//
+//   - the set of actions can be changed dynamically (SetActions/AddAction/
+//     RemoveAction) — the hook the Investigator uses to swap real
+//     communication actions for models, and the Healer uses to inject
+//     updated code (§4.3, §4.4);
+//   - the search order is customizable (Strategy, Heuristic, PickSingle) —
+//     including a single-path mode that makes the engine execute "the path
+//     the 'conventional' implementation would take" (§4.3).
+//
+// Like CMC (§2.1), the engine also reports deadlock states, in which no
+// action is enabled.
+package modeld
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// State is an immutable snapshot of the modeled system. Implementations
+// must provide a canonical fingerprint: two states are identical iff their
+// Keys are equal.
+type State interface {
+	// Key returns a canonical encoding of the state used for visited-set
+	// deduplication in the reachability graph.
+	Key() string
+	// Clone returns a deep copy that actions may mutate safely.
+	Clone() State
+}
+
+// Action is one guarded command: Enabled is the guard, Apply the effect.
+// Apply must not mutate its argument; it returns the successor state(s).
+// Most actions are deterministic (one successor), but an action may model
+// internal nondeterminism by returning several.
+type Action interface {
+	Name() string
+	Enabled(s State) bool
+	Apply(s State) []State
+}
+
+// actionFunc adapts plain functions to Action.
+type actionFunc struct {
+	name  string
+	guard func(State) bool
+	apply func(State) []State
+}
+
+func (a *actionFunc) Name() string          { return a.name }
+func (a *actionFunc) Enabled(s State) bool  { return a.guard(s) }
+func (a *actionFunc) Apply(s State) []State { return a.apply(s) }
+
+// NewAction builds an Action from a guard and a single-successor effect.
+// The effect receives a private clone and mutates it in place.
+func NewAction(name string, guard func(State) bool, effect func(State)) Action {
+	return &actionFunc{
+		name:  name,
+		guard: guard,
+		apply: func(s State) []State {
+			c := s.Clone()
+			effect(c)
+			return []State{c}
+		},
+	}
+}
+
+// NewBranchingAction builds an Action whose effect may produce multiple
+// successors (internal nondeterminism, e.g. a modeled lossy network).
+func NewBranchingAction(name string, guard func(State) bool, apply func(State) []State) Action {
+	return &actionFunc{name: name, guard: guard, apply: apply}
+}
+
+// Invariant is a named safety property evaluated in every generated state.
+type Invariant struct {
+	Name  string
+	Holds func(State) bool
+}
+
+// Strategy selects the search order for the state graph (paper §4.3: "the
+// ability to customize the search order").
+type Strategy int
+
+// Search strategies.
+const (
+	BFS        Strategy = iota // breadth-first: shortest counterexamples
+	DFS                        // depth-first: low memory frontier
+	Heuristic                  // priority order by Options.Heuristic
+	RandomWalk                 // repeated randomized walks (Options.Seed)
+	SinglePath                 // follow one schedule, as conventional execution
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case BFS:
+		return "bfs"
+	case DFS:
+		return "dfs"
+	case Heuristic:
+		return "heuristic"
+	case RandomWalk:
+		return "random"
+	case SinglePath:
+		return "single"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options bound and direct an exploration.
+type Options struct {
+	Strategy  Strategy
+	MaxStates int // 0 = 100_000
+	MaxDepth  int // 0 = unbounded
+	// Heuristic orders the frontier for the Heuristic strategy; lower
+	// values are explored first.
+	Heuristic func(s State, depth int) int
+	// PickSingle selects which enabled action the SinglePath strategy
+	// follows; nil means the first enabled action in action-set order.
+	PickSingle func(s State, enabled []Action) Action
+	// Seed drives the RandomWalk strategy and random tie-breaking.
+	Seed int64
+	// Walks is the number of restarts for RandomWalk (0 = 32).
+	Walks int
+	// StopAtFirstViolation ends the exploration at the first violation.
+	StopAtFirstViolation bool
+	// CheckDeadlock records states with no enabled action.
+	CheckDeadlock bool
+}
+
+// Step is one transition in a trail.
+type Step struct {
+	Action   string // action taken
+	StateKey string // key of the state reached
+}
+
+// Violation reports one invariant violation and the trail that leads to it
+// from the exploration root — the "set of trails that lead to invariant
+// violations" of paper §3.3.
+type Violation struct {
+	Invariant string
+	Trail     []Step
+	State     State
+	Depth     int
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	StatesVisited int
+	Transitions   int
+	MaxDepthSeen  int
+	Violations    []Violation
+	Deadlocks     []string // keys of states with no enabled action
+	Truncated     bool     // hit MaxStates or frontier exhausted by MaxDepth
+	FrontierPeak  int
+	GraphBytes    int // approximate memory of the reachability graph (keys)
+}
+
+// node is a reachability-graph entry.
+type node struct {
+	parent string // key of predecessor ("" for root)
+	action string // action that produced this state
+	depth  int
+}
+
+// Engine is the ModelD back-end: a dynamic action set, a set of invariants,
+// and an explorer. Safe for concurrent use; explorations snapshot the
+// action set at start.
+type Engine struct {
+	mu         sync.Mutex
+	actions    []Action
+	invariants []Invariant
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// AddAction appends an action to the dynamic action set.
+func (e *Engine) AddAction(a Action) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.actions = append(e.actions, a)
+}
+
+// RemoveAction removes the first action with the given name, reporting
+// whether one was found. Dynamic removal is how real communication actions
+// are swapped out for models (paper §4.3).
+func (e *Engine) RemoveAction(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, a := range e.actions {
+		if a.Name() == name {
+			e.actions = append(e.actions[:i], e.actions[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SetActions replaces the entire action set.
+func (e *Engine) SetActions(actions []Action) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.actions = append([]Action(nil), actions...)
+}
+
+// Actions returns a copy of the current action set.
+func (e *Engine) Actions() []Action {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Action(nil), e.actions...)
+}
+
+// AddInvariant registers a safety property.
+func (e *Engine) AddInvariant(inv Invariant) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.invariants = append(e.invariants, inv)
+}
+
+// Invariants returns a copy of the registered invariants.
+func (e *Engine) Invariants() []Invariant {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Invariant(nil), e.invariants...)
+}
+
+// frontierItem is an element of the exploration frontier.
+type frontierItem struct {
+	state State
+	key   string
+	depth int
+	prio  int
+	seq   int
+}
+
+// prioQueue is a min-heap over (prio, seq).
+type prioQueue []*frontierItem
+
+func (q prioQueue) Len() int { return len(q) }
+func (q prioQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q prioQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *prioQueue) Push(x any)   { *q = append(*q, x.(*frontierItem)) }
+func (q *prioQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Explore runs the engine from root under the given options and returns
+// the exploration result, including every violation trail found.
+func (e *Engine) Explore(root State, opts Options) *Result {
+	actions := e.Actions()
+	invariants := e.Invariants()
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 100_000
+	}
+	switch opts.Strategy {
+	case RandomWalk:
+		return exploreRandom(root, actions, invariants, opts)
+	case SinglePath:
+		return exploreSingle(root, actions, invariants, opts)
+	default:
+		return exploreGraph(root, actions, invariants, opts)
+	}
+}
+
+// checkState evaluates invariants on s, appending violations with the trail
+// reconstructed from the graph.
+func checkState(s State, key string, depth int, invariants []Invariant, graph map[string]*node, res *Result) bool {
+	bad := false
+	for _, inv := range invariants {
+		if !inv.Holds(s) {
+			res.Violations = append(res.Violations, Violation{
+				Invariant: inv.Name,
+				Trail:     trail(graph, key),
+				State:     s,
+				Depth:     depth,
+			})
+			bad = true
+		}
+	}
+	return bad
+}
+
+// trail reconstructs the action path from the root to the state with key.
+func trail(graph map[string]*node, key string) []Step {
+	var rev []Step
+	for key != "" {
+		n, ok := graph[key]
+		if !ok || n.action == "" {
+			break
+		}
+		rev = append(rev, Step{Action: n.action, StateKey: key})
+		key = n.parent
+	}
+	out := make([]Step, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// exploreGraph implements BFS, DFS and Heuristic over a deduplicated
+// reachability graph.
+func exploreGraph(root State, actions []Action, invariants []Invariant, opts Options) *Result {
+	res := &Result{}
+	graph := make(map[string]*node)
+	rootKey := root.Key()
+	graph[rootKey] = &node{depth: 0}
+	res.StatesVisited = 1
+	res.GraphBytes += len(rootKey)
+	if checkState(root, rootKey, 0, invariants, graph, res) && opts.StopAtFirstViolation {
+		return res
+	}
+
+	var (
+		queue []frontierItem // BFS fifo / DFS lifo
+		pq    prioQueue      // heuristic
+		seq   int
+	)
+	push := func(it frontierItem) {
+		seq++
+		it.seq = seq
+		if opts.Strategy == Heuristic {
+			if opts.Heuristic != nil {
+				it.prio = opts.Heuristic(it.state, it.depth)
+			}
+			heap.Push(&pq, &it)
+		} else {
+			queue = append(queue, it)
+		}
+		if n := len(queue) + len(pq); n > res.FrontierPeak {
+			res.FrontierPeak = n
+		}
+	}
+	pop := func() (frontierItem, bool) {
+		if opts.Strategy == Heuristic {
+			if len(pq) == 0 {
+				return frontierItem{}, false
+			}
+			return *heap.Pop(&pq).(*frontierItem), true
+		}
+		if len(queue) == 0 {
+			return frontierItem{}, false
+		}
+		var it frontierItem
+		if opts.Strategy == DFS {
+			it = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+		} else {
+			it = queue[0]
+			queue = queue[1:]
+		}
+		return it, true
+	}
+
+	push(frontierItem{state: root, key: rootKey, depth: 0})
+	for {
+		it, ok := pop()
+		if !ok {
+			break
+		}
+		if opts.MaxDepth > 0 && it.depth >= opts.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+		anyEnabled := false
+		for _, a := range actions {
+			if !a.Enabled(it.state) {
+				continue
+			}
+			anyEnabled = true
+			for _, succ := range a.Apply(it.state) {
+				res.Transitions++
+				k := succ.Key()
+				if _, seen := graph[k]; seen {
+					continue
+				}
+				if res.StatesVisited >= opts.MaxStates {
+					res.Truncated = true
+					continue
+				}
+				graph[k] = &node{parent: it.key, action: a.Name(), depth: it.depth + 1}
+				res.StatesVisited++
+				res.GraphBytes += len(k)
+				if it.depth+1 > res.MaxDepthSeen {
+					res.MaxDepthSeen = it.depth + 1
+				}
+				if checkState(succ, k, it.depth+1, invariants, graph, res) && opts.StopAtFirstViolation {
+					return res
+				}
+				push(frontierItem{state: succ, key: k, depth: it.depth + 1})
+			}
+		}
+		if !anyEnabled && opts.CheckDeadlock {
+			res.Deadlocks = append(res.Deadlocks, it.key)
+		}
+	}
+	return res
+}
+
+// exploreRandom performs repeated random walks from the root. It trades
+// completeness for memory: only the current path is retained per walk.
+func exploreRandom(root State, actions []Action, invariants []Invariant, opts Options) *Result {
+	res := &Result{}
+	walks := opts.Walks
+	if walks <= 0 {
+		walks = 32
+	}
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 200
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	visited := make(map[string]bool)
+	for w := 0; w < walks; w++ {
+		cur := root
+		curKey := root.Key()
+		var path []Step
+		if !visited[curKey] {
+			visited[curKey] = true
+			res.StatesVisited++
+			res.GraphBytes += len(curKey)
+		}
+		for depth := 0; depth < maxDepth; depth++ {
+			if res.StatesVisited >= opts.MaxStates {
+				res.Truncated = true
+				return res
+			}
+			var enabled []Action
+			for _, a := range actions {
+				if a.Enabled(cur) {
+					enabled = append(enabled, a)
+				}
+			}
+			if len(enabled) == 0 {
+				if opts.CheckDeadlock {
+					res.Deadlocks = append(res.Deadlocks, curKey)
+				}
+				break
+			}
+			a := enabled[rng.Intn(len(enabled))]
+			succs := a.Apply(cur)
+			succ := succs[rng.Intn(len(succs))]
+			res.Transitions++
+			cur = succ
+			curKey = succ.Key()
+			path = append(path, Step{Action: a.Name(), StateKey: curKey})
+			if !visited[curKey] {
+				visited[curKey] = true
+				res.StatesVisited++
+				res.GraphBytes += len(curKey)
+			}
+			if depth+1 > res.MaxDepthSeen {
+				res.MaxDepthSeen = depth + 1
+			}
+			for _, inv := range invariants {
+				if !inv.Holds(cur) {
+					res.Violations = append(res.Violations, Violation{
+						Invariant: inv.Name,
+						Trail:     append([]Step(nil), path...),
+						State:     cur,
+						Depth:     depth + 1,
+					})
+					if opts.StopAtFirstViolation {
+						return res
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// exploreSingle follows exactly one execution path, choosing the action the
+// conventional implementation would take (paper §4.3). This is how the
+// ModelD engine doubles as a normal execution runtime.
+func exploreSingle(root State, actions []Action, invariants []Invariant, opts Options) *Result {
+	res := &Result{}
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 10_000
+	}
+	cur := root
+	curKey := root.Key()
+	res.StatesVisited = 1
+	res.GraphBytes += len(curKey)
+	var path []Step
+	for depth := 0; depth < maxDepth && res.StatesVisited < opts.MaxStates; depth++ {
+		for _, inv := range invariants {
+			if !inv.Holds(cur) {
+				res.Violations = append(res.Violations, Violation{
+					Invariant: inv.Name,
+					Trail:     append([]Step(nil), path...),
+					State:     cur,
+					Depth:     depth,
+				})
+				if opts.StopAtFirstViolation {
+					return res
+				}
+			}
+		}
+		var enabled []Action
+		for _, a := range actions {
+			if a.Enabled(cur) {
+				enabled = append(enabled, a)
+			}
+		}
+		if len(enabled) == 0 {
+			if opts.CheckDeadlock {
+				res.Deadlocks = append(res.Deadlocks, curKey)
+			}
+			return res
+		}
+		var a Action
+		if opts.PickSingle != nil {
+			a = opts.PickSingle(cur, enabled)
+			if a == nil {
+				return res
+			}
+		} else {
+			a = enabled[0]
+		}
+		succ := a.Apply(cur)[0]
+		res.Transitions++
+		cur, curKey = succ, succ.Key()
+		path = append(path, Step{Action: a.Name(), StateKey: curKey})
+		res.StatesVisited++
+		res.GraphBytes += len(curKey)
+		if depth+1 > res.MaxDepthSeen {
+			res.MaxDepthSeen = depth + 1
+		}
+	}
+	// Final state check (loop checks before stepping).
+	for _, inv := range invariants {
+		if !inv.Holds(cur) {
+			res.Violations = append(res.Violations, Violation{
+				Invariant: inv.Name, Trail: path, State: cur, Depth: len(path),
+			})
+		}
+	}
+	res.Truncated = true
+	return res
+}
+
+// ShortestViolation returns the violation with the shortest trail, or nil.
+func (r *Result) ShortestViolation() *Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	best := &r.Violations[0]
+	for i := range r.Violations[1:] {
+		v := &r.Violations[i+1]
+		if len(v.Trail) < len(best.Trail) {
+			best = v
+		}
+	}
+	return best
+}
+
+// ViolatedInvariants returns the sorted set of invariant names violated.
+func (r *Result) ViolatedInvariants() []string {
+	set := map[string]bool{}
+	for _, v := range r.Violations {
+		set[v.Invariant] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

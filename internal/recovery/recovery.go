@@ -1,0 +1,215 @@
+// Package recovery computes globally consistent recovery lines from local
+// checkpoints (paper §3.2, §4.2, Fig. 6).
+//
+// Two complementary algorithms are provided:
+//
+//   - RecoveryLine: the classic rollback-propagation fixpoint over a
+//     rollback-dependency graph (checkpoint intervals + messages). This is
+//     the algorithm whose pathological behaviour is the *domino effect*;
+//     experiment E6 contrasts its behaviour under uncoordinated versus
+//     communication-induced checkpoint placement.
+//
+//   - MaxConsistentSet: a vector-clock-based selection that finds, for each
+//     process, the latest checkpoint such that no member of the set causally
+//     precedes another (no orphan messages), matching the paper's
+//     requirement that "the checkpoint it provides needs to satisfy global
+//     consistency properties" (§3.3).
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// Message describes one message exchange for rollback-dependency analysis.
+// SendInterval is the index of the sender's last checkpoint taken before
+// the send (the send happened in that checkpoint interval); RecvInterval
+// likewise for the receiver. Rolling a process back to checkpoint k undoes
+// every event in intervals >= k.
+type Message struct {
+	ID           string
+	From, To     string
+	SendInterval int
+	RecvInterval int
+}
+
+// Line maps each process to the index of the checkpoint it must restore.
+type Line map[string]int
+
+// Clone returns an independent copy of the line.
+func (l Line) Clone() Line {
+	out := make(Line, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the line deterministically.
+func (l Line) String() string {
+	procs := make([]string, 0, len(l))
+	for p := range l {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	s := "line{"
+	for i, p := range procs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", p, l[p])
+	}
+	return s + "}"
+}
+
+// Report summarizes a recovery-line computation for experiments.
+type Report struct {
+	Line        Line // the computed consistent line
+	Iterations  int  // fixpoint rounds until stable
+	Rollbacks   int  // total checkpoint indices discarded across processes
+	MaxRollback int  // worst single-process rollback distance (domino depth)
+}
+
+// RecoveryLine computes the largest consistent recovery line at or below
+// start, by iteratively rolling back receivers of orphan messages. start
+// gives each process's initial restore target (typically: failed process at
+// its latest checkpoint, everyone else at a virtual checkpoint of their
+// current state). A message is orphan when its receive is preserved
+// (line[to] > RecvInterval) but its send is undone (line[from] <= SendInterval).
+func RecoveryLine(start Line, msgs []Message) Report {
+	line := start.Clone()
+	iters := 0
+	for {
+		iters++
+		changed := false
+		for _, m := range msgs {
+			lf, okF := line[m.From]
+			lt, okT := line[m.To]
+			if !okF || !okT {
+				continue // message endpoints outside the rollback set
+			}
+			if lt > m.RecvInterval && lf <= m.SendInterval {
+				// Orphan: roll the receiver back to the checkpoint opening
+				// the receive's interval, undoing the receive.
+				line[m.To] = m.RecvInterval
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	rep := Report{Line: line, Iterations: iters}
+	for p, s := range start {
+		d := s - line[p]
+		rep.Rollbacks += d
+		if d > rep.MaxRollback {
+			rep.MaxRollback = d
+		}
+	}
+	return rep
+}
+
+// Consistent reports whether the line has no orphan messages.
+func Consistent(line Line, msgs []Message) bool {
+	for _, m := range msgs {
+		lf, okF := line[m.From]
+		lt, okT := line[m.To]
+		if !okF || !okT {
+			continue
+		}
+		if lt > m.RecvInterval && lf <= m.SendInterval {
+			return false
+		}
+	}
+	return true
+}
+
+// InTransit returns the messages whose send is preserved by the line but
+// whose receive is undone. A recovery implementation must re-deliver these
+// from the Scroll when resuming from the line.
+func InTransit(line Line, msgs []Message) []Message {
+	var out []Message
+	for _, m := range msgs {
+		lf, okF := line[m.From]
+		lt, okT := line[m.To]
+		if !okF || !okT {
+			continue
+		}
+		if lf > m.SendInterval && lt <= m.RecvInterval {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// CkptMeta is the metadata of one checkpoint for vector-clock-based
+// consistency analysis.
+type CkptMeta struct {
+	ID    string
+	Proc  string
+	Index int // position in the owner's checkpoint sequence
+	Clock vclock.VC
+}
+
+// ConsistentSet reports whether the given one-checkpoint-per-process set is
+// globally consistent: no member knows more about process p than p's own
+// checkpoint remembers (c_q.Clock[p] <= c_p.Clock[p] for all pairs). If
+// some c_q exceeded c_p's own component, q's state would reflect a message
+// chain originating in events p has rolled back past — an orphan.
+func ConsistentSet(set []CkptMeta) bool {
+	return findOrphanWitness(set) == -1
+}
+
+// findOrphanWitness returns the index of a member that knows too much
+// (must be demoted), or -1 if the set is consistent.
+func findOrphanWitness(set []CkptMeta) int {
+	for i := range set {
+		own := set[i].Clock.Get(set[i].Proc)
+		for j := range set {
+			if i == j {
+				continue
+			}
+			if set[j].Clock.Get(set[i].Proc) > own {
+				return j
+			}
+		}
+	}
+	return -1
+}
+
+// MaxConsistentSet selects, for each process, the latest checkpoint from
+// ckpts (grouped per process, each group ordered oldest-first) such that
+// the resulting set is consistent. It greedily demotes any checkpoint that
+// causally precedes another member. Returns nil if no consistent set
+// exists even at the oldest checkpoints (callers should then fall back to
+// initial states, which are always mutually concurrent).
+func MaxConsistentSet(ckpts map[string][]CkptMeta) []CkptMeta {
+	idx := make(map[string]int, len(ckpts))
+	procs := make([]string, 0, len(ckpts))
+	for p, list := range ckpts {
+		if len(list) == 0 {
+			return nil
+		}
+		idx[p] = len(list) - 1
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	for {
+		set := make([]CkptMeta, 0, len(procs))
+		for _, p := range procs {
+			set = append(set, ckpts[p][idx[p]])
+		}
+		w := findOrphanWitness(set)
+		if w == -1 {
+			return set
+		}
+		p := set[w].Proc
+		if idx[p] == 0 {
+			return nil // cannot roll back further
+		}
+		idx[p]--
+	}
+}

@@ -1,0 +1,416 @@
+// Package scroll implements the Scroll, FixD's common log of nondeterministic
+// actions (paper §3.1, Fig. 1).
+//
+// Every nondeterministic action a process performs — receiving a message,
+// drawing a random number, reading the clock or environment — is recorded
+// together with its outcome. The record stream is sufficient to replay the
+// process deterministically in isolation, treating remote entities as black
+// boxes defined only by the recorded interaction (paper §2.2), which is the
+// liblog/Flashback capability the Scroll substitutes for.
+package scroll
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+	"repro/internal/wal"
+)
+
+// Kind identifies the class of nondeterministic action a record captures.
+type Kind uint8
+
+// Record kinds.
+const (
+	KindRecv   Kind = iota + 1 // message delivery: payload is the message
+	KindSend                   // message transmission (for trace reconstruction)
+	KindRandom                 // random draw: payload is 8-byte LE uint64
+	KindTime                   // virtual/wall clock read: payload is 8-byte LE uint64
+	KindEnv                    // environment read: payload is the value
+	KindCkpt                   // checkpoint marker: payload is checkpoint ID
+	KindFault                  // locally detected fault: payload describes it
+	KindCustom                 // application-defined nondeterminism
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindRecv:
+		return "recv"
+	case KindSend:
+		return "send"
+	case KindRandom:
+		return "random"
+	case KindTime:
+		return "time"
+	case KindEnv:
+		return "env"
+	case KindCkpt:
+		return "ckpt"
+	case KindFault:
+		return "fault"
+	case KindCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one logged nondeterministic action and its outcome.
+type Record struct {
+	Proc    string // process that performed the action
+	Seq     uint64 // 0-based position in the process's scroll
+	Kind    Kind
+	MsgID   string // Recv/Send: message identity
+	Peer    string // Recv/Send: remote endpoint
+	Payload []byte // the outcome (message body, random bytes, ...)
+	Lamport uint64 // Lamport timestamp for global total ordering
+	Clock   vclock.VC
+}
+
+// encode serializes a record to a compact binary form.
+//
+// Layout: kind(1) | lamport(8) | seq(8) | proc | msgID | peer | payload |
+// clock-entries, where each variable field is uvarint-length-prefixed and the
+// clock is a count followed by (id, value) pairs.
+func (r *Record) encode() []byte {
+	buf := make([]byte, 0, 64+len(r.Payload))
+	buf = append(buf, byte(r.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, r.Lamport)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
+	appendStr := func(s string) {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	appendStr(r.Proc)
+	appendStr(r.MsgID)
+	appendStr(r.Peer)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Payload)))
+	buf = append(buf, r.Payload...)
+	ids := make([]string, 0, len(r.Clock))
+	for id := range r.Clock {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		appendStr(id)
+		buf = binary.AppendUvarint(buf, r.Clock[id])
+	}
+	return buf
+}
+
+// decodeRecord parses a record produced by encode.
+func decodeRecord(b []byte) (Record, error) {
+	var r Record
+	if len(b) < 17 {
+		return r, errors.New("scroll: record too short")
+	}
+	r.Kind = Kind(b[0])
+	r.Lamport = binary.LittleEndian.Uint64(b[1:9])
+	r.Seq = binary.LittleEndian.Uint64(b[9:17])
+	b = b[17:]
+	readStr := func() (string, error) {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < n {
+			return "", errors.New("scroll: truncated string")
+		}
+		s := string(b[sz : sz+int(n)])
+		b = b[sz+int(n):]
+		return s, nil
+	}
+	var err error
+	if r.Proc, err = readStr(); err != nil {
+		return r, err
+	}
+	if r.MsgID, err = readStr(); err != nil {
+		return r, err
+	}
+	if r.Peer, err = readStr(); err != nil {
+		return r, err
+	}
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return r, errors.New("scroll: truncated payload")
+	}
+	r.Payload = append([]byte(nil), b[sz:sz+int(n)]...)
+	b = b[sz+int(n):]
+	cnt, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return r, errors.New("scroll: truncated clock count")
+	}
+	b = b[sz:]
+	if cnt > 0 {
+		r.Clock = vclock.New()
+	}
+	for i := uint64(0); i < cnt; i++ {
+		id, err := readStr()
+		if err != nil {
+			return r, err
+		}
+		v, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return r, errors.New("scroll: truncated clock value")
+		}
+		b = b[sz:]
+		r.Clock[id] = v
+	}
+	return r, nil
+}
+
+// Scroll records the nondeterministic actions of a single process. It is
+// safe for concurrent use. If backed by a WAL (see OpenDurable), records
+// survive crashes.
+type Scroll struct {
+	mu       sync.Mutex
+	proc     string
+	recs     []Record
+	next     uint64
+	log      *wal.Log // nil for in-memory scrolls
+	truncErr error    // deferred durable-truncation failure
+}
+
+// NewMemory returns an in-memory scroll for process proc.
+func NewMemory(proc string) *Scroll { return &Scroll{proc: proc} }
+
+// OpenDurable returns a scroll persisted under dir using a segmented WAL.
+// Existing records in dir are loaded first, so a restarted process resumes
+// its scroll where the crash left it.
+func OpenDurable(proc, dir string) (*Scroll, error) {
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s := &Scroll{proc: proc, log: log}
+	raw, err := wal.ReadAll(dir)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	for _, b := range raw {
+		rec, err := decodeRecord(b)
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("scroll: load %s: %w", dir, err)
+		}
+		s.recs = append(s.recs, rec)
+	}
+	s.next = uint64(len(s.recs))
+	return s, nil
+}
+
+// Proc returns the process ID this scroll belongs to.
+func (s *Scroll) Proc() string { return s.proc }
+
+// Append records an action. The record's Proc and Seq are assigned by the
+// scroll; other fields are taken from r. It returns the assigned sequence.
+func (s *Scroll) Append(r Record) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Proc = s.proc
+	r.Seq = s.next
+	s.next++
+	s.recs = append(s.recs, r)
+	if s.log != nil {
+		if _, err := s.log.Append(r.encode()); err != nil {
+			return r.Seq, err
+		}
+	}
+	return r.Seq, nil
+}
+
+// Len returns the number of records.
+func (s *Scroll) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Records returns a copy of all records in order.
+func (s *Scroll) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// Truncate discards all records at sequence >= seq. The Time Machine uses
+// this when rolling a process back: the replayed future may differ, so the
+// suffix of the scroll is invalidated (paper §3.2). Durable scrolls
+// persist the truncation by rewriting their backing WAL; the error, if
+// any, is returned by the next Close (truncation itself cannot fail in
+// memory).
+func (s *Scroll) Truncate(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq >= uint64(len(s.recs)) {
+		return
+	}
+	s.recs = s.recs[:seq]
+	s.next = seq
+	if s.log != nil {
+		payloads := make([][]byte, len(s.recs))
+		for i := range s.recs {
+			payloads[i] = s.recs[i].encode()
+		}
+		if err := s.log.Rewrite(payloads); err != nil {
+			s.truncErr = err
+		}
+	}
+}
+
+// Close releases the backing WAL, if any, and surfaces any deferred
+// durable-truncation failure.
+func (s *Scroll) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		err := s.log.Close()
+		if s.truncErr != nil {
+			return s.truncErr
+		}
+		return err
+	}
+	return s.truncErr
+}
+
+// ErrReplayExhausted is returned by a Replayer when the scroll has no more
+// records of the requested kind.
+var ErrReplayExhausted = errors.New("scroll: replay exhausted")
+
+// ErrReplayDiverged is returned when the next record does not match the
+// action the replaying process is attempting — the re-execution took a
+// different path than the original run.
+var ErrReplayDiverged = errors.New("scroll: replay diverged")
+
+// Replayer feeds recorded outcomes back to a process being re-executed,
+// providing the deterministic playback capability of liblog/Jockey (paper
+// §2.3) without the remote entities being present.
+type Replayer struct {
+	mu   sync.Mutex
+	recs []Record
+	pos  int
+}
+
+// NewReplayer returns a replayer over the given records (in scroll order).
+func NewReplayer(recs []Record) *Replayer { return &Replayer{recs: recs} }
+
+// Pos returns the index of the next record to replay.
+func (rp *Replayer) Pos() int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.pos
+}
+
+// Remaining returns how many records have not yet been replayed.
+func (rp *Replayer) Remaining() int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return len(rp.recs) - rp.pos
+}
+
+// Next returns the next record of the given kind. Records of other kinds
+// that merely annotate the stream (sends, checkpoints, faults) are verified
+// to be skippable; if the next outcome-bearing record has a different kind,
+// Next reports ErrReplayDiverged.
+func (rp *Replayer) Next(kind Kind) (Record, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	for rp.pos < len(rp.recs) {
+		rec := rp.recs[rp.pos]
+		if rec.Kind == kind {
+			rp.pos++
+			return rec, nil
+		}
+		// Annotation records are skipped transparently.
+		if rec.Kind == KindSend || rec.Kind == KindCkpt || rec.Kind == KindFault {
+			rp.pos++
+			continue
+		}
+		return Record{}, fmt.Errorf("%w: want %v at seq %d, scroll has %v", ErrReplayDiverged, kind, rec.Seq, rec.Kind)
+	}
+	return Record{}, ErrReplayExhausted
+}
+
+// ExpectSend consumes the next send annotation and verifies the re-executed
+// process sent the same message; divergence here means the replayed run is
+// not following the recorded path.
+func (rp *Replayer) ExpectSend(peer string, payload []byte) error {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	for rp.pos < len(rp.recs) {
+		rec := rp.recs[rp.pos]
+		if rec.Kind == KindCkpt || rec.Kind == KindFault {
+			rp.pos++
+			continue
+		}
+		if rec.Kind != KindSend {
+			return fmt.Errorf("%w: process sent but scroll has %v at seq %d", ErrReplayDiverged, rec.Kind, rec.Seq)
+		}
+		rp.pos++
+		if rec.Peer != peer || string(rec.Payload) != string(payload) {
+			return fmt.Errorf("%w: send to %s differs from recorded send to %s", ErrReplayDiverged, peer, rec.Peer)
+		}
+		return nil
+	}
+	return ErrReplayExhausted
+}
+
+// Merge combines the scrolls of several processes into one globally ordered
+// record sequence (by Lamport timestamp, then process ID, then sequence),
+// the "collective local logs ... combined and analyzed" view of paper §2.2.
+func Merge(scrolls ...*Scroll) []Record {
+	var all []Record
+	for _, s := range scrolls {
+		all = append(all, s.Records()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Lamport != b.Lamport {
+			return a.Lamport < b.Lamport
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	})
+	return all
+}
+
+// ToTrace converts merged scroll records into a trace for cut analysis.
+func ToTrace(recs []Record) *trace.Trace {
+	t := trace.New()
+	seqs := make(map[string]int)
+	for _, r := range recs {
+		var k trace.Kind
+		switch r.Kind {
+		case KindRecv:
+			k = trace.Receive
+		case KindSend:
+			k = trace.Send
+		case KindCkpt:
+			k = trace.Checkpoint
+		case KindFault:
+			k = trace.Fault
+		default:
+			k = trace.Internal
+		}
+		t.Append(trace.Event{
+			Proc:    r.Proc,
+			Seq:     seqs[r.Proc],
+			Kind:    k,
+			MsgID:   r.MsgID,
+			Peer:    r.Peer,
+			Clock:   r.Clock,
+			Lamport: r.Lamport,
+			Label:   r.Kind.String(),
+		})
+		seqs[r.Proc]++
+	}
+	return t
+}

@@ -1,0 +1,295 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/dsim"
+)
+
+// wrapRing builds a token ring with every node wrapped; node 0 initiates a
+// snapshot at time t.
+func wrapRing(n, rounds int, initiateAt uint64) (map[string]*Wrapper, *dsim.Sim) {
+	inner := apps.NewTokenRing(apps.TokenRingConfig{N: n, Rounds: rounds})
+	wrappers := map[string]*Wrapper{}
+	// Chandy-Lamport requires FIFO channels (markers must not overtake
+	// application messages on the same channel).
+	s := dsim.New(dsim.Config{Seed: 7, MinLatency: 1, MaxLatency: 4, MaxSteps: 100_000, FIFO: true})
+	for id, m := range inner {
+		var peers []string
+		for other := range inner {
+			if other != id {
+				peers = append(peers, other)
+			}
+		}
+		w := Wrap(m, peers)
+		if id == apps.RingProcName(0) {
+			w.InitiateAt = initiateAt
+		}
+		wrappers[id] = w
+		s.AddProcess(id, w)
+	}
+	return wrappers, s
+}
+
+func TestSnapshotCompletesOnAllProcesses(t *testing.T) {
+	wrappers, s := wrapRing(4, 20, 15)
+	s.Run()
+	for id, w := range wrappers {
+		if w.Snapshots() != 1 {
+			t.Errorf("%s completed %d snapshots, want 1", id, w.Snapshots())
+		}
+		if w.CheckpointID() == "" {
+			t.Errorf("%s has no checkpoint", id)
+		}
+	}
+}
+
+func TestSnapshotCutIsConsistent(t *testing.T) {
+	wrappers, s := wrapRing(5, 30, 21)
+	s.Run()
+	// Verify the Chandy-Lamport safety property over application traffic:
+	// no message received before a member's checkpoint was sent after its
+	// sender's checkpoint. (The raw vector-clock test would flag the
+	// protocol markers themselves, which are excluded by design — they are
+	// consumed by the snapshot layer, not restored.)
+	line := map[string]string{}
+	for id, w := range wrappers {
+		if w.CheckpointID() == "" {
+			t.Fatalf("%s has no checkpoint", id)
+		}
+		line[id] = w.CheckpointID()
+	}
+	ok, err := AppConsistent(s, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Chandy-Lamport cut has orphan application messages")
+	}
+}
+
+func TestSnapshotTransparentToApplication(t *testing.T) {
+	// The ring completes the same number of passes with and without the
+	// wrapper (markers ride alongside app traffic without disturbing it).
+	passes := func(wrapped bool) int {
+		inner := apps.NewTokenRing(apps.TokenRingConfig{N: 3, Rounds: 10})
+		s := dsim.New(dsim.Config{Seed: 3, MinLatency: 1, MaxLatency: 1, MaxSteps: 50_000})
+		for id, m := range inner {
+			if wrapped {
+				var peers []string
+				for other := range inner {
+					if other != id {
+						peers = append(peers, other)
+					}
+				}
+				w := Wrap(m, peers)
+				if id == apps.RingProcName(0) {
+					w.InitiateAt = 9
+				}
+				s.AddProcess(id, w)
+			} else {
+				s.AddProcess(id, m)
+			}
+		}
+		s.Run()
+		total := 0
+		for i := 0; i < 3; i++ {
+			var st struct{ Passes int }
+			json.Unmarshal(innerState(s, apps.RingProcName(i), wrapped), &st)
+			total += st.Passes
+		}
+		return total
+	}
+	if w, plain := passes(true), passes(false); w != plain {
+		t.Errorf("wrapped passes = %d, plain = %d", w, plain)
+	}
+}
+
+// innerState extracts the inner machine state regardless of wrapping.
+func innerState(s *dsim.Sim, id string, wrapped bool) []byte {
+	raw := s.MachineState(id)
+	if !wrapped {
+		return raw
+	}
+	var combo struct {
+		Inner json.RawMessage `json:"inner"`
+	}
+	json.Unmarshal(raw, &combo)
+	return combo.Inner
+}
+
+func TestComboStateSurvivesCheckpointRollback(t *testing.T) {
+	wrappers, s := wrapRing(3, 30, 9)
+	s.Run()
+	id := apps.RingProcName(1)
+	w := wrappers[id]
+	ck := s.Store().Get(w.CheckpointID())
+	if ck == nil {
+		t.Fatal("no checkpoint")
+	}
+	// Roll the process back to its snapshot checkpoint: both wrapper and
+	// inner state must be restored coherently.
+	if err := s.RollbackTo(map[string]string{id: ck.ID}); err != nil {
+		t.Fatal(err)
+	}
+	var combo struct {
+		Wrap  wrapperState    `json:"wrap"`
+		Inner json.RawMessage `json:"inner"`
+	}
+	if err := json.Unmarshal(s.MachineState(id), &combo); err != nil {
+		t.Fatal(err)
+	}
+	// At the checkpoint the snapshot was just beginning on this process:
+	// its recording state was captured mid-protocol.
+	if combo.Inner == nil {
+		t.Fatal("inner state lost through rollback")
+	}
+	var inner struct{ Passes int }
+	if err := json.Unmarshal(combo.Inner, &inner); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkerOverheadLinear(t *testing.T) {
+	// One snapshot costs n*(n-1) marker messages (full mesh of channels).
+	for _, n := range []int{3, 5} {
+		wrappers, s := wrapRing(n, 15, 11)
+		stats := s.Run()
+		_ = wrappers
+		// Count marker receives from the scrolls.
+		markers := 0
+		for _, id := range s.Procs() {
+			for _, r := range s.Scroll(id).Records() {
+				if r.Kind.String() == "recv" && len(r.Payload) > len(markerPrefix) &&
+					string(r.Payload[:len(markerPrefix)]) == markerPrefix {
+					markers++
+				}
+			}
+		}
+		if want := n * (n - 1); markers != want {
+			t.Errorf("n=%d markers=%d want %d (full channel mesh)", n, markers, want)
+		}
+		_ = stats
+	}
+}
+
+func TestDuplicateMarkersIgnored(t *testing.T) {
+	// Deliver a stale marker for a completed snapshot: no re-checkpoint.
+	inner := apps.NewTokenRing(apps.TokenRingConfig{N: 2, Rounds: 4})
+	id0, id1 := apps.RingProcName(0), apps.RingProcName(1)
+	w0 := Wrap(inner[id0], []string{id1})
+	w0.InitiateAt = 5
+	w1 := Wrap(inner[id1], []string{id0})
+	s := dsim.New(dsim.Config{Seed: 1, MinLatency: 1, MaxLatency: 1, MaxSteps: 10_000})
+	s.AddProcess(id0, w0)
+	s.AddProcess(id1, w1)
+	s.Run()
+	if w0.Snapshots() != 1 || w1.Snapshots() != 1 {
+		t.Fatalf("snapshots = %d/%d", w0.Snapshots(), w1.Snapshots())
+	}
+}
+
+func TestChannelLogDecoding(t *testing.T) {
+	w := Wrap(apps.NewTokenRing(apps.TokenRingConfig{N: 2, Rounds: 1})[apps.RingProcName(0)], []string{"x"})
+	w.st.Chans = map[string][]string{"x": {"aGVsbG8="}} // "hello"
+	logs := w.ChannelLog("x")
+	if len(logs) != 1 || string(logs[0]) != "hello" {
+		t.Errorf("ChannelLog = %q", logs)
+	}
+	if got := w.ChannelLog("none"); len(got) != 0 {
+		t.Errorf("empty channel = %q", got)
+	}
+}
+
+func TestWrapperCutConsistencyProperty(t *testing.T) {
+	// For several seeds and latency spreads, the cut must always be free
+	// of orphan application messages.
+	for seed := int64(1); seed <= 8; seed++ {
+		inner := apps.NewTokenRing(apps.TokenRingConfig{N: 4, Rounds: 20})
+		s := dsim.New(dsim.Config{Seed: seed, MinLatency: 1, MaxLatency: 6, MaxSteps: 100_000, FIFO: true})
+		wrappers := map[string]*Wrapper{}
+		for id, m := range inner {
+			var peers []string
+			for other := range inner {
+				if other != id {
+					peers = append(peers, other)
+				}
+			}
+			w := Wrap(m, peers)
+			if id == apps.RingProcName(0) {
+				w.InitiateAt = uint64(10 + seed*3)
+			}
+			wrappers[id] = w
+			s.AddProcess(id, w)
+		}
+		s.Run()
+		line := map[string]string{}
+		complete := true
+		for id, w := range wrappers {
+			if w.Snapshots() != 1 {
+				complete = false
+				break
+			}
+			line[id] = w.CheckpointID()
+		}
+		if !complete {
+			t.Errorf("seed %d: snapshot incomplete", seed)
+			continue
+		}
+		ok, err := AppConsistent(s, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("seed %d: orphan application message in cut", seed)
+		}
+	}
+}
+
+func TestNonFIFOBreaksChandyLamport(t *testing.T) {
+	// Negative control: without FIFO channels, markers can overtake
+	// application messages and the cut may contain orphans — the reason
+	// the algorithm states the FIFO assumption. Find at least one seed
+	// where it breaks.
+	broken := false
+	for seed := int64(1); seed <= 30 && !broken; seed++ {
+		inner := apps.NewTokenRing(apps.TokenRingConfig{N: 4, Rounds: 20})
+		s := dsim.New(dsim.Config{Seed: seed, MinLatency: 1, MaxLatency: 15, MaxSteps: 100_000})
+		wrappers := map[string]*Wrapper{}
+		for id, m := range inner {
+			var peers []string
+			for other := range inner {
+				if other != id {
+					peers = append(peers, other)
+				}
+			}
+			w := Wrap(m, peers)
+			if id == apps.RingProcName(0) {
+				w.InitiateAt = uint64(5 + seed)
+			}
+			wrappers[id] = w
+			s.AddProcess(id, w)
+		}
+		s.Run()
+		line := map[string]string{}
+		complete := true
+		for id, w := range wrappers {
+			if w.Snapshots() != 1 || w.CheckpointID() == "" {
+				complete = false
+				break
+			}
+			line[id] = w.CheckpointID()
+		}
+		if !complete {
+			continue
+		}
+		if ok, err := AppConsistent(s, line); err == nil && !ok {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Skip("no seed exhibited non-FIFO breakage; assumption untestable at this scale")
+	}
+}

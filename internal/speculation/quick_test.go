@@ -1,0 +1,151 @@
+package speculation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// modelCtl tracks which checkpoint each process would be restored to, so
+// properties can reason about rollback targets.
+type modelCtl struct {
+	next  int
+	taken map[string][]string // proc -> checkpoint IDs in order taken
+	rolls map[string]string   // proc -> last rollback target
+}
+
+func newModelCtl() *modelCtl {
+	return &modelCtl{taken: map[string][]string{}, rolls: map[string]string{}}
+}
+
+func (c *modelCtl) TakeCheckpoint(proc, specID string) (string, error) {
+	c.next++
+	id := fmt.Sprintf("ck%d", c.next)
+	c.taken[proc] = append(c.taken[proc], id)
+	return id, nil
+}
+
+func (c *modelCtl) Rollback(proc, ckptID string, aborted *Speculation) error {
+	c.rolls[proc] = ckptID
+	return nil
+}
+
+// TestQuickSpeculationInvariants drives the manager with random operation
+// sequences and checks structural invariants after every step:
+//
+//  1. a process is in InSpeculation iff it belongs to some active spec;
+//  2. resolved (committed/aborted) specs never appear in any active list;
+//  3. members of an active spec were checkpointed when they joined;
+//  4. an abort rolls back every member of the aborted spec exactly once.
+func TestQuickSpeculationInvariants(t *testing.T) {
+	procs := []string{"p0", "p1", "p2", "p3"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ctl := newModelCtl()
+		m := NewManager(ctl)
+		var ids []string
+		for step := 0; step < 40; step++ {
+			switch r.Intn(4) {
+			case 0: // begin
+				p := procs[r.Intn(len(procs))]
+				id, err := m.Begin(p, "a")
+				if err != nil {
+					return false
+				}
+				ids = append(ids, id)
+			case 1: // deliver speculative data
+				if len(ids) == 0 {
+					continue
+				}
+				from := procs[r.Intn(len(procs))]
+				to := procs[r.Intn(len(procs))]
+				if from == to {
+					continue
+				}
+				if err := m.OnDeliver(to, m.ActiveSpecs(from)); err != nil {
+					return false
+				}
+			case 2: // commit a random spec (may fail if resolved: fine)
+				if len(ids) == 0 {
+					continue
+				}
+				m.Commit(ids[r.Intn(len(ids))])
+			default: // abort a random spec
+				if len(ids) == 0 {
+					continue
+				}
+				m.Abort(ids[r.Intn(len(ids))], "r")
+			}
+			// Invariant 1 & 2: active lists only reference active specs.
+			for _, p := range procs {
+				active := m.ActiveSpecs(p)
+				if m.InSpeculation(p) != (len(active) > 0) {
+					return false
+				}
+				for _, id := range active {
+					sp := m.Get(id)
+					if sp == nil || sp.Status() != Active {
+						return false
+					}
+					// Invariant 3: membership implies a checkpoint exists.
+					if _, ok := sp.memberOf(p); !ok {
+						return false
+					}
+					if len(ctl.taken[p]) == 0 {
+						return false
+					}
+				}
+			}
+		}
+		// Invariant 4 (post-hoc): every aborted spec's members have a
+		// recorded rollback.
+		for _, id := range ids {
+			sp := m.Get(id)
+			if sp.Status() != Aborted {
+				continue
+			}
+			for _, member := range sp.Members() {
+				if ctl.rolls[member] == "" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAbortClearsActiveLists: after aborting every spec, no process
+// remains speculating, regardless of the absorption pattern.
+func TestQuickAbortClearsActiveLists(t *testing.T) {
+	procs := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewManager(newModelCtl())
+		var ids []string
+		for i := 0; i < 10; i++ {
+			p := procs[r.Intn(len(procs))]
+			id, _ := m.Begin(p, "x")
+			ids = append(ids, id)
+			for j := 0; j < r.Intn(3); j++ {
+				to := procs[r.Intn(len(procs))]
+				m.OnDeliver(to, m.ActiveSpecs(p))
+			}
+		}
+		for _, id := range ids {
+			m.Abort(id, "sweep") // cascades may have resolved some already
+		}
+		for _, p := range procs {
+			if m.InSpeculation(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,300 @@
+package speculation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// fakeCtl records checkpoint/rollback calls.
+type fakeCtl struct {
+	mu        sync.Mutex
+	nextCkpt  int
+	ckpts     []string // "proc@spec" in order taken
+	rollbacks []string // "proc->ckpt" in order performed
+	failCkpt  bool
+	failRoll  bool
+}
+
+func (f *fakeCtl) TakeCheckpoint(proc, specID string) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failCkpt {
+		return "", errors.New("ckpt failed")
+	}
+	f.nextCkpt++
+	id := fmt.Sprintf("ck%d-%s", f.nextCkpt, proc)
+	f.ckpts = append(f.ckpts, proc+"@"+specID)
+	return id, nil
+}
+
+func (f *fakeCtl) Rollback(proc, ckptID string, aborted *Speculation) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failRoll {
+		return errors.New("rollback failed")
+	}
+	f.rollbacks = append(f.rollbacks, proc+"->"+ckptID)
+	return nil
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{Active: "active", Committed: "committed", Aborted: "aborted", Status(7): "Status(7)"} {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestBeginTakesCheckpoint(t *testing.T) {
+	ctl := &fakeCtl{}
+	m := NewManager(ctl)
+	id, err := m.Begin("p1", "lock is free")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := m.Get(id)
+	if sp == nil || sp.Initiator != "p1" || sp.Assumption != "lock is free" {
+		t.Fatalf("spec = %+v", sp)
+	}
+	if sp.Status() != Active {
+		t.Errorf("status = %v", sp.Status())
+	}
+	if len(ctl.ckpts) != 1 || ctl.ckpts[0] != "p1@"+id {
+		t.Errorf("checkpoints = %v", ctl.ckpts)
+	}
+	if got := m.ActiveSpecs("p1"); len(got) != 1 || got[0] != id {
+		t.Errorf("ActiveSpecs = %v", got)
+	}
+	if !m.InSpeculation("p1") {
+		t.Error("p1 should be in speculation")
+	}
+}
+
+func TestBeginCheckpointFailure(t *testing.T) {
+	m := NewManager(&fakeCtl{failCkpt: true})
+	if _, err := m.Begin("p1", "x"); err == nil {
+		t.Error("Begin should propagate checkpoint failure")
+	}
+}
+
+func TestAbsorption(t *testing.T) {
+	ctl := &fakeCtl{}
+	m := NewManager(ctl)
+	id, _ := m.Begin("p1", "a")
+	// p1 sends to p2: message tagged with p1's active specs.
+	tags := m.ActiveSpecs("p1")
+	if err := m.OnDeliver("p2", tags); err != nil {
+		t.Fatal(err)
+	}
+	sp := m.Get(id)
+	members := sp.Members()
+	if len(members) != 2 || members[0] != "p1" || members[1] != "p2" {
+		t.Errorf("members = %v", members)
+	}
+	// Absorption checkpoints p2 before it consumes the message.
+	if len(ctl.ckpts) != 2 || ctl.ckpts[1] != "p2@"+id {
+		t.Errorf("ckpts = %v", ctl.ckpts)
+	}
+	// Re-delivery does not double-absorb.
+	m.OnDeliver("p2", tags)
+	if len(m.Get(id).Members()) != 2 {
+		t.Error("double absorption")
+	}
+	if got := m.Stats().Absorptions; got != 1 {
+		t.Errorf("absorptions = %d", got)
+	}
+}
+
+func TestAbsorptionTransitive(t *testing.T) {
+	ctl := &fakeCtl{}
+	m := NewManager(ctl)
+	id, _ := m.Begin("p1", "a")
+	m.OnDeliver("p2", m.ActiveSpecs("p1"))
+	// p2 now sends to p3; p3 must be absorbed into the same speculation.
+	m.OnDeliver("p3", m.ActiveSpecs("p2"))
+	members := m.Get(id).Members()
+	sort.Strings(members)
+	if fmt.Sprint(members) != "[p1 p2 p3]" {
+		t.Errorf("members = %v", members)
+	}
+}
+
+func TestCommitReleasesMembers(t *testing.T) {
+	m := NewManager(&fakeCtl{})
+	id, _ := m.Begin("p1", "a")
+	m.OnDeliver("p2", []string{id})
+	if err := m.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(id).Status() != Committed {
+		t.Error("not committed")
+	}
+	if m.InSpeculation("p1") || m.InSpeculation("p2") {
+		t.Error("members not released")
+	}
+	// Commit twice fails.
+	if err := m.Commit(id); !errors.Is(err, ErrNotActive) {
+		t.Errorf("second commit err = %v", err)
+	}
+	if err := m.Commit("nope"); !errors.Is(err, ErrUnknownSpec) {
+		t.Errorf("unknown commit err = %v", err)
+	}
+}
+
+func TestAbortRollsBackAllMembers(t *testing.T) {
+	ctl := &fakeCtl{}
+	m := NewManager(ctl)
+	id, _ := m.Begin("p1", "remote will ack")
+	m.OnDeliver("p2", []string{id})
+	m.OnDeliver("p3", []string{id})
+	if err := m.Abort(id, "ack timed out"); err != nil {
+		t.Fatal(err)
+	}
+	sp := m.Get(id)
+	if sp.Status() != Aborted || sp.Reason != "ack timed out" {
+		t.Errorf("spec = %+v", sp)
+	}
+	if len(ctl.rollbacks) != 3 {
+		t.Fatalf("rollbacks = %v", ctl.rollbacks)
+	}
+	// Deterministic order (sorted procs) and correct checkpoints:
+	// p1 took ck1, p2 ck2, p3 ck3.
+	want := []string{"p1->ck1-p1", "p2->ck2-p2", "p3->ck3-p3"}
+	for i, w := range want {
+		if ctl.rollbacks[i] != w {
+			t.Errorf("rollback[%d] = %s, want %s", i, ctl.rollbacks[i], w)
+		}
+	}
+	if m.InSpeculation("p1") || m.InSpeculation("p2") || m.InSpeculation("p3") {
+		t.Error("members still active after abort")
+	}
+}
+
+func TestAbortCascadesToDependentSpecs(t *testing.T) {
+	ctl := &fakeCtl{}
+	m := NewManager(ctl)
+	s1, _ := m.Begin("p1", "a1")    // p1 ck1
+	m.OnDeliver("p2", []string{s1}) // p2 ck2 joins s1
+	s2, _ := m.Begin("p2", "a2")    // p2 ck3 starts s2 *after* joining s1
+	m.OnDeliver("p3", []string{s2}) // p3 ck4 joins s2
+
+	if err := m.Abort(s1, "bad"); err != nil {
+		t.Fatal(err)
+	}
+	// s2 depends on p2's post-join state, so it must cascade-abort.
+	if got := m.Get(s2).Status(); got != Aborted {
+		t.Errorf("s2 status = %v, want aborted", got)
+	}
+	// p2 rolls back to its s1 join checkpoint (ck2), NOT the later ck3.
+	found := map[string]bool{}
+	for _, r := range ctl.rollbacks {
+		found[r] = true
+	}
+	if !found["p2->ck2-p2"] {
+		t.Errorf("p2 rollback target wrong: %v", ctl.rollbacks)
+	}
+	if !found["p1->ck1-p1"] || !found["p3->ck4-p3"] {
+		t.Errorf("rollbacks = %v", ctl.rollbacks)
+	}
+	if len(ctl.rollbacks) != 3 {
+		t.Errorf("each proc must roll back exactly once: %v", ctl.rollbacks)
+	}
+	if got := m.Stats().Aborts; got != 2 {
+		t.Errorf("aborts = %d, want 2 (incl. cascade)", got)
+	}
+}
+
+func TestAbortIndependentSpecUnaffected(t *testing.T) {
+	ctl := &fakeCtl{}
+	m := NewManager(ctl)
+	s1, _ := m.Begin("p1", "a1")
+	s2, _ := m.Begin("p9", "unrelated")
+	if err := m.Abort(s1, "bad"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(s2).Status(); got != Active {
+		t.Errorf("independent spec status = %v, want active", got)
+	}
+	if m.InSpeculation("p1") {
+		t.Error("p1 still speculating")
+	}
+	if !m.InSpeculation("p9") {
+		t.Error("p9 should still be speculating")
+	}
+}
+
+func TestAbortEarlierSpecNotCascaded(t *testing.T) {
+	// p1 joins s1 then starts s2. Aborting s2 must NOT abort s1 (s1's state
+	// precedes s2's checkpoint).
+	ctl := &fakeCtl{}
+	m := NewManager(ctl)
+	s1, _ := m.Begin("p1", "outer")
+	s2, _ := m.Begin("p1", "inner")
+	if err := m.Abort(s2, "inner failed"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(s1).Status(); got != Active {
+		t.Errorf("outer spec = %v, want active", got)
+	}
+	// p1 rolls back to the inner checkpoint (ck2).
+	if len(ctl.rollbacks) != 1 || ctl.rollbacks[0] != "p1->ck2-p1" {
+		t.Errorf("rollbacks = %v", ctl.rollbacks)
+	}
+}
+
+func TestOnDeliverUnknownSpec(t *testing.T) {
+	m := NewManager(&fakeCtl{})
+	if err := m.OnDeliver("p1", []string{"ghost"}); !errors.Is(err, ErrUnknownSpec) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOnDeliverResolvedSpecIgnored(t *testing.T) {
+	m := NewManager(&fakeCtl{})
+	id, _ := m.Begin("p1", "a")
+	m.Commit(id)
+	if err := m.OnDeliver("p2", []string{id}); err != nil {
+		t.Fatalf("delivering committed-spec message: %v", err)
+	}
+	if m.InSpeculation("p2") {
+		t.Error("p2 absorbed into committed spec")
+	}
+}
+
+func TestAbortErrors(t *testing.T) {
+	m := NewManager(&fakeCtl{})
+	if err := m.Abort("nope", "r"); !errors.Is(err, ErrUnknownSpec) {
+		t.Errorf("unknown abort err = %v", err)
+	}
+	id, _ := m.Begin("p1", "a")
+	m.Abort(id, "once")
+	if err := m.Abort(id, "twice"); !errors.Is(err, ErrNotActive) {
+		t.Errorf("double abort err = %v", err)
+	}
+}
+
+func TestAbortRollbackFailureReported(t *testing.T) {
+	ctl := &fakeCtl{}
+	m := NewManager(ctl)
+	id, _ := m.Begin("p1", "a")
+	ctl.failRoll = true
+	if err := m.Abort(id, "r"); err == nil {
+		t.Error("Abort should report rollback failure")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := NewManager(&fakeCtl{})
+	s1, _ := m.Begin("p1", "a")
+	s2, _ := m.Begin("p2", "b")
+	m.OnDeliver("p3", []string{s1})
+	m.Commit(s1)
+	m.Abort(s2, "r")
+	st := m.Stats()
+	if st.Begun != 2 || st.Commits != 1 || st.Aborts != 1 || st.Absorptions != 1 || st.Rollbacks != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,221 @@
+// Package trace models distributed execution traces: timestamped events,
+// the happens-before relation between them, and consistent cuts.
+//
+// The Scroll (paper §3.1) produces per-process event sequences; this package
+// provides the global view needed by the Time Machine to validate recovery
+// lines and by the Investigator to present violation trails.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// Kind classifies an event in a distributed execution.
+type Kind int
+
+// Event kinds.
+const (
+	Internal   Kind = iota // local computation step
+	Send                   // message transmission
+	Receive                // message delivery
+	Checkpoint             // local checkpoint taken
+	Fault                  // locally detected fault (invariant violation, crash)
+)
+
+// String returns the event kind name.
+func (k Kind) String() string {
+	switch k {
+	case Internal:
+		return "internal"
+	case Send:
+		return "send"
+	case Receive:
+		return "recv"
+	case Checkpoint:
+		return "ckpt"
+	case Fault:
+		return "fault"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is a single step of one process in a distributed execution.
+type Event struct {
+	Proc    string    // process that performed the event
+	Seq     int       // 0-based index within the process's local order
+	Kind    Kind      // what happened
+	MsgID   string    // for Send/Receive: message identity linking the pair
+	Peer    string    // for Send/Receive: the other endpoint
+	Clock   vclock.VC // vector timestamp at the event
+	Lamport uint64    // Lamport timestamp (total-order tiebreak)
+	Label   string    // human-readable description
+}
+
+// ID returns a unique identifier "proc/seq" for the event.
+func (e Event) ID() string { return fmt.Sprintf("%s/%d", e.Proc, e.Seq) }
+
+// Trace is an ordered collection of events from one or many processes.
+type Trace struct {
+	events []Event
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Append adds an event to the trace.
+func (t *Trace) Append(e Event) { t.events = append(t.events, e) }
+
+// Len returns the number of events recorded.
+func (t *Trace) Len() int { return len(t.events) }
+
+// Events returns the events in insertion order. The returned slice is shared;
+// callers must not mutate it.
+func (t *Trace) Events() []Event { return t.events }
+
+// ByProcess groups events by process, each group in local (Seq) order.
+func (t *Trace) ByProcess() map[string][]Event {
+	m := make(map[string][]Event)
+	for _, e := range t.events {
+		m[e.Proc] = append(m[e.Proc], e)
+	}
+	for _, evs := range m {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	}
+	return m
+}
+
+// TotalOrder returns all events sorted by (Lamport, Proc, Seq): a total order
+// consistent with happens-before, as used for merged Scroll presentation
+// (paper §2.2 "impose a total order on all the messages sent in the system").
+func (t *Trace) TotalOrder() []Event {
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Lamport != b.Lamport {
+			return a.Lamport < b.Lamport
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// HappensBefore reports whether event a causally precedes event b, using
+// their vector clocks.
+func HappensBefore(a, b Event) bool { return a.Clock.HappensBefore(b.Clock) }
+
+// Cut maps each process to the number of its events included in the cut
+// (a frontier: events with Seq < Cut[proc] are inside).
+type Cut map[string]int
+
+// Consistent reports whether the cut is consistent with respect to the
+// trace: every Receive inside the cut has its matching Send inside the cut
+// (no orphan messages). Messages sent but not yet received (in-transit) are
+// permitted; a recovery implementation must replay them from the Scroll.
+func (c Cut) Consistent(t *Trace) bool {
+	sends := make(map[string]bool) // msgID -> send inside cut
+	for _, e := range t.events {
+		if e.Kind == Send && e.Seq < c[e.Proc] {
+			sends[e.MsgID] = true
+		}
+	}
+	for _, e := range t.events {
+		if e.Kind == Receive && e.Seq < c[e.Proc] && !sends[e.MsgID] {
+			return false
+		}
+	}
+	return true
+}
+
+// InTransit returns the IDs of messages sent inside the cut but not received
+// inside it. These are the channel contents of the global state at the cut.
+func (c Cut) InTransit(t *Trace) []string {
+	sent := make(map[string]bool)
+	for _, e := range t.events {
+		if e.Kind == Send && e.Seq < c[e.Proc] {
+			sent[e.MsgID] = true
+		}
+	}
+	for _, e := range t.events {
+		if e.Kind == Receive && e.Seq < c[e.Proc] {
+			delete(sent, e.MsgID)
+		}
+	}
+	ids := make([]string, 0, len(sent))
+	for id := range sent {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// MaxConsistentCut computes the largest consistent cut at or below the given
+// limit cut, by iteratively rolling back receives whose sends are excluded.
+// This is the classic rollback-propagation fixpoint used to find recovery
+// lines (paper Fig. 6); with pathological checkpoint placement it exhibits
+// the domino effect, which experiment E6 measures.
+func MaxConsistentCut(t *Trace, limit Cut) Cut {
+	cut := make(Cut, len(limit))
+	for p, n := range limit {
+		cut[p] = n
+	}
+	byProc := t.ByProcess()
+	for {
+		changed := false
+		sends := make(map[string]bool)
+		for _, e := range t.events {
+			if e.Kind == Send && e.Seq < cut[e.Proc] {
+				sends[e.MsgID] = true
+			}
+		}
+		for proc, evs := range byProc {
+			for _, e := range evs {
+				if e.Seq >= cut[proc] {
+					break
+				}
+				if e.Kind == Receive && !sends[e.MsgID] {
+					// Roll this process back to just before the orphan receive.
+					cut[proc] = e.Seq
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			return cut
+		}
+	}
+}
+
+// Clone returns an independent copy of the cut.
+func (c Cut) Clone() Cut {
+	out := make(Cut, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the cut deterministically.
+func (c Cut) String() string {
+	procs := make([]string, 0, len(c))
+	for p := range c {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	s := "cut{"
+	for i, p := range procs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", p, c[p])
+	}
+	return s + "}"
+}

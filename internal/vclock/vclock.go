@@ -1,0 +1,174 @@
+// Package vclock implements logical clocks for distributed executions:
+// Lamport scalar clocks and vector clocks.
+//
+// FixD uses vector clocks to timestamp checkpoints and messages so that the
+// Time Machine (paper §3.2) and the recovery-line algorithms (paper §4.2,
+// Fig. 6) can decide whether two local states are causally consistent.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VC is a vector clock: a map from process ID to the count of events that
+// process has performed, as known to the clock's owner.
+//
+// The zero value is a usable, empty clock. VC values are not safe for
+// concurrent mutation; callers synchronize externally or work on copies.
+type VC map[string]uint64
+
+// New returns an empty vector clock.
+func New() VC { return make(VC) }
+
+// Tick increments the component for process id and returns the clock.
+func (v VC) Tick(id string) VC {
+	v[id]++
+	return v
+}
+
+// Get returns the component for process id (zero if absent).
+func (v VC) Get(id string) uint64 { return v[id] }
+
+// Set assigns the component for process id.
+func (v VC) Set(id string, n uint64) { v[id] = n }
+
+// Copy returns an independent copy of the clock.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	for k, n := range v {
+		c[k] = n
+	}
+	return c
+}
+
+// Merge sets v to the component-wise maximum of v and o and returns v.
+// Merge implements the "receive" rule of vector clocks.
+func (v VC) Merge(o VC) VC {
+	for k, n := range o {
+		if n > v[k] {
+			v[k] = n
+		}
+	}
+	return v
+}
+
+// Ordering is the causal relationship between two vector clocks.
+type Ordering int
+
+// Possible causal relationships.
+const (
+	Equal      Ordering = iota // identical clocks
+	Before                     // strictly happens-before
+	After                      // strictly happens-after
+	Concurrent                 // causally unrelated
+)
+
+// String returns a human-readable name for the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Compare returns the causal ordering of v relative to o.
+func (v VC) Compare(o VC) Ordering {
+	var vLess, oLess bool // v has a strictly smaller / larger component
+	for k, n := range v {
+		m := o[k]
+		switch {
+		case n < m:
+			vLess = true
+		case n > m:
+			oLess = true
+		}
+	}
+	for k, m := range o {
+		if _, seen := v[k]; seen {
+			continue // already compared above
+		}
+		if m > 0 {
+			vLess = true
+		}
+	}
+	switch {
+	case vLess && oLess:
+		return Concurrent
+	case vLess:
+		return Before
+	case oLess:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// HappensBefore reports whether v strictly precedes o causally.
+func (v VC) HappensBefore(o VC) bool { return v.Compare(o) == Before }
+
+// ConcurrentWith reports whether v and o are causally unrelated.
+func (v VC) ConcurrentWith(o VC) bool { return v.Compare(o) == Concurrent }
+
+// DominatesOrEqual reports whether v >= o component-wise (v "knows about"
+// everything o knows about). This is the consistency test used when picking
+// recovery lines: a cut is consistent iff each member's clock is not exceeded
+// by what any peer believes about it.
+func (v VC) DominatesOrEqual(o VC) bool {
+	c := v.Compare(o)
+	return c == Equal || c == After
+}
+
+// String renders the clock deterministically, e.g. "{a:1 b:3}".
+func (v VC) String() string {
+	ids := make([]string, 0, len(v))
+	for k := range v {
+		ids = append(ids, k)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", id, v[id])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Lamport is a scalar logical clock (Lamport 1978). It provides a total
+// order extension of happens-before, used by the Scroll to impose a global
+// order on merged log records (paper §2.2).
+type Lamport struct {
+	t uint64
+}
+
+// Now returns the current clock value without advancing it.
+func (l *Lamport) Now() uint64 { return l.t }
+
+// Tick advances the clock for a local event and returns the new value.
+func (l *Lamport) Tick() uint64 {
+	l.t++
+	return l.t
+}
+
+// Witness merges an observed remote timestamp and advances the clock,
+// implementing the Lamport receive rule; it returns the new value.
+func (l *Lamport) Witness(remote uint64) uint64 {
+	if remote > l.t {
+		l.t = remote
+	}
+	l.t++
+	return l.t
+}

@@ -1,0 +1,410 @@
+// Package wal implements a segmented, checksummed, append-only record log.
+//
+// The Scroll (paper §3.1) needs durable storage that survives process
+// crashes: liblog writes libc results to a file, Flashback logs at kernel
+// level. This package is the Go equivalent: length-prefixed records with
+// CRC-32 integrity, split across fixed-size segment files, with recovery
+// that tolerates a torn final record.
+//
+// Record layout (little endian):
+//
+//	uint32 length | uint32 crc32(payload) | payload
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	headerSize = 8 // uint32 length + uint32 crc
+	// DefaultSegmentSize is the default maximum byte size of one segment file.
+	DefaultSegmentSize = 4 << 20
+	segPrefix          = "seg-"
+	segSuffix          = ".wal"
+)
+
+// ErrCorrupt is returned when a record fails its CRC check in the middle of
+// a segment (a torn *final* record is silently truncated instead, matching
+// crash-recovery semantics).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Options configures a Log.
+type Options struct {
+	// SegmentSize is the maximum size in bytes of a segment file before the
+	// log rolls to a new one. Zero means DefaultSegmentSize.
+	SegmentSize int64
+	// Sync forces an fsync after every append. Slower, but a crash loses at
+	// most a torn final record rather than the OS write-back window.
+	Sync bool
+}
+
+// Log is an append-only record log stored in a directory of segment files.
+// It is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	dir     string
+	opts    Options
+	seg     *os.File // active segment
+	segIdx  int      // index of active segment
+	segSize int64    // bytes written to active segment
+	count   int64    // records appended in this session + found at open
+	closed  bool
+}
+
+// Open opens (or creates) a log in dir. Existing segments are scanned so
+// Count reflects all durable records; appends go to a fresh segment.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range segs {
+		n, _, err := scanSegment(l.segPath(idx))
+		if err != nil {
+			return nil, err
+		}
+		l.count += n
+		l.segIdx = idx + 1
+	}
+	if err := l.roll(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Log) segPath(idx int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix))
+}
+
+// segments returns the sorted indices of existing segment files.
+func (l *Log) segments() ([]int, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", l.dir, err)
+	}
+	var idxs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		idx, err := strconv.Atoi(num)
+		if err != nil {
+			continue // not ours
+		}
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// roll closes the active segment and opens the next one.
+func (l *Log) roll() error {
+	if l.seg != nil {
+		if err := l.seg.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+	}
+	f, err := os.OpenFile(l.segPath(l.segIdx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.seg = f
+	l.segIdx++
+	l.segSize = 0
+	return nil
+}
+
+// Append writes one record and returns its global index (0-based).
+func (l *Log) Append(payload []byte) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: append to closed log")
+	}
+	if l.segSize+headerSize+int64(len(payload)) > l.opts.SegmentSize && l.segSize > 0 {
+		if err := l.roll(); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.seg.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: write header: %w", err)
+	}
+	if _, err := l.seg.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: write payload: %w", err)
+	}
+	if l.opts.Sync {
+		if err := l.seg.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.segSize += headerSize + int64(len(payload))
+	idx := l.count
+	l.count++
+	return idx, nil
+}
+
+// Count returns the number of records in the log (durable + this session).
+func (l *Log) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil {
+		return nil
+	}
+	return l.seg.Sync()
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.seg != nil {
+		if err := l.seg.Sync(); err != nil {
+			l.seg.Close()
+			return err
+		}
+		return l.seg.Close()
+	}
+	return nil
+}
+
+// scanSegment validates a segment and returns (records, validBytes, err).
+// A torn record at the very end is tolerated (truncated read); corruption
+// before that returns ErrCorrupt.
+func scanSegment(path string) (int64, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	var (
+		n     int64
+		off   int64
+		hdr   [headerSize]byte
+		stat  os.FileInfo
+		total int64
+	)
+	if stat, err = f.Stat(); err != nil {
+		return 0, 0, err
+	}
+	total = stat.Size()
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return n, off, nil // clean end or torn header
+			}
+			return n, off, err
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if off+headerSize+length > total {
+			return n, off, nil // torn payload at tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return n, off, nil
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			if off+headerSize+length == total {
+				return n, off, nil // torn final record
+			}
+			return n, off, fmt.Errorf("%w: segment %s offset %d", ErrCorrupt, path, off)
+		}
+		off += headerSize + length
+		n++
+	}
+}
+
+// Reader iterates over all records of a log directory in append order.
+type Reader struct {
+	dir    string
+	segs   []int
+	segPos int
+	f      *os.File
+	path   string
+	offset int64
+	size   int64
+}
+
+// NewReader opens a reader over the log directory.
+func NewReader(dir string) (*Reader, error) {
+	l := &Log{dir: dir}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{dir: dir, segs: segs}, nil
+}
+
+// Next returns the next record payload, or io.EOF after the last record.
+// Torn tail records are skipped (treated as end of that segment); mid-file
+// corruption returns ErrCorrupt.
+func (r *Reader) Next() ([]byte, error) {
+	for {
+		if r.f == nil {
+			if r.segPos >= len(r.segs) {
+				return nil, io.EOF
+			}
+			l := &Log{dir: r.dir}
+			r.path = l.segPath(r.segs[r.segPos])
+			f, err := os.Open(r.path)
+			if err != nil {
+				return nil, err
+			}
+			stat, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			r.f, r.offset, r.size = f, 0, stat.Size()
+			r.segPos++
+		}
+		var hdr [headerSize]byte
+		if _, err := io.ReadFull(r.f, hdr[:]); err != nil {
+			r.f.Close()
+			r.f = nil
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				continue // next segment
+			}
+			return nil, err
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if r.offset+headerSize+length > r.size {
+			r.f.Close()
+			r.f = nil
+			continue // torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r.f, payload); err != nil {
+			r.f.Close()
+			r.f = nil
+			continue
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			if r.offset+headerSize+length == r.size {
+				r.f.Close()
+				r.f = nil
+				continue // torn final record
+			}
+			r.f.Close()
+			r.f = nil
+			return nil, fmt.Errorf("%w: segment %s offset %d", ErrCorrupt, r.path, r.offset)
+		}
+		r.offset += headerSize + length
+		return payload, nil
+	}
+}
+
+// Close releases the reader's resources.
+func (r *Reader) Close() error {
+	if r.f != nil {
+		err := r.f.Close()
+		r.f = nil
+		return err
+	}
+	return nil
+}
+
+// Rewrite atomically replaces the log's contents with the given records:
+// they are written to fresh segments and the old segments are removed.
+// The log must be open; subsequent appends continue after the new
+// contents. The Scroll uses this to persist truncation after a rollback
+// (paper §3.2: the rolled-back suffix of the log is invalid).
+func (l *Log) Rewrite(payloads [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: rewrite on closed log")
+	}
+	old, err := l.segments()
+	if err != nil {
+		return err
+	}
+	// Roll to a fresh segment beyond all existing ones, write the new
+	// contents, then unlink the old segments. The window between the new
+	// generation's sync and the unlinks is not atomic: a crash inside it
+	// leaves records of both generations visible and requires operator
+	// attention — the same trade-off Flashback documents for its logs.
+	if err := l.roll(); err != nil {
+		return err
+	}
+	l.count = 0
+	for _, p := range payloads {
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(p))
+		if _, err := l.seg.Write(hdr[:]); err != nil {
+			return fmt.Errorf("wal: rewrite: %w", err)
+		}
+		if _, err := l.seg.Write(p); err != nil {
+			return fmt.Errorf("wal: rewrite: %w", err)
+		}
+		l.segSize += headerSize + int64(len(p))
+		l.count++
+	}
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: rewrite sync: %w", err)
+	}
+	for _, idx := range old {
+		if idx >= l.segIdx-1 {
+			continue // the segment we just wrote
+		}
+		if err := os.Remove(l.segPath(idx)); err != nil {
+			return fmt.Errorf("wal: rewrite cleanup: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadAll returns every record in the log directory, in order.
+func ReadAll(dir string) ([][]byte, error) {
+	r, err := NewReader(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var out [][]byte
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

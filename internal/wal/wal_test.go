@@ -1,0 +1,314 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndReadAll(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("alpha"), []byte("beta"), []byte(""), []byte("gamma")}
+	for i, p := range want {
+		idx, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != int64(i) {
+			t.Errorf("Append index = %d, want %d", idx, i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ReadAll len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSegmentRolling(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("record-%02d-padding-padding", i))
+		want = append(want, p)
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	entries, _ := os.ReadDir(dir)
+	if len(entries) < 2 {
+		t.Fatalf("expected multiple segments, got %d files", len(entries))
+	}
+	got, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReopenCountsExisting(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	for i := 0; i < 5; i++ {
+		l.Append([]byte("x"))
+	}
+	l.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Count(); got != 5 {
+		t.Errorf("Count after reopen = %d, want 5", got)
+	}
+	l2.Append([]byte("y"))
+	if got := l2.Count(); got != 6 {
+		t.Errorf("Count after append = %d, want 6", got)
+	}
+	l2.Close()
+	recs, _ := ReadAll(dir)
+	if len(recs) != 6 {
+		t.Errorf("ReadAll after reopen = %d records, want 6", len(recs))
+	}
+}
+
+func TestTornFinalRecordTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	l.Append([]byte("good-1"))
+	l.Append([]byte("good-2"))
+	l.Close()
+	// Truncate the tail of the segment mid-record to simulate a crash.
+	path := filepath.Join(dir, "seg-00000000.wal")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(dir)
+	if err != nil {
+		t.Fatalf("ReadAll after torn tail: %v", err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "good-1" {
+		t.Errorf("got %d records (%q), want only good-1", len(recs), recs)
+	}
+	// Reopen must also tolerate it and count 1.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Count(); got != 1 {
+		t.Errorf("Count after torn tail = %d, want 1", got)
+	}
+}
+
+func TestMidFileCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	l.Append([]byte("record-one"))
+	l.Append([]byte("record-two"))
+	l.Close()
+	path := filepath.Join(dir, "seg-00000000.wal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+2] ^= 0xFF // flip a byte inside the first payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadAll(dir)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ReadAll error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	l.Close()
+	if _, err := l.Append([]byte("x")); err == nil {
+		t.Error("Append after Close should fail")
+	}
+}
+
+func TestReaderAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{SegmentSize: 32})
+	for i := 0; i < 10; i++ {
+		l.Append([]byte(fmt.Sprintf("payload-%d", i)))
+	}
+	l.Close()
+	r, err := NewReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("payload-%d", n); string(rec) != want {
+			t.Errorf("record %d = %q, want %q", n, rec, want)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("read %d records, want 10", n)
+	}
+}
+
+func TestSyncOption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+}
+
+func TestEmptyLogReadAll(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	l.Close()
+	recs, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("empty log has %d records", len(recs))
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// Property: any sequence of payloads reads back identical and in order,
+	// regardless of segment size.
+	f := func(payloads [][]byte, segSizeSeed uint8) bool {
+		dir := t.TempDir()
+		segSize := int64(segSizeSeed)%256 + 16
+		l, err := Open(dir, Options{SegmentSize: segSize})
+		if err != nil {
+			return false
+		}
+		for _, p := range payloads {
+			if _, err := l.Append(p); err != nil {
+				return false
+			}
+		}
+		l.Close()
+		got, err := ReadAll(dir)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(payloads) {
+			return false
+		}
+		for i := range payloads {
+			if !bytes.Equal(got[i], payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{SegmentSize: 48})
+	for i := 0; i < 10; i++ {
+		l.Append([]byte(fmt.Sprintf("old-%d", i)))
+	}
+	if err := l.Rewrite([][]byte{[]byte("new-0"), []byte("new-1")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Count(); got != 2 {
+		t.Errorf("Count after rewrite = %d, want 2", got)
+	}
+	// New appends continue after the rewritten contents.
+	if _, err := l.Append([]byte("new-2")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	recs, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3: %q", len(recs), recs)
+	}
+	for i, want := range []string{"new-0", "new-1", "new-2"} {
+		if string(recs[i]) != want {
+			t.Errorf("record %d = %q, want %q", i, recs[i], want)
+		}
+	}
+}
+
+func TestRewriteEmpty(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	l.Append([]byte("x"))
+	if err := l.Rewrite(nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	recs, _ := ReadAll(dir)
+	if len(recs) != 0 {
+		t.Errorf("records after empty rewrite = %d", len(recs))
+	}
+}
+
+func TestRewriteClosed(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	l.Close()
+	if err := l.Rewrite(nil); err == nil {
+		t.Error("Rewrite on closed log should fail")
+	}
+}
