@@ -1,6 +1,6 @@
 package repro
 
-// One benchmark per paper figure (see DESIGN.md §4). The full table
+// One benchmark per paper figure (see README.md for the index). The full table
 // regeneration lives in cmd/fixd-bench; these testing.B benchmarks measure
 // the core operation behind each experiment so regressions are visible in
 // standard Go tooling.

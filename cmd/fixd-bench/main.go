@@ -1,6 +1,6 @@
 // fixd-bench regenerates every figure of the paper as a quantitative
-// experiment and prints the result tables (see DESIGN.md §4 and
-// EXPERIMENTS.md for the mapping).
+// experiment and prints the result tables (see README.md for the
+// experiment index).
 //
 // Usage:
 //
@@ -18,28 +18,30 @@ import (
 	"repro/internal/experiments"
 )
 
+// runners maps experiment IDs to their table generators.
+var runners = map[string]func(bool) *experiments.Table{
+	"E1":  experiments.RunE1,
+	"E2":  experiments.RunE2,
+	"E3":  experiments.RunE3,
+	"E4":  experiments.RunE4,
+	"E5":  experiments.RunE5,
+	"E6":  experiments.RunE6,
+	"E7":  experiments.RunE7,
+	"E8":  experiments.RunE8,
+	"E9":  experiments.RunE9,
+	"ABL": experiments.RunAblations,
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	only := flag.String("only", "", "run a single experiment (E1..E9 or ABL)")
 	flag.Parse()
-
-	runners := map[string]func(bool) *experiments.Table{
-		"E1":  experiments.RunE1,
-		"E2":  experiments.RunE2,
-		"E3":  experiments.RunE3,
-		"E4":  experiments.RunE4,
-		"E5":  experiments.RunE5,
-		"E6":  experiments.RunE6,
-		"E7":  experiments.RunE7,
-		"E8":  experiments.RunE8,
-		"ABL": experiments.RunAblations,
-	}
 
 	if *only != "" {
 		id := strings.ToUpper(*only)
 		run, ok := runners[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "fixd-bench: unknown experiment %q (want E1..E8 or ABL)\n", *only)
+			fmt.Fprintf(os.Stderr, "fixd-bench: unknown experiment %q (want E1..E9 or ABL)\n", *only)
 			os.Exit(2)
 		}
 		fmt.Print(run(*quick).Format())

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"repro/fixd"
 	"repro/internal/apps"
@@ -23,7 +26,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	maxStates := flag.Int("max-states", 50_000, "investigation state budget")
 	flag.Parse()
+	if err := run(*seed, *maxStates, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-demo:", err)
+		os.Exit(1)
+	}
+}
 
+// run executes the narrated pipeline; the demo is test-invokable with a
+// small state budget.
+func run(seed int64, maxStates int, out io.Writer) error {
 	bugCfg := apps.TwoPCConfig{
 		Participants: 2, NoVoters: []int{1}, SlowVoters: []int{1},
 		Timeout: 10, VoteDelay: 100, Buggy: true,
@@ -38,7 +49,7 @@ func main() {
 	}
 
 	sys := fixd.New(fixd.Config{
-		Seed: *seed, MinLatency: 1, MaxLatency: 2, MaxSteps: 5000,
+		Seed: seed, MinLatency: 1, MaxLatency: 2, MaxSteps: 5000,
 		CICheckpoint: true,
 	})
 	for id := range apps.NewTwoPC(bugCfg) {
@@ -48,57 +59,61 @@ func main() {
 	sys.AddInvariant(apps.TwoPCAtomicity())
 	sys.Protect(fixd.ProtectOptions{
 		StopAtFirstViolation: true,
-		MaxStates:            *maxStates,
+		MaxStates:            maxStates,
 		MaxDepth:             40,
 		AutoHeal:             &fixd.Program{Version: "2pc-fixed", Factories: fixedFactories},
 	})
 
-	fmt.Println("[ run ] starting buggy two-phase commit under FixD protection ...")
+	fmt.Fprintln(out, "[ run ] starting buggy two-phase commit under FixD protection ...")
 	sys.Run()
 	resp := sys.Response()
 	if resp == nil {
-		fmt.Println("[ run ] completed without faults — nothing to do")
-		return
+		fmt.Fprintln(out, "[ run ] completed without faults — nothing to do")
+		return nil
 	}
 
-	fmt.Printf("[detect] %s reported: %s (t=%d, clock=%s)\n",
+	fmt.Fprintf(out, "[detect] %s reported: %s (t=%d, clock=%s)\n",
 		resp.Fault.Proc, resp.Fault.Desc, resp.Fault.Time, resp.Fault.Clock)
-	fmt.Printf("[rollbk] consistent recovery line over %d checkpoints, %d protocol messages\n",
+	fmt.Fprintf(out, "[rollbk] consistent recovery line over %d checkpoints, %d protocol messages\n",
 		len(resp.Line), resp.Messages)
-	for proc, ck := range resp.Line {
-		fmt.Printf("         %-8s -> %s @ %s\n", proc, ck, resp.LineClocks[proc])
+	procs := make([]string, 0, len(resp.Line))
+	for proc := range resp.Line {
+		procs = append(procs, proc)
+	}
+	sort.Strings(procs)
+	for _, proc := range procs {
+		fmt.Fprintf(out, "         %-8s -> %s @ %s\n", proc, resp.Line[proc], resp.LineClocks[proc])
 	}
 
 	inv := resp.Investigation
-	fmt.Printf("[invest] explored %d states / %d transitions (depth <= %d, truncated=%v)\n",
+	fmt.Fprintf(out, "[invest] explored %d states / %d transitions (depth <= %d, truncated=%v)\n",
 		inv.StatesExplored, inv.Transitions, inv.MaxDepth, inv.Truncated)
 	if !inv.Violating() {
-		fmt.Println("[invest] no violation trails found")
-		os.Exit(1)
+		return errors.New("investigation found no violation trails")
 	}
 	trail := inv.ShortestTrail()
-	fmt.Printf("[invest] shortest trail to %q (%d steps):\n", trail.Invariant, len(trail.Steps))
+	fmt.Fprintf(out, "[invest] shortest trail to %q (%d steps):\n", trail.Invariant, len(trail.Steps))
 	for i, step := range trail.Steps {
-		fmt.Printf("         %2d. %s\n", i+1, step)
+		fmt.Fprintf(out, "         %2d. %s\n", i+1, step)
 	}
 
 	if resp.Heal == nil {
-		fmt.Println("[ heal ] skipped (no recovery line)")
-		return
+		fmt.Fprintln(out, "[ heal ] skipped (no recovery line)")
+		return nil
 	}
-	fmt.Printf("[ heal ] dynamic update to %q: typeSafe=%v invariants=%v verified=%v\n",
+	fmt.Fprintf(out, "[ heal ] dynamic update to %q: typeSafe=%v invariants=%v verified=%v\n",
 		resp.Heal.Version, resp.Heal.TypeSafe, resp.Heal.InvariantsOK, resp.Heal.Verified())
 	if !resp.Heal.Verified() {
 		for _, f := range resp.Heal.Failures {
-			fmt.Printf("         refused: %s\n", f)
+			fmt.Fprintf(out, "         refused: %s\n", f)
 		}
-		return
+		return errors.New("heal refused")
 	}
-	fmt.Println("[resume] continuing from the recovery line with the corrected program ...")
+	fmt.Fprintln(out, "[resume] continuing from the recovery line with the corrected program ...")
 	sys.Resume()
 	if bad := sys.CheckInvariants(); len(bad) > 0 {
-		fmt.Printf("[resume] invariants still violated: %v\n", bad)
-		os.Exit(1)
+		return fmt.Errorf("invariants still violated after resume: %v", bad)
 	}
-	fmt.Println("[ done ] system recovered; all invariants hold")
+	fmt.Fprintln(out, "[ done ] system recovered; all invariants hold")
+	return nil
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDemoRuns invokes the full narrated pipeline with the default seed —
+// the same execution `fixd-demo` performs — and checks every stage
+// banner. (The demo finishes in milliseconds; no wall-clock assertion, as
+// those flake on contended CI runners.)
+func TestDemoRuns(t *testing.T) {
+	var out strings.Builder
+	if err := run(1, 50_000, &out); err != nil {
+		t.Fatalf("demo failed: %v\n%s", err, out.String())
+	}
+	for _, marker := range []string{"[detect]", "[rollbk]", "[invest]", "[ heal ]", "[resume]", "[ done ]"} {
+		if !strings.Contains(out.String(), marker) {
+			t.Errorf("output missing %s stage:\n%s", marker, out.String())
+		}
+	}
+}
+
+// TestDemoDeterministic: the narrated run is reproducible byte-for-byte.
+func TestDemoDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run(1, 20_000, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, 20_000, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two runs with the same seed printed different narratives")
+	}
+}

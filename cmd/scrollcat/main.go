@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,26 +45,32 @@ func main() {
 		}
 	}()
 
+	dump(os.Stdout, scrolls, *merge, *kindFilter)
+}
+
+// dump prints the scrolls, merged into global Lamport order or grouped
+// per process, optionally filtered by record kind.
+func dump(out io.Writer, scrolls []*scroll.Scroll, merge bool, kindFilter string) {
 	show := func(r scroll.Record) {
-		if *kindFilter != "" && r.Kind.String() != strings.ToLower(*kindFilter) {
+		if kindFilter != "" && r.Kind.String() != strings.ToLower(kindFilter) {
 			return
 		}
 		payload := string(r.Payload)
 		if len(payload) > 40 {
 			payload = payload[:37] + "..."
 		}
-		fmt.Printf("%8d  %-10s %-6s seq=%-5d msg=%-8s peer=%-10s clock=%s %q\n",
+		fmt.Fprintf(out, "%8d  %-10s %-6s seq=%-5d msg=%-8s peer=%-10s clock=%s %q\n",
 			r.Lamport, r.Proc, r.Kind, r.Seq, r.MsgID, r.Peer, r.Clock, payload)
 	}
 
-	if *merge {
+	if merge {
 		for _, r := range scroll.Merge(scrolls...) {
 			show(r)
 		}
 		return
 	}
 	for _, s := range scrolls {
-		fmt.Printf("--- %s (%d records) ---\n", s.Proc(), s.Len())
+		fmt.Fprintf(out, "--- %s (%d records) ---\n", s.Proc(), s.Len())
 		for _, r := range s.Records() {
 			show(r)
 		}

@@ -4,8 +4,8 @@
 //
 // The public API lives in package repro/fixd; the substrates (Scroll,
 // Time Machine, Investigator, Healer, ModelD, distributed speculations,
-// deterministic simulator, live transport) live under repro/internal.
-// See README.md, DESIGN.md and EXPERIMENTS.md.
+// deterministic simulator, chaos engine, live transport) live under
+// repro/internal. See README.md for the layout and the experiment index.
 //
 // The benchmarks in bench_test.go regenerate the measurement behind every
 // figure of the paper; run them with:

@@ -1,0 +1,7 @@
+package main
+
+import "testing"
+
+// TestMainRuns invokes the audit narrative end to end, exactly as
+// `go run ./examples/bankaudit` would.
+func TestMainRuns(t *testing.T) { main() }

@@ -1,0 +1,7 @@
+package main
+
+import "testing"
+
+// TestMainRuns drives the live TCP ping-pong plus offline replay, exactly
+// as `go run ./examples/livereplay` would.
+func TestMainRuns(t *testing.T) { main() }

@@ -11,6 +11,8 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 
 	"repro/fixd"
 )
@@ -69,6 +71,12 @@ func (p *producer) OnTimer(fixd.Context, string)               {}
 func (p *producer) OnRollback(fixd.Context, fixd.RollbackInfo) {}
 
 func main() {
+	run(os.Stdout)
+}
+
+// run wires up and executes the protected job queue; extracted from main
+// so the quickstart is invokable from tests.
+func run(out io.Writer) {
 	sys := fixd.New(fixd.Config{Seed: 1, CICheckpoint: true, MaxSteps: 10_000})
 	sys.Add("worker", func() fixd.Machine { return &worker{} })
 	sys.Add("producer", func() fixd.Machine { return &producer{n: 8} })
@@ -96,30 +104,30 @@ func main() {
 		MaxDepth:             32,
 	})
 
-	fmt.Println("running job queue under FixD ...")
+	fmt.Fprintln(out, "running job queue under FixD ...")
 	sys.Run()
 
 	if bad := sys.CheckInvariants(); len(bad) > 0 {
-		fmt.Printf("invariants violated at quiescence: %v\n", bad)
+		fmt.Fprintf(out, "invariants violated at quiescence: %v\n", bad)
 	}
 	resp := sys.Response()
 	if resp == nil {
 		// The invariant fires during investigation even when no local
 		// fault was raised: show the merged scroll as the diagnostic.
-		fmt.Println("no local fault was raised; inspecting the scroll instead:")
+		fmt.Fprintln(out, "no local fault was raised; inspecting the scroll instead:")
 		for _, r := range sys.MergedScroll()[:8] {
-			fmt.Printf("  %6d %-9s %-6s %q\n", r.Lamport, r.Proc, r.Kind, r.Payload)
+			fmt.Fprintf(out, "  %6d %-9s %-6s %q\n", r.Lamport, r.Proc, r.Kind, r.Payload)
 		}
 		d, err := sys.Diagnose("worker")
 		if err != nil {
-			fmt.Println("diagnose:", err)
+			fmt.Fprintln(out, "diagnose:", err)
 			return
 		}
-		fmt.Printf("liblog-style replay of worker: %d events, diverged=%v\n", d.Events, d.Diverged)
+		fmt.Fprintf(out, "liblog-style replay of worker: %d events, diverged=%v\n", d.Events, d.Diverged)
 		return
 	}
-	fmt.Printf("fault: %s — %s\n", resp.Fault.Proc, resp.Fault.Desc)
+	fmt.Fprintf(out, "fault: %s — %s\n", resp.Fault.Proc, resp.Fault.Desc)
 	if tr := resp.Investigation.ShortestTrail(); tr != nil {
-		fmt.Printf("trail to %q: %v\n", tr.Invariant, tr.Steps)
+		fmt.Fprintf(out, "trail to %q: %v\n", tr.Invariant, tr.Steps)
 	}
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns invokes the quickstart end to end (the same path as
+// `go run ./examples/quickstart`): the seeded bug violates the invariant
+// and the scroll-based diagnosis replays the worker without divergence.
+func TestQuickstartRuns(t *testing.T) {
+	var out strings.Builder
+	run(&out)
+	got := out.String()
+	if !strings.Contains(got, "invariants violated at quiescence: [no job lost]") {
+		t.Errorf("seeded bug not detected:\n%s", got)
+	}
+	if !strings.Contains(got, "diverged=false") {
+		t.Errorf("liblog-style replay diverged or never ran:\n%s", got)
+	}
+}

@@ -1,0 +1,74 @@
+package fixd_test
+
+import (
+	"testing"
+
+	"repro/fixd"
+	"repro/internal/apps"
+)
+
+// TestChaosEntryPoint: the public matrix sweep passes on a single seed.
+func TestChaosEntryPoint(t *testing.T) {
+	rep := fixd.Chaos(1)
+	if len(rep.Cells) == 0 {
+		t.Fatal("empty report")
+	}
+	for _, c := range rep.Failures() {
+		t.Errorf("%s: %s", c.Cell, c.Fail())
+	}
+}
+
+// TestInjectChaos: a user-composed schedule is armed on a protected
+// system and the injected drop visibly perturbs the run while the app's
+// invariant survives.
+func TestInjectChaos(t *testing.T) {
+	run := func(sched fixd.ChaosSchedule) (fixd.Stats, []string) {
+		cfg := apps.ElectionConfig{N: 4}
+		sys := fixd.New(fixd.Config{Seed: 3, MinLatency: 1, MaxLatency: 3, MaxSteps: 50_000})
+		for id := range apps.NewElection(cfg) {
+			id := id
+			sys.Add(id, func() fixd.Machine { return apps.NewElection(cfg)[id] })
+		}
+		sys.AddInvariant(apps.ElectionSafety())
+		sys.InjectChaos(sched)
+		stats := sys.Run()
+		return stats, sys.CheckInvariants()
+	}
+	sched := fixd.ChaosSchedule{{
+		Kind:      fixd.FaultDrop,
+		Window:    fixd.ChaosWindow{From: 0, To: 1 << 30},
+		Intensity: fixd.ChaosIntensity{Prob: 1.0},
+	}}
+	stats, violated := run(sched)
+	if stats.Dropped == 0 {
+		t.Error("drop schedule did not drop anything")
+	}
+	if len(violated) != 0 {
+		t.Errorf("safety violated under total message loss: %v", violated)
+	}
+	clean, _ := run(nil)
+	if clean.Dropped != 0 {
+		t.Errorf("baseline run dropped %d messages", clean.Dropped)
+	}
+}
+
+// TestShrinkChaos: the public shrinker reduces a redundant schedule.
+func TestShrinkChaos(t *testing.T) {
+	sched := fixd.ChaosSchedule{
+		{Kind: fixd.FaultDrop, Window: fixd.ChaosWindow{From: 1, To: 10}, Intensity: fixd.ChaosIntensity{Prob: 0.5}},
+		{Kind: fixd.FaultDuplicate, Window: fixd.ChaosWindow{From: 1, To: 10}, Intensity: fixd.ChaosIntensity{Prob: 0.5}},
+	}
+	// The "failure" only needs the drop scenario.
+	fails := func(s fixd.ChaosSchedule) bool {
+		for _, sc := range s {
+			if sc.Kind == fixd.FaultDrop {
+				return true
+			}
+		}
+		return false
+	}
+	min := fixd.ShrinkChaos(sched, fails, 100)
+	if len(min) != 1 || min[0].Kind != fixd.FaultDrop {
+		t.Errorf("shrunk to %v", min)
+	}
+}

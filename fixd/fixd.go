@@ -16,6 +16,12 @@
 //   - the Healer repairs the system by restarting the corrected program or
 //     dynamically updating it at a verified checkpoint.
 //
+// The chaos engine (Chaos, InjectChaos, ShrinkChaos) stresses all of the
+// above: composable fault scenarios — crash-restart, partitions, message
+// delay/reorder/duplication/loss, clock skew — swept deterministically
+// over the workload applications, with delta-debugging minimization of
+// any failing schedule.
+//
 // Quickstart:
 //
 //	sys := fixd.New(fixd.Config{Seed: 1, CICheckpoint: true})
@@ -30,6 +36,7 @@ package fixd
 
 import (
 	"repro/internal/baselines"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dsim"
 	"repro/internal/fault"
@@ -61,7 +68,51 @@ type (
 	Response = core.Response
 	// Diagnosis is a liblog-style replay diagnosis.
 	Diagnosis = baselines.ReplayDiagnosis
+
+	// FaultKind classifies injectable faults.
+	FaultKind = fault.Kind
+	// ChaosScenario is one composable fault: kind × targets × window ×
+	// intensity (see package internal/chaos).
+	ChaosScenario = chaos.Scenario
+	// ChaosSchedule composes scenarios into a reproducible fault schedule.
+	ChaosSchedule = chaos.Schedule
+	// ChaosWindow is a half-open virtual-time interval.
+	ChaosWindow = chaos.Window
+	// ChaosIntensity quantifies a scenario's severity.
+	ChaosIntensity = chaos.Intensity
+	// ChaosReport is a chaos-matrix sweep's outcome.
+	ChaosReport = chaos.MatrixReport
+	// ChaosArtifact is a replayable minimized counterexample.
+	ChaosArtifact = chaos.Artifact
 )
+
+// Injectable fault kinds for chaos scenarios.
+const (
+	FaultCrash     = fault.Crash
+	FaultPartition = fault.Partition
+	FaultDelay     = fault.Delay
+	FaultReorder   = fault.Reorder
+	FaultDuplicate = fault.Duplicate
+	FaultDrop      = fault.Drop
+	FaultClockSkew = fault.ClockSkew
+)
+
+// Chaos sweeps the deterministic chaos matrix — every registered workload
+// application × every matrix fault kind × the given seeds (default 1–4) —
+// and returns the report. Every cell runs a seeded, generated scenario
+// twice; a cell passes when the application's global invariants hold and
+// both executions produce byte-identical scroll digests.
+func Chaos(seeds ...int64) *ChaosReport {
+	return chaos.RunMatrix(chaos.MatrixConfig{Seeds: seeds})
+}
+
+// ShrinkChaos minimizes a failing fault schedule by delta debugging:
+// fails must deterministically report whether a schedule reproduces the
+// failure, and budget bounds the number of executions. The result is a
+// 1-minimal scenario subsequence with shrunken windows and intensities.
+func ShrinkChaos(sched ChaosSchedule, fails func(ChaosSchedule) bool, budget int) ChaosSchedule {
+	return chaos.Shrink(sched, fails, budget).Schedule
+}
 
 // ProtectOptions configures the FixD coordinator.
 type ProtectOptions struct {
@@ -125,6 +176,13 @@ func (s *System) Protect(opts ProtectOptions) {
 		Mapper:                     opts.Mapper,
 		VerifyDepth:                opts.VerifyDepth,
 	})
+}
+
+// InjectChaos compiles a chaos schedule against this system's processes
+// (scenario targets index the sorted process list) and arms it on the
+// substrate. Call after every Add and before Run.
+func (s *System) InjectChaos(sched ChaosSchedule) {
+	sched.Compile(s.sim.Procs()).Apply(s.sim)
 }
 
 // Run executes the system until quiescence, a step bound, or a protected

@@ -166,6 +166,47 @@ func (c *KVClient) OnTimer(ctx dsim.Context, name string) {
 // OnRollback is unused.
 func (c *KVClient) OnRollback(dsim.Context, dsim.RollbackInfo) {}
 
+// KVSafety is the loss-tolerant safety invariant: no replica is ever ahead
+// of the primary, a replica holding the primary's version of a key holds
+// the primary's value, and no stale overwrite was ever applied. Unlike
+// KVConvergence it also holds mid-flight and when replication messages are
+// lost, so it is the invariant the chaos matrix checks under arbitrary
+// fault injection.
+func KVSafety() fault.GlobalInvariant {
+	return fault.GlobalInvariant{
+		Name: "kv: replicas never ahead or stale-overwritten",
+		Holds: func(states map[string]json.RawMessage) bool {
+			var primary kvState
+			if raw, ok := states[KVPrimaryName]; ok {
+				if err := json.Unmarshal(raw, &primary); err != nil {
+					return false
+				}
+			}
+			for proc, raw := range states {
+				if !strings.HasPrefix(proc, "kvrep") {
+					continue
+				}
+				var st kvState
+				if err := json.Unmarshal(raw, &st); err != nil {
+					return false
+				}
+				if st.Stale > 0 {
+					return false
+				}
+				for k, ver := range st.Versions {
+					switch pv := primary.Versions[k]; {
+					case ver > pv:
+						return false
+					case ver == pv && st.Values[k] != primary.Values[k]:
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+}
+
 // KVConvergence is the global invariant that every replica's version map
 // matches the primary's. It only holds at quiescence, so experiments check
 // it after the run drains.

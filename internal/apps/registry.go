@@ -1,0 +1,194 @@
+package apps
+
+import (
+	"repro/internal/dsim"
+	"repro/internal/fault"
+)
+
+// AppSpec describes one workload application in the uniform shape the
+// chaos matrix (internal/chaos) sweeps: constructors for the correct and
+// seeded-bug variants, the global safety invariants that must survive
+// arbitrary fault injection, and the simulation profile the workload runs
+// under.
+type AppSpec struct {
+	Name string
+	// Make builds the machines; buggy selects the seeded-bug variant.
+	Make func(buggy bool) map[string]dsim.Machine
+	// MakeFixed builds the corrected program for the buggy variant — same
+	// workload shape, bug disabled — which is what the Healer injects.
+	MakeFixed func() map[string]dsim.Machine
+	// Invariants are the global safety properties for the variant. They are
+	// chosen to be robust to benign chaos (message loss merely stalls
+	// progress, duplication is absorbed by idempotent handlers), so a
+	// violation on the correct variant is always a real bug.
+	Invariants func(buggy bool) []fault.GlobalInvariant
+	// CrashOK reports whether proc may be crash-restarted from a local
+	// checkpoint without breaking the invariants by construction. A 2PC
+	// coordinator, for example, may not: rolling back a broadcast decision
+	// is the classic unrecoverable coordinator failure, not the scheduling
+	// bug class the matrix probes.
+	CrashOK func(proc string) bool
+	// Config is the simulation profile (latency band, checkpoint policy).
+	// The caller fills in Seed.
+	Config func(buggy bool) dsim.Config
+	// Horizon approximates the virtual-time span of the active workload,
+	// used to scale scenario windows.
+	Horizon uint64
+}
+
+// Canonical workload parameters for the chaos matrix. The buggy variants
+// reuse the tunings under which the seeded bugs are known to manifest
+// (see internal/integration and the apps tests).
+var (
+	chaosRingCfg     = TokenRingConfig{N: 4, Rounds: 6}
+	chaosRingBugCfg  = TokenRingConfig{N: 4, Rounds: 50, Buggy: true, RegenTimeout: 8}
+	chaosTwoPCCfg    = TwoPCConfig{Participants: 3}
+	chaosTwoPCBugCfg = TwoPCConfig{Participants: 2, NoVoters: []int{1}, SlowVoters: []int{1},
+		Timeout: 10, VoteDelay: 100, Buggy: true}
+	chaosKVCfg       = KVConfig{Replicas: 2, Writes: 15, Keys: 3}
+	chaosKVBugCfg    = KVConfig{Replicas: 2, Writes: 30, Keys: 2, Buggy: true}
+	chaosElectCfg    = ElectionConfig{N: 5}
+	chaosElectBugCfg = ElectionConfig{N: 5, Buggy: true, ReElectTimeout: 40}
+	chaosBankCfg     = BankConfig{Branches: 3, AccountsPer: 4, InitialBalance: 200, Transfers: 12}
+	chaosBankBugCfg  = BankConfig{Branches: 2, AccountsPer: 2, InitialBalance: 50,
+		Transfers: 40, MaxAmount: 60, Buggy: true}
+)
+
+// chaosConfig is the shared simulation profile: enough checkpoints for
+// crash-restart to restore meaningful state, and a latency band with room
+// for injected jitter.
+func chaosConfig(minLat, maxLat uint64) dsim.Config {
+	return dsim.Config{
+		MinLatency: minLat, MaxLatency: maxLat,
+		InitCheckpoint: true, CheckpointEvery: 4,
+		MaxSteps: 200_000,
+	}
+}
+
+// Registry returns the five workload applications in matrix order.
+func Registry() []AppSpec {
+	pick := func(buggy bool, bug, ok dsim.Config) dsim.Config {
+		if buggy {
+			return bug
+		}
+		return ok
+	}
+	return []AppSpec{
+		{
+			Name: "bank",
+			Make: func(buggy bool) map[string]dsim.Machine {
+				if buggy {
+					return NewBank(chaosBankBugCfg)
+				}
+				return NewBank(chaosBankCfg)
+			},
+			MakeFixed: func() map[string]dsim.Machine {
+				cfg := chaosBankBugCfg
+				cfg.Buggy = false
+				return NewBank(cfg)
+			},
+			Invariants: func(buggy bool) []fault.GlobalInvariant {
+				if buggy {
+					return []fault.GlobalInvariant{BankNoOverdraft()}
+				}
+				return []fault.GlobalInvariant{BankConservation(chaosBankCfg), BankNoOverdraft()}
+			},
+			CrashOK: func(string) bool { return true },
+			Config: func(buggy bool) dsim.Config {
+				return pick(buggy, chaosConfig(1, 4), chaosConfig(1, 6))
+			},
+			Horizon: 90,
+		},
+		{
+			Name: "election",
+			Make: func(buggy bool) map[string]dsim.Machine {
+				if buggy {
+					return NewElection(chaosElectBugCfg)
+				}
+				return NewElection(chaosElectCfg)
+			},
+			MakeFixed: func() map[string]dsim.Machine {
+				cfg := chaosElectBugCfg
+				cfg.Buggy = false
+				return NewElection(cfg)
+			},
+			Invariants: func(bool) []fault.GlobalInvariant {
+				return []fault.GlobalInvariant{ElectionSafety()}
+			},
+			CrashOK: func(string) bool { return true },
+			Config: func(buggy bool) dsim.Config {
+				return pick(buggy, chaosConfig(1, 3), chaosConfig(1, 6))
+			},
+			Horizon: 60,
+		},
+		{
+			Name: "kvstore",
+			Make: func(buggy bool) map[string]dsim.Machine {
+				if buggy {
+					return NewKVStore(chaosKVBugCfg)
+				}
+				return NewKVStore(chaosKVCfg)
+			},
+			MakeFixed: func() map[string]dsim.Machine {
+				cfg := chaosKVBugCfg
+				cfg.Buggy = false
+				return NewKVStore(cfg)
+			},
+			Invariants: func(bool) []fault.GlobalInvariant {
+				return []fault.GlobalInvariant{KVSafety()}
+			},
+			// The primary is the version authority: locally rolling it back
+			// forgets version assignments replicas already applied, which is
+			// a genuine (known) hazard, not the one this matrix probes.
+			CrashOK: func(proc string) bool { return proc != KVPrimaryName },
+			Config: func(buggy bool) dsim.Config {
+				return pick(buggy, chaosConfig(1, 30), chaosConfig(1, 8))
+			},
+			Horizon: 80,
+		},
+		{
+			Name: "tokenring",
+			Make: func(buggy bool) map[string]dsim.Machine {
+				if buggy {
+					return NewTokenRing(chaosRingBugCfg)
+				}
+				return NewTokenRing(chaosRingCfg)
+			},
+			MakeFixed: func() map[string]dsim.Machine {
+				cfg := chaosRingBugCfg
+				cfg.Buggy = false
+				return NewTokenRing(cfg)
+			},
+			Invariants: func(bool) []fault.GlobalInvariant {
+				return []fault.GlobalInvariant{TokenRingInvariant()}
+			},
+			CrashOK: func(string) bool { return true },
+			Config: func(buggy bool) dsim.Config {
+				return pick(buggy, chaosConfig(5, 20), chaosConfig(1, 6))
+			},
+			Horizon: 160,
+		},
+		{
+			Name: "twopc",
+			Make: func(buggy bool) map[string]dsim.Machine {
+				if buggy {
+					return NewTwoPC(chaosTwoPCBugCfg)
+				}
+				return NewTwoPC(chaosTwoPCCfg)
+			},
+			MakeFixed: func() map[string]dsim.Machine {
+				cfg := chaosTwoPCBugCfg
+				cfg.Buggy = false
+				return NewTwoPC(cfg)
+			},
+			Invariants: func(bool) []fault.GlobalInvariant {
+				return []fault.GlobalInvariant{TwoPCAtomicity()}
+			},
+			CrashOK: func(proc string) bool { return proc != CoordName },
+			Config: func(buggy bool) dsim.Config {
+				return pick(buggy, chaosConfig(1, 2), chaosConfig(1, 6))
+			},
+			Horizon: 50,
+		},
+	}
+}

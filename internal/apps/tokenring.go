@@ -10,6 +10,8 @@ package apps
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/dsim"
 	"repro/internal/fault"
@@ -31,9 +33,11 @@ type TokenRingConfig struct {
 // tokenRingState is the serializable per-node state.
 type tokenRingState struct {
 	HasToken  bool
-	Passes    int  // times this node forwarded the token
-	Regens    int  // tokens regenerated (buggy path)
-	InCS      bool // currently in the critical section
+	TokenGen  uint64 // generation of the token currently held
+	LastGen   uint64 // highest generation this node ever accepted
+	Passes    int    // times this node forwarded the token
+	Regens    int    // tokens regenerated (buggy path)
+	InCS      bool   // currently in the critical section
 	CSEntries int
 	Fixed     bool // alternate path taken after rollback: stop regenerating
 }
@@ -72,6 +76,8 @@ func (t *TokenRing) State() any { return &t.st }
 func (t *TokenRing) Init(ctx dsim.Context) {
 	if t.self == 0 {
 		t.st.HasToken = true
+		t.st.TokenGen = 1
+		t.st.LastGen = 1
 		t.enterCS(ctx)
 	}
 	if t.cfg.Buggy {
@@ -88,10 +94,23 @@ func (t *TokenRing) enterCS(ctx dsim.Context) {
 	ctx.SetTimer("leave", t.cfg.HoldTime)
 }
 
-// OnMessage handles token arrival.
+// OnMessage handles token arrival. The token carries a generation number
+// that increments on every hop; the correct protocol silently discards a
+// token whose generation this node has already seen, which makes it immune
+// to network-level duplication and to a crashed node replaying an old pass
+// after restarting from a checkpoint. The buggy variant applies tokens
+// blindly (mirroring its unchecked regeneration).
 func (t *TokenRing) OnMessage(ctx dsim.Context, from string, payload []byte) {
-	if string(payload) != "token" {
+	parts := strings.Split(string(payload), "|")
+	if parts[0] != "token" || len(parts) != 2 {
 		return
+	}
+	gen, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return
+	}
+	if (!t.cfg.Buggy || t.st.Fixed) && gen <= t.st.LastGen {
+		return // stale duplicate of a token this node already accepted
 	}
 	if t.st.HasToken || t.st.InCS {
 		// Duplicate token: the local manifestation of the regeneration race.
@@ -99,6 +118,10 @@ func (t *TokenRing) OnMessage(ctx dsim.Context, from string, payload []byte) {
 		return
 	}
 	t.st.HasToken = true
+	t.st.TokenGen = gen
+	if gen > t.st.LastGen {
+		t.st.LastGen = gen
+	}
 	t.enterCS(ctx)
 }
 
@@ -116,13 +139,15 @@ func (t *TokenRing) OnTimer(ctx dsim.Context, name string) {
 			ctx.Halt()
 			return
 		}
-		ctx.Send(t.next(), []byte("token"))
+		ctx.Send(t.next(), []byte(fmt.Sprintf("token|%d", t.st.TokenGen+1)))
 	case "regen":
 		if t.cfg.Buggy && !t.st.Fixed && !t.st.HasToken {
 			// BUG: the token may just be slow; a correct protocol would
 			// run a ring-wide query before regenerating.
 			t.st.Regens++
 			t.st.HasToken = true
+			t.st.TokenGen = t.st.LastGen + uint64(t.cfg.N)
+			t.st.LastGen = t.st.TokenGen
 			t.enterCS(ctx)
 		}
 		if t.cfg.Buggy && !t.st.Fixed {

@@ -37,7 +37,8 @@ func PartName(i int) string { return fmt.Sprintf("part%02d", i) }
 type coordState struct {
 	Phase    string // "prepare", "done"
 	Yes, No  int
-	Decision string // "", "commit", "abort"
+	Voted    map[string]bool // participants whose vote was counted
+	Decision string          // "", "commit", "abort"
 	TimedOut bool
 }
 
@@ -81,6 +82,7 @@ func (c *Coordinator) State() any { return &c.st }
 // Init broadcasts PREPARE and arms the vote timeout.
 func (c *Coordinator) Init(ctx dsim.Context) {
 	c.st.Phase = "prepare"
+	c.st.Voted = map[string]bool{}
 	for i := 0; i < c.cfg.Participants; i++ {
 		ctx.Send(PartName(i), []byte("prepare"))
 	}
@@ -96,9 +98,11 @@ func (c *Coordinator) decide(ctx dsim.Context, d string) {
 	}
 }
 
-// OnMessage tallies votes.
+// OnMessage tallies votes. Each participant's vote counts once: a
+// duplicated network delivery must not inflate the tally (a double-counted
+// YES could otherwise reach quorum while a NO is still in flight).
 func (c *Coordinator) OnMessage(ctx dsim.Context, from string, payload []byte) {
-	if c.st.Phase != "prepare" {
+	if c.st.Phase != "prepare" || c.st.Voted[from] {
 		return
 	}
 	switch string(payload) {
@@ -106,7 +110,10 @@ func (c *Coordinator) OnMessage(ctx dsim.Context, from string, payload []byte) {
 		c.st.Yes++
 	case "no":
 		c.st.No++
+	default:
+		return
 	}
+	c.st.Voted[from] = true
 	if c.st.Yes+c.st.No == c.cfg.Participants {
 		if c.st.No == 0 {
 			c.decide(ctx, "commit")

@@ -1,0 +1,296 @@
+// Package chaos is FixD's deterministic chaos-testing subsystem: a
+// composable fault-scenario DSL, a seeded matrix runner that sweeps fault
+// kinds × workload applications × seeds, and a delta-debugging shrinker
+// that minimizes failing fault schedules to replayable counterexamples.
+//
+// The paper's central claim is that faults on arbitrary distributed
+// applications can be detected, reported and recovered from (§1). The
+// experiments exercise a handful of hand-written fault plans; this package
+// turns that into a scenario-diversity engine. A Scenario is one fault
+// kind applied to a target set over a timing window at an intensity; a
+// Schedule composes scenarios; the matrix runner executes schedules on the
+// registered applications (internal/apps.Registry) and checks
+//
+//   - safety: every application's global invariants (fault.Monitor) hold
+//     at quiescence under every injected fault on the correct variant;
+//   - determinism: a repeated run produces a byte-identical merged-scroll
+//     digest, so every cell is replayable from (app, seed, schedule);
+//   - the detect → report → recover pipeline: seeded bugs are locally
+//     detected, the Investigator produces a violation trail, and the
+//     Healer's dynamic update restores the invariants (see matrix.go).
+//
+// Everything is seeded: the same (kind, app shape, seed) triple always
+// generates the same scenario, and the same (app, variant, seed, schedule)
+// quadruple always produces the same execution.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/dsim"
+	"repro/internal/fault"
+)
+
+// Window is a half-open virtual-time interval [From, To).
+type Window struct {
+	From uint64
+	To   uint64
+}
+
+// Len returns the window length.
+func (w Window) Len() uint64 {
+	if w.To <= w.From {
+		return 0
+	}
+	return w.To - w.From
+}
+
+// Intensity quantifies a scenario's severity. Only the fields relevant to
+// the scenario's kind are used.
+type Intensity struct {
+	Extra  uint64  `json:",omitempty"` // Delay/Reorder: fixed extra latency
+	Jitter uint64  `json:",omitempty"` // Reorder: seeded extra latency bound
+	Prob   float64 `json:",omitempty"` // Duplicate/Drop: per-message probability
+	Skew   int64   `json:",omitempty"` // ClockSkew: observed-clock offset
+}
+
+// Scenario is one composable fault: kind × target set × timing window ×
+// intensity. Targets are indices into the application's sorted process
+// list, so the same scenario applies to any application shape:
+//
+//	Scenario{Kind: fault.Reorder, Targets: []int{1, 2},
+//	         Window: Window{From: 10, To: 80},
+//	         Intensity: Intensity{Jitter: 25}}
+//
+// For Crash the window means crash at From, restart at To. An empty
+// target list means "all processes" for message-level kinds.
+type Scenario struct {
+	Kind      fault.Kind
+	Targets   []int `json:",omitempty"`
+	Window    Window
+	Intensity Intensity
+}
+
+// String renders the scenario compactly, e.g.
+// "reorder(j=25)@[10,80)→{1,2}".
+func (sc Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v", sc.Kind)
+	switch sc.Kind {
+	case fault.Delay:
+		fmt.Fprintf(&b, "(+%d)", sc.Intensity.Extra)
+	case fault.Reorder:
+		fmt.Fprintf(&b, "(j=%d)", sc.Intensity.Jitter)
+	case fault.Duplicate, fault.Drop:
+		fmt.Fprintf(&b, "(p=%.2f)", sc.Intensity.Prob)
+	case fault.ClockSkew:
+		fmt.Fprintf(&b, "(%+d)", sc.Intensity.Skew)
+	}
+	fmt.Fprintf(&b, "@[%d,%d)", sc.Window.From, sc.Window.To)
+	if len(sc.Targets) > 0 {
+		fmt.Fprintf(&b, "→%v", sc.Targets)
+	}
+	return b.String()
+}
+
+// Schedule is a composed, reproducible fault schedule.
+type Schedule []Scenario
+
+// String joins the scenario descriptions.
+func (s Schedule) String() string {
+	if len(s) == 0 {
+		return "(no faults)"
+	}
+	parts := make([]string, len(s))
+	for i, sc := range s {
+		parts[i] = sc.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// resolve maps target indices to process IDs, silently skipping
+// out-of-range indices so shrunken schedules stay valid on any app.
+func resolve(targets []int, procs []string) []string {
+	out := make([]string, 0, len(targets))
+	for _, i := range targets {
+		if i >= 0 && i < len(procs) {
+			out = append(out, procs[i])
+		}
+	}
+	return out
+}
+
+// Compile resolves the schedule against a concrete (sorted) process list
+// into an injectable fault plan.
+func (s Schedule) Compile(procs []string) *fault.Plan {
+	plan := &fault.Plan{}
+	add := func(inj fault.Injection) { plan.Injections = append(plan.Injections, inj) }
+	for _, sc := range s {
+		targets := resolve(sc.Targets, procs)
+		switch sc.Kind {
+		case fault.Crash:
+			for _, p := range targets {
+				add(fault.Injection{Kind: fault.Crash, Proc: p, At: sc.Window.From})
+				add(fault.Injection{Kind: fault.Restart, Proc: p, At: sc.Window.To})
+			}
+		case fault.Partition:
+			add(fault.Injection{Kind: fault.Partition, Group: targets,
+				At: sc.Window.From, Until: sc.Window.To})
+		case fault.Delay:
+			add(fault.Injection{Kind: fault.Delay, Group: targets,
+				At: sc.Window.From, Until: sc.Window.To, Extra: sc.Intensity.Extra})
+		case fault.Reorder:
+			add(fault.Injection{Kind: fault.Reorder, Group: targets,
+				At: sc.Window.From, Until: sc.Window.To,
+				Extra: sc.Intensity.Extra, Jitter: sc.Intensity.Jitter})
+		case fault.Duplicate:
+			add(fault.Injection{Kind: fault.Duplicate, Group: targets,
+				At: sc.Window.From, Until: sc.Window.To, Prob: sc.Intensity.Prob})
+		case fault.Drop:
+			add(fault.Injection{Kind: fault.Drop, Group: targets,
+				At: sc.Window.From, Until: sc.Window.To, Prob: sc.Intensity.Prob})
+		case fault.ClockSkew:
+			for _, p := range targets {
+				add(fault.Injection{Kind: fault.ClockSkew, Proc: p,
+					At: sc.Window.From, Until: sc.Window.To, Skew: sc.Intensity.Skew})
+			}
+		}
+	}
+	return plan
+}
+
+// MatrixKinds are the fault kinds the matrix sweeps by default. Restart is
+// not listed separately: Crash scenarios compile to crash-restart pairs.
+var MatrixKinds = []fault.Kind{
+	fault.Crash, fault.Partition, fault.Delay, fault.Reorder,
+	fault.Duplicate, fault.Drop, fault.ClockSkew,
+}
+
+// Generate builds the seeded scenario for one matrix cell. Identical
+// (kind, procs, crashable, horizon, seed) inputs generate identical
+// scenarios. procs is the sorted process list the scenario will run
+// against (including the clock probe, which is always last); crashable
+// lists the indices eligible for crash-restart.
+func Generate(kind fault.Kind, procs []string, crashable []int, horizon uint64, seed int64) Scenario {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v|%d|%s", kind, len(procs), strings.Join(procs, ","))
+	rng := rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+	if horizon < 40 {
+		horizon = 40
+	}
+	window := func(minLen uint64) Window {
+		from := 5 + uint64(rng.Int63n(int64(horizon/3+1)))
+		length := minLen + uint64(rng.Int63n(int64(horizon/2+1)))
+		return Window{From: from, To: from + length}
+	}
+	// subset picks 1..max of the app's process indices (probe excluded).
+	subset := func(max int) []int {
+		n := len(procs) - 1 // exclude the trailing clock probe
+		if n < 1 {
+			n = 1
+		}
+		if max < 1 {
+			max = 1 // degenerate shapes (single-process apps) still get a target
+		}
+		k := 1 + rng.Intn(min(max, n))
+		perm := rng.Perm(n)[:k]
+		sort.Ints(perm)
+		return perm
+	}
+	sc := Scenario{Kind: kind}
+	switch kind {
+	case fault.Crash:
+		sc.Window = window(horizon / 4)
+		if len(crashable) > 0 {
+			sc.Targets = []int{crashable[rng.Intn(len(crashable))]}
+		}
+	case fault.Partition:
+		sc.Window = window(horizon / 4)
+		sc.Targets = subset(len(procs) - 2) // proper subset: leave someone outside
+	case fault.Delay:
+		sc.Window = window(horizon / 4)
+		sc.Targets = subset(len(procs))
+		sc.Intensity.Extra = 5 + uint64(rng.Int63n(20))
+	case fault.Reorder:
+		sc.Window = window(horizon / 3)
+		sc.Targets = subset(len(procs))
+		sc.Intensity.Jitter = 10 + uint64(rng.Int63n(25))
+	case fault.Duplicate:
+		sc.Window = window(horizon / 3)
+		sc.Targets = subset(len(procs))
+		sc.Intensity.Prob = 0.3 + 0.4*rng.Float64()
+	case fault.Drop:
+		sc.Window = window(horizon / 3)
+		sc.Targets = subset(len(procs))
+		sc.Intensity.Prob = 0.2 + 0.4*rng.Float64()
+	case fault.ClockSkew:
+		// Target the clock probe (always the last process) so the skew is
+		// observed; bound the window so the probe is still ticking when the
+		// skew starts and ends — both edges are detectable regressions.
+		from := 5 + uint64(rng.Int63n(25))
+		sc.Window = Window{From: from, To: from + 20 + uint64(rng.Int63n(40))}
+		sc.Targets = []int{len(procs) - 1}
+		// The probe ticks every 5; an offset > 5 guarantees the window edge
+		// shows up as a regression on one side.
+		off := int64(6 + rng.Int63n(39))
+		if rng.Intn(2) == 0 {
+			off = -off
+		}
+		sc.Intensity.Skew = off
+	}
+	return sc
+}
+
+// ProbeName is the clock probe's process ID. It starts with "zz" so it
+// sorts after every application process and never disturbs target indices.
+const ProbeName = "zz-clockprobe"
+
+// probeState is the clock probe's serializable state.
+type probeState struct {
+	Last        uint64
+	Ticks       int
+	Regressions int
+}
+
+// clockProbe is the overlay machine the matrix adds to every cell: it
+// samples Context.Now on a fixed cadence (recording the observations in
+// its scroll, so injected skew is visible in the run digest) and reports a
+// local fault whenever the observed clock runs backwards — the standard
+// local detector for clock skew.
+type clockProbe struct{ st probeState }
+
+// probeTicks bounds the probe's lifetime so runs still quiesce.
+const probeTicks = 40
+
+// State implements dsim.Machine.
+func (p *clockProbe) State() any { return &p.st }
+
+// Init arms the sampling timer.
+func (p *clockProbe) Init(ctx dsim.Context) { ctx.SetTimer("probe", 2) }
+
+// OnMessage ignores input.
+func (p *clockProbe) OnMessage(dsim.Context, string, []byte) {}
+
+// OnTimer samples the clock and checks monotonicity.
+func (p *clockProbe) OnTimer(ctx dsim.Context, name string) {
+	if name != "probe" {
+		return
+	}
+	now := ctx.Now()
+	if now < p.st.Last {
+		p.st.Regressions++
+		ctx.Fault(fmt.Sprintf("clock-probe: observed clock regressed %d -> %d", p.st.Last, now))
+	}
+	p.st.Last = now
+	p.st.Ticks++
+	if p.st.Ticks < probeTicks {
+		ctx.SetTimer("probe", 5)
+	}
+}
+
+// OnRollback does nothing; the probe resumes from restored state.
+func (p *clockProbe) OnRollback(dsim.Context, dsim.RollbackInfo) {}

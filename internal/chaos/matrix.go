@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+	"repro/internal/heal"
+	"repro/internal/scroll"
+)
+
+// Cell identifies one matrix cell: application × fault kind × seed.
+type Cell struct {
+	App  string
+	Kind fault.Kind
+	Seed int64
+}
+
+// String renders the cell, e.g. "kvstore/reorder/s3".
+func (c Cell) String() string { return fmt.Sprintf("%s/%v/s%d", c.App, c.Kind, c.Seed) }
+
+// CellResult is one matrix cell's outcome.
+type CellResult struct {
+	Cell
+	Scenario      Scenario
+	Result        *RunResult
+	Deterministic bool // the repeated run produced a byte-identical digest
+}
+
+// Pass reports whether the cell upholds the matrix contract: the correct
+// variant's global invariants hold under the injected fault, the execution
+// is deterministic, and — for clock-skew cells — the skew was locally
+// detected by the clock probe.
+func (c *CellResult) Pass() bool { return c.Fail() == "" }
+
+// Fail describes why the cell failed (empty when it passed).
+func (c *CellResult) Fail() string {
+	switch {
+	case !c.Deterministic:
+		return "nondeterministic digest"
+	case len(c.Result.Violations) > 0:
+		return fmt.Sprintf("invariants violated: %v", c.Result.Violations)
+	case c.Kind == fault.ClockSkew && c.Result.ProbeFaults == 0:
+		return "clock skew not locally detected"
+	default:
+		return ""
+	}
+}
+
+// MatrixConfig parameterizes a sweep. Zero values select the defaults:
+// every registered application, every matrix fault kind, seeds 1–4.
+type MatrixConfig struct {
+	Apps  []apps.AppSpec
+	Kinds []fault.Kind
+	Seeds []int64
+}
+
+// MatrixReport is a full sweep's outcome.
+type MatrixReport struct {
+	Cells []*CellResult
+}
+
+// Failures returns the cells that broke the matrix contract.
+func (m *MatrixReport) Failures() []*CellResult {
+	var out []*CellResult
+	for _, c := range m.Cells {
+		if !c.Pass() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RunMatrix sweeps fault kinds × applications × seeds on the correct
+// variants. Each cell generates its scenario from the cell identity,
+// executes it twice (the second run is the replay-determinism check), and
+// evaluates the application's global invariants at quiescence.
+func RunMatrix(cfg MatrixConfig) *MatrixReport {
+	if cfg.Apps == nil {
+		cfg.Apps = apps.Registry()
+	}
+	if cfg.Kinds == nil {
+		cfg.Kinds = MatrixKinds
+	}
+	if cfg.Seeds == nil {
+		cfg.Seeds = []int64{1, 2, 3, 4}
+	}
+	rep := &MatrixReport{}
+	for _, spec := range cfg.Apps {
+		for _, kind := range cfg.Kinds {
+			for _, seed := range cfg.Seeds {
+				runner := Runner{Spec: spec, Seed: seed, Probe: true}
+				scen := Generate(kind, runner.Procs(), runner.Crashable(), spec.Horizon, seed)
+				sched := Schedule{scen}
+				r1 := runner.Run(sched)
+				r2 := runner.Run(sched)
+				rep.Cells = append(rep.Cells, &CellResult{
+					Cell:          Cell{App: spec.Name, Kind: kind, Seed: seed},
+					Scenario:      scen,
+					Result:        r1,
+					Deterministic: r1.Digest == r2.Digest,
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// PipelineResult records one detect → report → recover execution on an
+// application's seeded-bug variant.
+type PipelineResult struct {
+	App         string
+	Seed        int64
+	Detected    bool // the fault reached the coordinator
+	LocalDetect bool // detection came from Context.Fault (vs the global monitor)
+	FaultDesc   string
+	TrailFound  bool   // the Investigator produced a violation trail
+	ReplayClean bool   // the detector's scroll replays without divergence
+	HealOK      bool   // the Healer's dynamic update was verified and applied
+	Recovered   bool   // the invariants hold after heal + resume
+	Digest      string // merged-scroll digest at detection time
+}
+
+// Complete reports whether every pipeline stage succeeded.
+func (p *PipelineResult) Complete() bool {
+	return p.Detected && p.TrailFound && p.ReplayClean && p.HealOK && p.Recovered
+}
+
+// RunPipeline executes the full FixD pipeline on the application's
+// seeded-bug variant: run until the bug is detected (locally via
+// Context.Fault, or — for silently corrupting bugs like the election's
+// missing step-down — by the global invariant monitor at quiescence),
+// investigate from the assembled recovery line, verify the scroll replays
+// the detecting process without divergence, then heal with the corrected
+// program and check that the invariants hold after resuming.
+func RunPipeline(spec apps.AppSpec, seed int64) *PipelineResult {
+	res := &PipelineResult{App: spec.Name, Seed: seed}
+	cfg := spec.Config(true)
+	cfg.Seed = seed
+	cfg.CICheckpoint = true // fine-grained recovery lines for the response
+	s := dsim.New(cfg)
+	ms := spec.Make(true)
+	runner := Runner{Spec: spec, Buggy: true}
+	procs := runner.Procs()
+	for _, id := range procs {
+		s.AddProcess(id, ms[id])
+	}
+	factories := make(map[string]func() dsim.Machine, len(procs))
+	for _, id := range procs {
+		id := id
+		factories[id] = func() dsim.Machine { return spec.Make(true)[id] }
+	}
+	invs := spec.Invariants(true)
+	coord := core.NewCoordinator(s, factories, core.Config{
+		Invariants:                 invs,
+		TreatLocalFaultAsViolation: true,
+		StopAtFirstViolation:       true,
+		MaxStates:                  30_000,
+		MaxDepth:                   32,
+	})
+	s.Run()
+
+	var resp *core.Response
+	if rs := coord.Responses(); len(rs) > 0 {
+		resp = rs[0]
+		res.Detected, res.LocalDetect = true, true
+	} else if v := fault.NewMonitor(invs...).Check(s); len(v) > 0 {
+		// Silent corruption: the global monitor is the detector; feed its
+		// verdict through the same Fig. 4 response protocol.
+		f := dsim.FaultRecord{
+			Proc: procs[0], Time: s.Now(), Clock: s.Clock(procs[0]),
+			Desc: "monitor: " + v[0].Invariant,
+		}
+		r, err := coord.Respond(f)
+		if err == nil {
+			resp, res.Detected = r, true
+		}
+	}
+	if resp == nil {
+		return res
+	}
+	res.FaultDesc = resp.Fault.Desc
+	res.Digest = scroll.Digest(s.MergedScroll())
+	res.TrailFound = resp.Investigation != nil && resp.Investigation.Violating()
+
+	// Report: the detector's scroll must replay its execution without
+	// divergence, re-reporting the same local fault (liblog-style).
+	detector := resp.Fault.Proc
+	if rr, err := dsim.Replay(detector, spec.Make(true)[detector],
+		s.Scroll(detector).Records(), cfg.HeapSize, cfg.HeapPageSize); err == nil && !rr.Diverged {
+		res.ReplayClean = !res.LocalDetect || len(rr.Faults) > 0
+	}
+
+	// Recover: dynamic update with the corrected program at the recovery
+	// line, then resume and re-check the invariants.
+	if len(resp.Line) == 0 {
+		return res
+	}
+	fixedFactories := make(map[string]func() dsim.Machine, len(procs))
+	for _, id := range procs {
+		id := id
+		fixedFactories[id] = func() dsim.Machine { return spec.MakeFixed()[id] }
+	}
+	hrep, err := heal.Apply(s, resp.Line, heal.Program{Version: "fixed", Factories: fixedFactories},
+		nil, heal.VerifyOptions{Invariants: invs})
+	if err != nil || !hrep.Verified() {
+		return res
+	}
+	res.HealOK = true
+	s.Resume()
+	res.Recovered = len(fault.NewMonitor(invs...).Check(s)) == 0
+	return res
+}

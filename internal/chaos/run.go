@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+	"repro/internal/scroll"
+)
+
+// RunResult is one deterministic execution of an application under a
+// fault schedule.
+type RunResult struct {
+	Digest      string   // SHA-256 of the merged scroll — the replay fingerprint
+	Violations  []string // global invariants violated at quiescence
+	LocalFaults int      // Context.Fault reports during the run
+	ProbeFaults int      // clock-probe regressions among them
+	Stats       dsim.Stats
+	Procs       []string
+}
+
+// Violated reports whether the named invariant (or, with an empty name,
+// any invariant) was violated.
+func (r *RunResult) Violated(name string) bool {
+	for _, v := range r.Violations {
+		if name == "" || v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Runner binds an application spec, variant and seed so fault schedules
+// can be executed repeatedly — matrix cells, shrinking iterations and
+// artifact replays all go through here.
+type Runner struct {
+	Spec  apps.AppSpec
+	Buggy bool
+	Seed  int64
+	Probe bool // attach the clock-probe overlay (matrix cells do)
+}
+
+// Procs returns the sorted process list a run will have, for target
+// resolution before any simulation exists.
+func (r Runner) Procs() []string {
+	ms := r.Spec.Make(r.Buggy)
+	ids := make([]string, 0, len(ms)+1)
+	for id := range ms {
+		ids = append(ids, id)
+	}
+	if r.Probe {
+		ids = append(ids, ProbeName)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Crashable returns the indices of processes eligible for crash-restart
+// scenarios (per the spec's CrashOK, always excluding the probe).
+func (r Runner) Crashable() []int {
+	var out []int
+	for i, id := range r.Procs() {
+		if id != ProbeName && r.Spec.CrashOK(id) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Run executes the schedule. Identical Runner + schedule ⇒ identical
+// RunResult, byte-for-byte: processes are added in sorted order and every
+// nondeterministic draw flows through the seeded simulation.
+func (r Runner) Run(sched Schedule) *RunResult {
+	cfg := r.Spec.Config(r.Buggy)
+	cfg.Seed = r.Seed
+	s := dsim.New(cfg)
+	ms := r.Spec.Make(r.Buggy)
+	ids := make([]string, 0, len(ms))
+	for id := range ms {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s.AddProcess(id, ms[id])
+	}
+	if r.Probe {
+		s.AddProcess(ProbeName, &clockProbe{})
+	}
+	sched.Compile(s.Procs()).Apply(s)
+	stats := s.Run()
+
+	res := &RunResult{Stats: stats, Procs: s.Procs()}
+	for _, v := range fault.NewMonitor(r.Spec.Invariants(r.Buggy)...).Check(s) {
+		res.Violations = append(res.Violations, v.Invariant)
+	}
+	for _, f := range s.Faults() {
+		res.LocalFaults++
+		if f.Proc == ProbeName {
+			res.ProbeFaults++
+		}
+	}
+	res.Digest = scroll.Digest(s.MergedScroll())
+	return res
+}
+
+// RunnerFor finds the registered application by name.
+func RunnerFor(app string, buggy bool, seed int64, probe bool) (Runner, error) {
+	for _, spec := range apps.Registry() {
+		if spec.Name == app {
+			return Runner{Spec: spec, Buggy: buggy, Seed: seed, Probe: probe}, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("chaos: unknown application %q", app)
+}

@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+)
+
+// narrowKVSpec is the buggy kvstore pinned to a jitter-free latency band,
+// so its blind-apply bug manifests only when a reorder fault is injected —
+// the controlled setting for shrinker tests.
+func narrowKVSpec(t *testing.T) apps.AppSpec {
+	t.Helper()
+	for _, s := range apps.Registry() {
+		if s.Name == "kvstore" {
+			spec := s
+			spec.Config = func(bool) dsim.Config {
+				return dsim.Config{MinLatency: 1, MaxLatency: 1,
+					InitCheckpoint: true, CheckpointEvery: 4, MaxSteps: 200_000}
+			}
+			return spec
+		}
+	}
+	t.Fatal("kvstore not registered")
+	return apps.AppSpec{}
+}
+
+// TestShrinkKVReorder seeds an invariant violation intentionally — the
+// buggy kvstore under an injected reorder — buried in four noise
+// scenarios, and requires the shrinker to minimize the schedule to the
+// single reorder scenario, with reduced intensity, that still replays to
+// the same violation.
+func TestShrinkKVReorder(t *testing.T) {
+	spec := narrowKVSpec(t)
+	reorder := Scenario{Kind: fault.Reorder, Window: Window{From: 2, To: 90},
+		Intensity: Intensity{Jitter: 20}}
+	full := Schedule{
+		{Kind: fault.Drop, Targets: []int{0}, Window: Window{From: 100, To: 110}, Intensity: Intensity{Prob: 0.2}},
+		{Kind: fault.Duplicate, Targets: []int{3}, Window: Window{From: 5, To: 40}, Intensity: Intensity{Prob: 0.3}},
+		reorder,
+		{Kind: fault.ClockSkew, Targets: []int{4}, Window: Window{From: 10, To: 40}, Intensity: Intensity{Skew: 11}},
+		// The delay targets the clock probe (which neither sends nor
+		// receives), because a windowed delay on a store process would
+		// itself reorder messages at the window edge and be a second,
+		// independent trigger for the bug.
+		{Kind: fault.Delay, Targets: []int{4}, Window: Window{From: 3, To: 60}, Intensity: Intensity{Extra: 4}},
+	}
+	runner := Runner{Spec: spec, Buggy: true, Seed: 1, Probe: true}
+	fails := func(s Schedule) bool { return runner.Run(s).Violated("") }
+	if !fails(full) {
+		t.Fatal("full schedule does not provoke the violation")
+	}
+	if fails(Schedule{}) {
+		t.Fatal("violation fires without injection; shrink target is not controlled")
+	}
+
+	res := Shrink(full, fails, 300)
+	if len(res.Schedule) != 1 {
+		t.Fatalf("shrunk to %d scenarios (%s), want 1", len(res.Schedule), res.Schedule)
+	}
+	min := res.Schedule[0]
+	if min.Kind != fault.Reorder {
+		t.Fatalf("minimal scenario kind = %v, want reorder", min.Kind)
+	}
+	if !res.Minimal {
+		t.Error("result not marked 1-minimal")
+	}
+	if min.Intensity.Jitter > reorder.Intensity.Jitter || min.Window.Len() > reorder.Window.Len() {
+		t.Errorf("attribute shrink went backwards: %s from %s", min, reorder)
+	}
+	if !fails(res.Schedule) {
+		t.Fatal("minimized schedule no longer fails")
+	}
+
+	// The minimal scenario replays to the same violation, byte for byte.
+	final := runner.Run(res.Schedule)
+	art := NewArtifact(runner, res.Schedule, final)
+	if err := art.VerifyWith(runner); err != nil {
+		t.Fatalf("artifact does not replay: %v", err)
+	}
+	if !final.Violated("kv: replicas never ahead or stale-overwritten") {
+		t.Errorf("replay violates %v, want the kv safety invariant", final.Violations)
+	}
+
+	// Shrinking is itself deterministic.
+	res2 := Shrink(full, fails, 300)
+	if !reflect.DeepEqual(res.Schedule, res2.Schedule) {
+		t.Errorf("shrink nondeterministic: %s vs %s", res.Schedule, res2.Schedule)
+	}
+}
+
+// TestShrinkNonFailing: a passing schedule is returned unchanged.
+func TestShrinkNonFailing(t *testing.T) {
+	sched := Schedule{{Kind: fault.Drop, Window: Window{From: 1, To: 2}, Intensity: Intensity{Prob: 0.1}}}
+	res := Shrink(sched, func(Schedule) bool { return false }, 100)
+	if !reflect.DeepEqual(res.Schedule, sched) || res.Runs != 1 || res.Minimal {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+// TestShrinkBudget: the shrinker respects its execution budget.
+func TestShrinkBudget(t *testing.T) {
+	sched := Schedule{
+		{Kind: fault.Drop, Window: Window{From: 1, To: 50}, Intensity: Intensity{Prob: 0.5}},
+		{Kind: fault.Duplicate, Window: Window{From: 1, To: 50}, Intensity: Intensity{Prob: 0.5}},
+		{Kind: fault.Delay, Window: Window{From: 1, To: 50}, Intensity: Intensity{Extra: 8}},
+	}
+	runs := 0
+	res := Shrink(sched, func(Schedule) bool { runs++; return true }, 7)
+	if res.Runs > 7 {
+		t.Errorf("runs = %d, budget 7", res.Runs)
+	}
+	if runs != res.Runs {
+		t.Errorf("predicate called %d times, recorded %d", runs, res.Runs)
+	}
+	// A budget-starved shrink must never claim 1-minimality: the
+	// reductions it would need to prove it were never executed.
+	if starved := Shrink(sched, func(Schedule) bool { return true }, 1); starved.Minimal {
+		t.Error("budget-exhausted shrink claimed minimality")
+	}
+}
+
+// TestArtifactRoundTrip: JSON → Load → Verify reproduces the run.
+func TestArtifactRoundTrip(t *testing.T) {
+	runner, err := RunnerFor("election", false, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule{{Kind: fault.Drop, Targets: []int{1}, Window: Window{From: 5, To: 25},
+		Intensity: Intensity{Prob: 0.5}}}
+	res := runner.Run(sched)
+	art := NewArtifact(runner, sched, res)
+	b, err := art.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Verify(); err != nil {
+		t.Fatalf("loaded artifact does not verify: %v", err)
+	}
+	if _, err := LoadArtifact([]byte("not json")); err == nil {
+		t.Error("bad artifact accepted")
+	}
+}

@@ -1,6 +1,6 @@
 // Package dsim is a deterministic discrete-event simulator for distributed
 // applications: the testbed substrate on which FixD's mechanisms are
-// exercised and measured (see DESIGN.md §2 for the substitution rationale).
+// exercised and measured (simulation substitutes for the paper's live deployment).
 //
 // Processes are event-driven state machines (Machine) exchanging messages
 // through a simulated network with seeded random latency, loss, duplication
@@ -215,6 +215,43 @@ type partition struct {
 	from, to uint64
 }
 
+// netRuleKind classifies a windowed network perturbation.
+type netRuleKind int
+
+const (
+	ruleDelay netRuleKind = iota
+	ruleDrop
+	ruleDup
+)
+
+// netRule is a windowed, target-scoped network perturbation installed by
+// fault injection (see internal/fault and internal/chaos). A rule matches
+// a message when the relevant virtual time falls in [from, to) and either
+// endpoint is in procs (empty procs = every message).
+type netRule struct {
+	kind     netRuleKind
+	procs    map[string]bool
+	from, to uint64
+	extra    uint64  // ruleDelay: fixed extra latency
+	jitter   uint64  // ruleDelay: seeded extra in [0, jitter] — reorders
+	prob     float64 // ruleDrop / ruleDup: per-message probability
+}
+
+// matches reports whether the rule applies to a from->to message at time t.
+func (r *netRule) matches(from, to string, t uint64) bool {
+	if t < r.from || t >= r.to {
+		return false
+	}
+	return len(r.procs) == 0 || r.procs[from] || r.procs[to]
+}
+
+// skewRule offsets one process's observed clock during a window.
+type skewRule struct {
+	proc     string
+	from, to uint64
+	offset   int64
+}
+
 // Sim is a deterministic distributed-system simulation.
 type Sim struct {
 	cfg   Config
@@ -231,6 +268,8 @@ type Sim struct {
 	faults   []FaultRecord
 	stats    Stats
 	parts    []partition
+	rules    []netRule
+	skews    []skewRule
 	msgN     uint64
 	stop     bool
 	lastFIFO map[string]uint64 // per-channel last scheduled delivery time
@@ -387,6 +426,116 @@ func (s *Sim) Partition(groupA []string, from, to uint64) {
 	s.parts = append(s.parts, partition{groupA: g, from: from, to: to})
 }
 
+// procSet builds the rule target set (nil means "all processes").
+func procSet(procs []string) map[string]bool {
+	if len(procs) == 0 {
+		return nil
+	}
+	g := make(map[string]bool, len(procs))
+	for _, id := range procs {
+		g[id] = true
+	}
+	return g
+}
+
+// InjectDelay adds extra latency, plus a seeded jitter in [0, jitter], to
+// every message touching one of procs (either endpoint; empty = all) sent
+// during [from, to). A non-zero jitter reorders messages on a channel.
+func (s *Sim) InjectDelay(procs []string, from, to, extra, jitter uint64) {
+	s.rules = append(s.rules, netRule{
+		kind: ruleDelay, procs: procSet(procs), from: from, to: to,
+		extra: extra, jitter: jitter,
+	})
+}
+
+// InjectDrop loses messages touching one of procs with probability prob
+// while in transit during [from, to).
+func (s *Sim) InjectDrop(procs []string, from, to uint64, prob float64) {
+	s.rules = append(s.rules, netRule{
+		kind: ruleDrop, procs: procSet(procs), from: from, to: to, prob: prob,
+	})
+}
+
+// InjectDup duplicates messages touching one of procs with probability
+// prob when sent during [from, to); the copy takes a fresh latency draw,
+// so it may arrive arbitrarily reordered relative to the original.
+func (s *Sim) InjectDup(procs []string, from, to uint64, prob float64) {
+	s.rules = append(s.rules, netRule{
+		kind: ruleDup, procs: procSet(procs), from: from, to: to, prob: prob,
+	})
+}
+
+// InjectSkew offsets the virtual clock proc observes through Context.Now
+// by offset during [from, to) — the classic drifting-clock fault. The
+// simulation's own event ordering is unaffected; only the process's
+// observations (and therefore its scroll) change.
+func (s *Sim) InjectSkew(proc string, from, to uint64, offset int64) {
+	s.skews = append(s.skews, skewRule{proc: proc, from: from, to: to, offset: offset})
+}
+
+// injectedDelay sums the extra latency of every delay rule matching a
+// from->to message sent at time t (jitter draws consume seeded randomness).
+func (s *Sim) injectedDelay(from, to string, t uint64) uint64 {
+	var d uint64
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.kind != ruleDelay || !r.matches(from, to, t) {
+			continue
+		}
+		d += r.extra
+		if r.jitter > 0 {
+			d += uint64(s.rng.Int63n(int64(r.jitter + 1)))
+		}
+	}
+	return d
+}
+
+// ruleDrops reports whether a drop rule loses a from->to message at time t.
+func (s *Sim) ruleDrops(from, to string, t uint64) bool {
+	dropped := false
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.kind != ruleDrop || !r.matches(from, to, t) {
+			continue
+		}
+		// Always consume the draw so rule evaluation stays deterministic
+		// regardless of earlier matches.
+		if s.rng.Float64() < r.prob {
+			dropped = true
+		}
+	}
+	return dropped
+}
+
+// ruleDups reports whether a dup rule copies a from->to message at time t.
+func (s *Sim) ruleDups(from, to string, t uint64) bool {
+	dup := false
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.kind != ruleDup || !r.matches(from, to, t) {
+			continue
+		}
+		if s.rng.Float64() < r.prob {
+			dup = true
+		}
+	}
+	return dup
+}
+
+// skewedNow returns proc's observed clock at time t.
+func (s *Sim) skewedNow(proc string, t uint64) uint64 {
+	v := int64(t)
+	for _, sk := range s.skews {
+		if sk.proc == proc && t >= sk.from && t < sk.to {
+			v += sk.offset
+		}
+	}
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
 // Stop makes Run return after the current event.
 func (s *Sim) Stop() { s.stop = true }
 
@@ -472,6 +621,11 @@ func (s *Sim) deliver(ev *event) {
 		}
 	}
 	if s.partitioned(ev.from, ev.to, s.now) {
+		s.stats.Dropped++
+		return
+	}
+	// Windowed, target-scoped loss installed by fault injection.
+	if s.ruleDrops(ev.from, ev.to, s.now) {
 		s.stats.Dropped++
 		return
 	}
@@ -755,9 +909,10 @@ type simContext struct {
 // Self returns the process ID.
 func (c *simContext) Self() string { return c.proc.id }
 
-// Now returns the virtual time and records the read.
+// Now returns the virtual time — offset by any injected clock skew — and
+// records the read.
 func (c *simContext) Now() uint64 {
-	t := c.sim.now
+	t := c.sim.skewedNow(c.proc.id, c.sim.now)
 	c.proc.scroll.Append(scroll.Record{
 		Kind: scroll.KindTime, Payload: binary.LittleEndian.AppendUint64(nil, t),
 		Lamport: c.proc.lamport.Now(), Clock: c.proc.clock.Copy(),
@@ -802,6 +957,9 @@ func (c *simContext) Send(to string, payload []byte) {
 			}
 			s.lastFIFO[key] = t
 		}
+		// Injected delay applies after the FIFO clamp: chaos rules may
+		// reorder a channel on purpose.
+		t += s.injectedDelay(p.id, to, s.now)
 		s.push(&event{
 			time: t, kind: evMessage,
 			msgID: id, from: p.id, to: to, payload: body,
@@ -810,6 +968,10 @@ func (c *simContext) Send(to string, payload []byte) {
 	}
 	deliver()
 	if s.cfg.DupRate > 0 && s.rng.Float64() < s.cfg.DupRate {
+		s.stats.Duplicated++
+		deliver()
+	}
+	if s.ruleDups(p.id, to, s.now) {
 		s.stats.Duplicated++
 		deliver()
 	}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/modeld"
 )
 
-// RunAblations prints the DESIGN.md §5 ablation summary: each row isolates
+// RunAblations prints the ablation summary: each row isolates
 // one design choice the paper calls out and quantifies its effect.
 // A1 and A4 are covered in depth by E2 and E3; this table adds A2, A3 and
 // A5 measurements and cross-references the rest.

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE9ChaosTable(t *testing.T) {
+	tbl := RunE9(true)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 apps", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		app := row[0]
+		for i, cell := range row[1 : len(row)-1] {
+			if !strings.HasSuffix(cell, "/2") || strings.HasPrefix(cell, "0/") ||
+				cell[:1] != cell[len(cell)-1:] {
+				t.Errorf("%s/%s: cell %q is not a full pass", app, tbl.Header[i+1], cell)
+			}
+		}
+		if pipe := row[len(row)-1]; !strings.HasPrefix(pipe, "complete@") {
+			t.Errorf("%s: pipeline %q incomplete", app, pipe)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package experiments regenerates every figure of the paper as a
-// quantitative experiment (see DESIGN.md §4 for the per-experiment index).
+// quantitative experiment (see README.md for the experiment index).
 // Each RunEx function returns a Table whose rows cmd/fixd-bench prints;
 // bench_test.go at the repository root exposes the same code as testing.B
 // benchmarks.
@@ -88,6 +88,7 @@ func Suite(quick bool) []*Table {
 		RunE6(quick),
 		RunE7(quick),
 		RunE8(quick),
+		RunE9(quick),
 		RunAblations(quick),
 	}
 }

@@ -209,7 +209,7 @@ func TestSuiteQuick(t *testing.T) {
 		t.Skip("suite is slow")
 	}
 	tables := Suite(true)
-	if len(tables) != 9 {
+	if len(tables) != 10 {
 		t.Fatalf("tables = %d", len(tables))
 	}
 	for _, tbl := range tables {

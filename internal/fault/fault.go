@@ -23,6 +23,11 @@ const (
 	Crash     Kind = iota // process stops executing
 	Restart               // crashed process restarts from its checkpoint
 	Partition             // network split for a time window
+	Delay                 // fixed extra message latency in a window
+	Reorder               // seeded latency jitter that reorders channels
+	Duplicate             // probabilistic message duplication in a window
+	Drop                  // probabilistic message loss in a window
+	ClockSkew             // offset applied to one process's observed clock
 )
 
 // String returns the kind name.
@@ -34,6 +39,16 @@ func (k Kind) String() string {
 		return "restart"
 	case Partition:
 		return "partition"
+	case Delay:
+		return "delay"
+	case Reorder:
+		return "reorder"
+	case Duplicate:
+		return "duplicate"
+	case Drop:
+		return "drop"
+	case ClockSkew:
+		return "clock-skew"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -41,11 +56,15 @@ func (k Kind) String() string {
 
 // Injection is one planned fault.
 type Injection struct {
-	Kind  Kind
-	Proc  string   // Crash/Restart target
-	Group []string // Partition group A
-	At    uint64   // virtual time (start, for Partition)
-	Until uint64   // Partition end
+	Kind   Kind
+	Proc   string   // Crash/Restart/ClockSkew target
+	Group  []string // Partition group A; Delay/Reorder/Duplicate/Drop targets (empty = all messages)
+	At     uint64   // virtual time (window start for windowed kinds)
+	Until  uint64   // window end for windowed kinds
+	Extra  uint64   // Delay: fixed extra latency
+	Jitter uint64   // Reorder: seeded extra latency in [0, Jitter]
+	Prob   float64  // Duplicate/Drop: per-message probability
+	Skew   int64    // ClockSkew: observed-clock offset
 }
 
 // Plan is a reproducible fault schedule.
@@ -63,8 +82,29 @@ func (p *Plan) Apply(s *dsim.Sim) {
 			s.RestartAt(inj.Proc, inj.At)
 		case Partition:
 			s.Partition(inj.Group, inj.At, inj.Until)
+		case Delay:
+			s.InjectDelay(inj.Group, inj.At, inj.Until, inj.Extra, 0)
+		case Reorder:
+			s.InjectDelay(inj.Group, inj.At, inj.Until, inj.Extra, inj.Jitter)
+		case Duplicate:
+			s.InjectDup(inj.Group, inj.At, inj.Until, inj.Prob)
+		case Drop:
+			s.InjectDrop(inj.Group, inj.At, inj.Until, inj.Prob)
+		case ClockSkew:
+			s.InjectSkew(inj.Proc, inj.At, inj.Until, inj.Skew)
 		}
 	}
+}
+
+// Compose concatenates plans into one reproducible schedule.
+func Compose(plans ...*Plan) *Plan {
+	out := &Plan{}
+	for _, p := range plans {
+		if p != nil {
+			out.Injections = append(out.Injections, p.Injections...)
+		}
+	}
+	return out
 }
 
 // CrashRestart builds a plan that crashes proc at t and restarts it at t2.

@@ -5,7 +5,7 @@
 // OCaml "more like a conventional model checking language" (§4.3, Fig. 7).
 // The Go equivalent is a fluent builder: Model.Action("x").When(guard).
 // Do(effect) declares one guarded command, and Build hands the result to
-// the modeld engine. See DESIGN.md §2 for the substitution rationale.
+// the modeld engine.
 package guard
 
 import (

@@ -1,7 +1,7 @@
 // Package integration exercises cross-module flows end to end: every
 // workload application through the full FixD pipeline, crash detection
 // feeding investigation, speculative execution on live workloads, and the
-// ablations A2/A5 from DESIGN.md §5.
+// ablations A2/A5.
 package integration
 
 import (

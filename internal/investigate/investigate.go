@@ -165,7 +165,7 @@ func (c *sandboxCtx) Self() string { return c.self }
 func (c *sandboxCtx) Now() uint64 { return c.step }
 
 // Random returns a deterministic stream — an environment model standing in
-// for the recorded randomness (DESIGN.md §2).
+// for the recorded randomness (substituting recorded randomness for live draws).
 func (c *sandboxCtx) Random() uint64 {
 	c.randSeq = c.randSeq*6364136223846793005 + 1442695040888963407
 	return c.randSeq

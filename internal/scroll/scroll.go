@@ -10,7 +10,9 @@
 package scroll
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -102,6 +104,18 @@ func (r *Record) encode() []byte {
 		buf = binary.AppendUvarint(buf, r.Clock[id])
 	}
 	return buf
+}
+
+// Digest returns a hex SHA-256 over the binary encoding of the records.
+// Two runs with identical scrolls produce identical digests, so a digest
+// over a merged scroll is the replay-equality fingerprint the chaos
+// harness compares across runs.
+func Digest(recs []Record) string {
+	h := sha256.New()
+	for i := range recs {
+		h.Write(recs[i].encode())
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // decodeRecord parses a record produced by encode.
