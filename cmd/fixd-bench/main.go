@@ -1,18 +1,23 @@
 // fixd-bench regenerates every figure of the paper as a quantitative
 // experiment and prints the result tables (see README.md for the
-// experiment index).
+// experiment index). Whenever the chaos matrix (E9) runs, the sharding
+// benchmark also runs and writes machine-readable results — cells/sec,
+// sequential vs. sharded — to BENCH_chaos.json for CI trending.
 //
 // Usage:
 //
-//	fixd-bench            # full parameter sweeps
-//	fixd-bench -quick     # reduced sweeps (seconds, for CI)
-//	fixd-bench -only E3   # a single experiment
+//	fixd-bench                  # full parameter sweeps
+//	fixd-bench -quick           # reduced sweeps (seconds, for CI)
+//	fixd-bench -only E3         # a single experiment
+//	fixd-bench -shard.workers 8 # worker pool for the chaos matrix
+//	fixd-bench -chaos.json out.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -35,7 +40,11 @@ var runners = map[string]func(bool) *experiments.Table{
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	only := flag.String("only", "", "run a single experiment (E1..E9 or ABL)")
+	workers := flag.Int("shard.workers", runtime.NumCPU(), "worker pool width for the chaos matrix sweep")
+	chaosJSON := flag.String("chaos.json", "BENCH_chaos.json", "chaos sharding benchmark output path (\"\" disables)")
 	flag.Parse()
+
+	experiments.MatrixWorkers = *workers
 
 	if *only != "" {
 		id := strings.ToUpper(*only)
@@ -45,10 +54,34 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Print(run(*quick).Format())
+		if id == "E9" {
+			emitChaosBench(*workers, *chaosJSON)
+		}
 		return
 	}
 	for _, tbl := range experiments.Suite(*quick) {
 		fmt.Print(tbl.Format())
 		fmt.Println()
 	}
+	emitChaosBench(*workers, *chaosJSON)
+}
+
+// emitChaosBench runs the sequential-vs-sharded matrix benchmark (reduced
+// seed set — see RunChaosBench) and writes the JSON artifact.
+func emitChaosBench(workers int, path string) {
+	if path == "" {
+		return
+	}
+	b := experiments.RunChaosBench(workers)
+	out, err := b.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: chaos bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: chaos bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chaos sharding bench: %d cells, %.1f cells/s sequential, %.1f cells/s with %d workers (%.2fx) -> %s\n",
+		b.Cells, b.SequentialCellsPerSec, b.ShardedCellsPerSec, b.Workers, b.Speedup, path)
 }

@@ -2,10 +2,16 @@
 // Detection, Bug Reporting, and Recoverability for Distributed
 // Applications" (Ţăpuş & Noblet, IPPS 2007).
 //
-// The public API lives in package repro/fixd; the substrates (Scroll,
-// Time Machine, Investigator, Healer, ModelD, distributed speculations,
-// deterministic simulator, chaos engine, live transport) live under
-// repro/internal. See README.md for the layout and the experiment index.
+// The public API lives in package repro/fixd. Its centerpiece is the
+// substrate seam (repro/internal/substrate): applications program against
+// one fixd.System whether they run on the deterministic discrete-event
+// simulator (internal/dsim) or as real goroutines over the live transport
+// (internal/transport), and the same chaos schedule injects faults into
+// either backend. The framework components — Scroll, Time Machine,
+// Investigator, Healer, ModelD, distributed speculations, chaos engine —
+// live under repro/internal and target narrow substrate interfaces rather
+// than a concrete runtime. See README.md for the layout, the capability
+// matrix, and the experiment index.
 //
 // The benchmarks in bench_test.go regenerate the measurement behind every
 // figure of the paper; run them with:

@@ -51,9 +51,9 @@ func main() {
 
 	// 2. Diagnosis: find the branch whose books admit the loss.
 	var lossy string
-	for _, id := range sys.Sim().Procs() {
+	for _, id := range sys.Substrate().Procs() {
 		var st struct{ LostCredits int64 }
-		if err := json.Unmarshal(sys.Sim().MachineState(id), &st); err == nil && st.LostCredits > 0 {
+		if err := json.Unmarshal(sys.Substrate().MachineState(id), &st); err == nil && st.LostCredits > 0 {
 			lossy = id
 			fmt.Printf("branch %s lost %d in credits it acknowledged\n", id, st.LostCredits)
 		}
@@ -109,9 +109,9 @@ func main() {
 
 func totalLost(sys *fixd.System) int64 {
 	var total int64
-	for _, id := range sys.Sim().Procs() {
+	for _, id := range sys.Substrate().Procs() {
 		var st struct{ LostCredits int64 }
-		if err := json.Unmarshal(sys.Sim().MachineState(id), &st); err == nil {
+		if err := json.Unmarshal(sys.Substrate().MachineState(id), &st); err == nil {
 			total += st.LostCredits
 		}
 	}

@@ -50,12 +50,12 @@ func main() {
 		return
 	}
 	fmt.Printf("seed %d: replicas diverged from the primary\n", seed)
-	for _, id := range sys.Sim().Procs() {
+	for _, id := range sys.Substrate().Procs() {
 		var st struct {
 			Versions map[string]uint64
 			Stale    int
 		}
-		if err := json.Unmarshal(sys.Sim().MachineState(id), &st); err == nil && len(st.Versions) > 0 {
+		if err := json.Unmarshal(sys.Substrate().MachineState(id), &st); err == nil && len(st.Versions) > 0 {
 			fmt.Printf("  %-10s versions=%v staleOverwrites=%d\n", id, st.Versions, st.Stale)
 		}
 	}

@@ -1,114 +1,126 @@
-// Livereplay: the Scroll on real goroutines and TCP (paper §2.2-2.3).
+// Livereplay: the Scroll on real goroutines and TCP (paper §2.2-2.3),
+// through the substrate-agnostic fixd API.
 //
-// Two nodes play ping-pong through a real TCP hub on the loopback
-// interface. Every receive and send is recorded in each node's Scroll.
-// Afterwards, the responder's handler is re-executed completely offline —
-// no network, no peer — against its scroll, reproducing the recorded
-// interaction exactly (the remote entity is a black box defined only by
-// the log). A deliberately "patched" handler is then replayed to show the
-// divergence detector firing.
+// Two machines play ping-pong as real goroutines through a real TCP hub
+// on the loopback interface — fixd.NewLive wires the same Machine
+// interface the simulator runs onto the live transport, with every send
+// and receive recorded in each process's Scroll. The run is perturbed by
+// an ordinary chaos schedule (message duplication injected at the hub; the
+// responder deduplicates), demonstrating that the same fixd.ChaosSchedule
+// that drives the simulator drives real goroutines.
+//
+// Afterwards the responder is re-executed completely offline — no network,
+// no peer — against its scroll, reproducing the recorded interaction
+// exactly (the remote entity is a black box defined only by the log). A
+// deliberately "patched" handler is then replayed to show the divergence
+// detector firing.
 //
 // Run with: go run ./examples/livereplay
 package main
 
 import (
-	"context"
 	"fmt"
-	"sync"
-	"time"
 
-	"repro/internal/transport"
+	"repro/fixd"
 )
 
-// ponger replies "pong-N" to each ping.
+// pongerState is the responder's serializable state.
+type pongerState struct {
+	Seen  map[string]bool // ping IDs already answered (duplicates absorbed)
+	Count int
+}
+
+// ponger replies "pong-N" to each distinct ping.
 type ponger struct {
-	mu    sync.Mutex
-	count int
+	st    pongerState
 	limit int
-	done  chan struct{}
 }
 
-func (p *ponger) HandleMessage(ctx *transport.NodeContext, from string, payload []byte) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.count >= p.limit {
+func (p *ponger) State() any { return &p.st }
+func (p *ponger) Init(ctx fixd.Context) {
+	p.st.Seen = map[string]bool{}
+}
+func (p *ponger) OnMessage(ctx fixd.Context, from string, payload []byte) {
+	ping := string(payload)
+	if p.st.Seen[ping] || p.st.Count >= p.limit {
 		return
 	}
-	p.count++
-	ctx.Send(from, []byte(fmt.Sprintf("pong-%d", p.count)))
-	if p.count == p.limit {
-		close(p.done)
-	}
+	p.st.Seen[ping] = true
+	p.st.Count++
+	ctx.Send(from, []byte(fmt.Sprintf("pong-%d", p.st.Count)))
+}
+func (p *ponger) OnTimer(fixd.Context, string)               {}
+func (p *ponger) OnRollback(fixd.Context, fixd.RollbackInfo) {}
+
+// pingerState is the initiator's serializable state.
+type pingerState struct {
+	Sent   int
+	Ponged map[string]bool
 }
 
-// pinger fires the next ping on every pong.
+// pinger opens the exchange on a timer and fires the next ping on every
+// distinct pong.
 type pinger struct {
-	mu    sync.Mutex
-	sent  int
+	st    pingerState
 	limit int
 }
 
-func (p *pinger) HandleMessage(ctx *transport.NodeContext, from string, payload []byte) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.sent >= p.limit {
+func (p *pinger) State() any { return &p.st }
+func (p *pinger) Init(ctx fixd.Context) {
+	p.st.Ponged = map[string]bool{}
+	ctx.SetTimer("kickoff", 2)
+}
+func (p *pinger) OnTimer(ctx fixd.Context, name string) {
+	if name == "kickoff" {
+		p.ping(ctx)
+	}
+}
+func (p *pinger) OnMessage(ctx fixd.Context, from string, payload []byte) {
+	pong := string(payload)
+	if p.st.Ponged[pong] {
+		return // hub-injected duplicate
+	}
+	p.st.Ponged[pong] = true
+	p.ping(ctx)
+}
+func (p *pinger) ping(ctx fixd.Context) {
+	if p.st.Sent >= p.limit {
 		return
 	}
-	p.sent++
-	ctx.Send(from, []byte(fmt.Sprintf("ping-%d", p.sent)))
+	p.st.Sent++
+	ctx.Send("bob", []byte(fmt.Sprintf("ping-%d", p.st.Sent)))
 }
+func (p *pinger) OnRollback(fixd.Context, fixd.RollbackInfo) {}
 
 func main() {
-	hub, err := transport.NewHub("127.0.0.1:0")
+	const rounds = 8
+
+	sys, err := fixd.NewLive(fixd.LiveConfig{Seed: 1, UseTCP: true})
 	if err != nil {
 		fmt.Println("loopback TCP unavailable:", err)
 		return
 	}
-	defer hub.Close()
-	fmt.Println("hub listening on", hub.Addr())
+	defer sys.Close()
 
-	const rounds = 8
-	pong := &ponger{limit: rounds, done: make(chan struct{})}
-	ping := &pinger{limit: rounds}
+	sys.Add("alice", func() fixd.Machine { return &pinger{limit: rounds} })
+	sys.Add("bob", func() fixd.Machine { return &ponger{limit: rounds} })
 
-	trA := transport.NewTCPTransport(hub.Addr())
-	trB := transport.NewTCPTransport(hub.Addr())
-	defer trA.Close()
-	defer trB.Close()
+	// The same schedule value that perturbs the simulator perturbs the
+	// live hub: every message is duplicated in transit.
+	sys.InjectChaos(fixd.ChaosSchedule{{
+		Kind:      fixd.FaultDuplicate,
+		Window:    fixd.ChaosWindow{From: 0, To: 1 << 30},
+		Intensity: fixd.ChaosIntensity{Prob: 1.0},
+	}})
 
-	alice, err := transport.NewNode("alice", trA, ping)
-	if err != nil {
-		panic(err)
-	}
-	bob, err := transport.NewNode("bob", trB, pong)
-	if err != nil {
-		panic(err)
-	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	go alice.Run(ctx)
-	go bob.Run(ctx)
-
-	// Kick off the exchange through alice's recorded send path.
-	if err := alice.Send("bob", []byte("ping-0")); err != nil {
-		panic(err)
-	}
-	select {
-	case <-pong.done:
-	case <-ctx.Done():
-		fmt.Println("timed out")
-		return
-	}
-	// Give the last pong time to land in alice's scroll.
-	time.Sleep(50 * time.Millisecond)
-
-	fmt.Printf("live run: bob received %d messages, scroll has %d records\n",
-		bob.Received(), bob.Scroll().Len())
+	caps := sys.Substrate().Capabilities()
+	fmt.Printf("live run on %q substrate (deterministic=%v) ...\n", caps.Name, caps.Deterministic)
+	stats := sys.Run()
+	fmt.Printf("live run: %d delivered, %d hub-duplicated, bob's scroll has %d records\n",
+		stats.Delivered, stats.Duplicated, sys.Substrate().Scroll("bob").Len())
 
 	// Offline replay with the true handler: must match exactly.
-	fresh := &ponger{limit: rounds, done: make(chan struct{})}
-	rep, err := transport.ReplayNode("bob", fresh, bob.Scroll().Records())
+	rep, err := sys.Diagnose("bob")
 	if err != nil {
 		panic(err)
 	}
@@ -116,13 +128,18 @@ func main() {
 		rep.Events, rep.Sends, rep.Diverged)
 
 	// Offline replay with a "patched" handler: the detector must fire.
-	villain := transport.HandlerFunc(func(c *transport.NodeContext, from string, payload []byte) {
-		c.Send(from, []byte("pong-TAMPERED"))
-	})
-	rep2, err := transport.ReplayNode("bob", villain, bob.Scroll().Records())
+	rep2, err := sys.Replay("bob", &tamperedPonger{})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("offline replay (patched handler):  %d events, diverged=%v (expected true)\n",
 		rep2.Events, rep2.Diverged)
+}
+
+// tamperedPonger replies with a corrupted payload — the "patched" handler
+// whose divergence the replay detector catches.
+type tamperedPonger struct{ ponger }
+
+func (p *tamperedPonger) OnMessage(ctx fixd.Context, from string, payload []byte) {
+	ctx.Send(from, []byte("pong-TAMPERED"))
 }

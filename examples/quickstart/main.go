@@ -5,6 +5,11 @@
 // job but still counts it as done — which breaks the "no job lost"
 // invariant. FixD detects the fault, investigates, and prints the trail.
 //
+// fixd.New runs the app on the deterministic simulated substrate (the
+// default); swapping the constructor for fixd.NewLive would run the same
+// machines as real goroutines over a TCP hub — the rest of this file
+// would not change (see examples/livereplay).
+//
 // Run with: go run ./examples/quickstart
 package main
 

@@ -3,7 +3,15 @@
 // applications (Ţăpuş & Noblet, IPPS 2007).
 //
 // Applications are written as deterministic event-driven Machines and run
-// on a simulated distributed substrate. FixD wraps the run with its four
+// on a Substrate — the backend-agnostic runtime seam. Two backends ship:
+//
+//   - the simulated substrate (default, fixd.New): a deterministic
+//     discrete-event simulator with seeded replayable executions;
+//   - the live substrate (fixd.NewLive): the same machines as real
+//     goroutines exchanging messages over an in-memory switch or a real
+//     TCP hub, with chaos injection interposed at the hub.
+//
+// Whichever backend runs the application, FixD wraps it with its four
 // components:
 //
 //   - the Scroll records every nondeterministic action for replay;
@@ -20,7 +28,16 @@
 // above: composable fault scenarios — crash-restart, partitions, message
 // delay/reorder/duplication/loss, clock skew — swept deterministically
 // over the workload applications, with delta-debugging minimization of
-// any failing schedule.
+// any failing schedule. The same ChaosSchedule value compiles onto either
+// backend, so a scenario found in the simulator can be replayed against
+// real goroutines unchanged.
+//
+// Capability matrix: replay determinism (byte-identical repeated runs) and
+// distributed speculations are sim-only — real goroutine scheduling is
+// outside the seed's control, and aborting a speculation requires
+// recalling messages from the network. Per-process scroll replay,
+// invariant monitoring, fault response, chaos injection and best-effort
+// checkpoint/rollback work on both. See Substrate.Capabilities.
 //
 // Quickstart:
 //
@@ -42,6 +59,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/heal"
 	"repro/internal/scroll"
+	"repro/internal/substrate"
 )
 
 // Re-exported substrate types, so applications only import fixd.
@@ -68,6 +86,18 @@ type (
 	Response = core.Response
 	// Diagnosis is a liblog-style replay diagnosis.
 	Diagnosis = baselines.ReplayDiagnosis
+
+	// Substrate is the backend-agnostic runtime surface a System drives:
+	// process registry, run/pause/resume, scroll access, checkpoint and
+	// rollback hooks, and the chaos-injection capability.
+	Substrate = substrate.Substrate
+	// SubstrateCapabilities describes what a backend supports.
+	SubstrateCapabilities = substrate.Capabilities
+	// LiveConfig parameterizes the live (real-goroutine) substrate.
+	LiveConfig = substrate.LiveConfig
+	// ChaosInjector is the fault-injection capability surface chaos
+	// schedules arm; both backends provide one.
+	ChaosInjector = fault.Injector
 
 	// FaultKind classifies injectable faults.
 	FaultKind = fault.Kind
@@ -109,7 +139,8 @@ func Chaos(seeds ...int64) *ChaosReport {
 // ShrinkChaos minimizes a failing fault schedule by delta debugging:
 // fails must deterministically report whether a schedule reproduces the
 // failure, and budget bounds the number of executions. The result is a
-// 1-minimal scenario subsequence with shrunken windows and intensities.
+// 1-minimal scenario subsequence with shrunken windows, intensities and
+// target sets.
 func ShrinkChaos(sched ChaosSchedule, fails func(ChaosSchedule) bool, budget int) ChaosSchedule {
 	return chaos.Shrink(sched, fails, budget).Schedule
 }
@@ -134,18 +165,38 @@ type ProtectOptions struct {
 	VerifyDepth int
 }
 
-// System is a distributed application under FixD protection.
+// System is a distributed application under FixD protection, running on
+// either backend.
 type System struct {
-	sim        *dsim.Sim
+	sub        substrate.Substrate
 	factories  map[string]func() dsim.Machine
 	invariants []GlobalInvariant
 	coord      *core.Coordinator
 }
 
-// New creates a system on a fresh simulated substrate.
-func New(cfg Config) *System {
+// New creates a system on a fresh simulated substrate — the full-fidelity,
+// deterministic default.
+func New(cfg Config) *System { return NewOn(substrate.NewSim(cfg)) }
+
+// NewLive creates a system on the live substrate: real goroutines
+// exchanging messages over an in-memory switch or (with cfg.UseTCP) a real
+// TCP hub on the loopback interface. Replay determinism and speculations
+// are unavailable there; everything else — scroll recording, chaos
+// injection, invariant monitoring, fault response, per-process replay —
+// works identically.
+func NewLive(cfg LiveConfig) (*System, error) {
+	sub, err := substrate.NewLive(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewOn(sub), nil
+}
+
+// NewOn creates a system on the given substrate. Use it to supply a
+// custom backend implementation.
+func NewOn(sub Substrate) *System {
 	return &System{
-		sim:       dsim.New(cfg),
+		sub:       sub,
 		factories: make(map[string]func() dsim.Machine),
 	}
 }
@@ -154,7 +205,7 @@ func New(cfg Config) *System {
 // instance and kept as the process's model for the Investigator.
 func (s *System) Add(id string, factory func() Machine) {
 	s.factories[id] = factory
-	s.sim.AddProcess(id, factory())
+	s.sub.AddProcess(id, factory())
 }
 
 // AddInvariant registers a global safety property.
@@ -165,7 +216,7 @@ func (s *System) AddInvariant(inv GlobalInvariant) {
 // Protect enables the FixD coordinator: the first locally detected fault
 // triggers rollback, global checkpoint assembly and investigation.
 func (s *System) Protect(opts ProtectOptions) {
-	s.coord = core.NewCoordinator(s.sim, s.factories, core.Config{
+	s.coord = core.NewCoordinator(s.sub, s.factories, core.Config{
 		Invariants:                 s.invariants,
 		TreatLocalFaultAsViolation: opts.TreatLocalFaultAsViolation,
 		MaxStates:                  opts.MaxStates,
@@ -180,18 +231,22 @@ func (s *System) Protect(opts ProtectOptions) {
 
 // InjectChaos compiles a chaos schedule against this system's processes
 // (scenario targets index the sorted process list) and arms it on the
-// substrate. Call after every Add and before Run.
+// substrate's injector. Call after every Add and before Run. The same
+// schedule value works on both backends.
 func (s *System) InjectChaos(sched ChaosSchedule) {
-	sched.Compile(s.sim.Procs()).Apply(s.sim)
+	sched.Compile(s.sub.Procs()).Apply(s.sub.Injector())
 }
 
 // Run executes the system until quiescence, a step bound, or a protected
 // fault pauses it.
-func (s *System) Run() Stats { return s.sim.Run() }
+func (s *System) Run() Stats { return s.sub.Run() }
 
 // Resume continues after a pause (e.g. after inspecting a Response or
 // applying a heal).
-func (s *System) Resume() Stats { return s.sim.Resume() }
+func (s *System) Resume() Stats { return s.sub.Resume() }
+
+// Stop pauses the run.
+func (s *System) Stop() { s.sub.Stop() }
 
 // Response returns the first fault response, or nil if no fault fired.
 func (s *System) Response() *Response {
@@ -205,20 +260,32 @@ func (s *System) Response() *Response {
 // global state and returns the names of those violated.
 func (s *System) CheckInvariants() []string {
 	var out []string
-	for _, v := range fault.NewMonitor(s.invariants...).Check(s.sim) {
+	for _, v := range fault.NewMonitor(s.invariants...).Check(s.sub) {
 		out = append(out, v.Invariant)
 	}
 	return out
 }
 
 // Diagnose replays one process from its scroll in isolation (liblog-style)
-// and returns the diagnosis with the merged interaction trace.
+// and returns the diagnosis with the merged interaction trace. It works on
+// both backends: per-process replay needs only the recorded scroll.
 func (s *System) Diagnose(proc string) (*Diagnosis, error) {
 	f, ok := s.factories[proc]
 	if !ok {
 		return nil, &UnknownProcessError{Proc: proc}
 	}
-	return baselines.Diagnose(s.sim, proc, f())
+	return baselines.Diagnose(s.sub, proc, f())
+}
+
+// Replay re-executes the given machine against proc's recorded scroll —
+// Diagnose with a caller-supplied implementation, used to check whether a
+// patched machine still follows the recorded interaction (divergence
+// analysis).
+func (s *System) Replay(proc string, m Machine) (*Diagnosis, error) {
+	if s.sub.Scroll(proc) == nil {
+		return nil, &UnknownProcessError{Proc: proc}
+	}
+	return baselines.Diagnose(s.sub, proc, m)
 }
 
 // Heal applies a corrected program by dynamic update at the most recent
@@ -226,23 +293,39 @@ func (s *System) Diagnose(proc string) (*Diagnosis, error) {
 // "from a previously saved checkpoint where all invariants are satisfied").
 // Use Response().Line for fault-aligned lines instead.
 func (s *System) Heal(prog Program, mapper StateMapper) (*heal.Report, error) {
-	line := heal.VerifiedLine(s.sim, s.invariants)
+	line := heal.VerifiedLine(s.sub, s.invariants)
 	if line == nil {
-		line = heal.LatestLine(s.sim, s.sim.Procs())
+		line = heal.LatestLine(s.sub, s.sub.Procs())
 	}
 	if line == nil {
 		return nil, &NoCheckpointError{}
 	}
-	return heal.Apply(s.sim, line, prog, mapper, heal.VerifyOptions{Invariants: s.invariants})
+	return heal.Apply(s.sub, line, prog, mapper, heal.VerifyOptions{Invariants: s.invariants})
 }
 
 // MergedScroll returns the global, Lamport-ordered record of every
 // nondeterministic action in the run.
-func (s *System) MergedScroll() []scroll.Record { return s.sim.MergedScroll() }
+func (s *System) MergedScroll() []scroll.Record { return s.sub.MergedScroll() }
 
-// Sim exposes the underlying substrate for advanced use (fault injection,
-// checkpoint store access, manual rollback).
-func (s *System) Sim() *dsim.Sim { return s.sim }
+// Substrate exposes the underlying runtime for advanced use (fault
+// injection, checkpoint store access, manual rollback, capabilities).
+func (s *System) Substrate() Substrate { return s.sub }
+
+// Close releases backend resources (network listeners, goroutines). Only
+// the live backend holds any; closing a simulated system is a no-op.
+func (s *System) Close() error { return s.sub.Close() }
+
+// Sim exposes the underlying simulator when the system runs on the
+// simulated backend, and nil otherwise.
+//
+// Deprecated: use Substrate, which works on every backend. Sim remains for
+// source compatibility with pre-substrate callers.
+func (s *System) Sim() *dsim.Sim {
+	if ss, ok := s.sub.(*substrate.SimSubstrate); ok {
+		return ss.Sim
+	}
+	return nil
+}
 
 // UnknownProcessError reports a Diagnose call for an unregistered process.
 type UnknownProcessError struct{ Proc string }

@@ -1,0 +1,225 @@
+package fixd_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/fixd"
+)
+
+// The cross-substrate demo app: a source emits numbered packets on a timer
+// cadence; a sink deduplicates and acknowledges. The safety property —
+// every ack the source holds was seen by the sink — survives arbitrary
+// loss, duplication and delay, so it must hold on both backends.
+
+type sinkState struct {
+	Seen map[string]bool
+}
+
+type sink struct{ st sinkState }
+
+func (s *sink) State() any { return &s.st }
+func (s *sink) Init(ctx fixd.Context) {
+	s.st.Seen = map[string]bool{}
+}
+func (s *sink) OnMessage(ctx fixd.Context, from string, payload []byte) {
+	s.st.Seen[string(payload)] = true
+	ctx.Send(from, payload)
+}
+func (s *sink) OnTimer(fixd.Context, string)               {}
+func (s *sink) OnRollback(fixd.Context, fixd.RollbackInfo) {}
+
+type sourceState struct {
+	Sent  int
+	Acked map[string]bool
+}
+
+type source struct {
+	st sourceState
+	n  int
+}
+
+func (s *source) State() any { return &s.st }
+func (s *source) Init(ctx fixd.Context) {
+	s.st.Acked = map[string]bool{}
+	ctx.SetTimer("emit", 2)
+}
+func (s *source) OnTimer(ctx fixd.Context, name string) {
+	if name != "emit" || s.st.Sent >= s.n {
+		return
+	}
+	ctx.Send("sink", []byte(fmt.Sprintf("pkt-%d", s.st.Sent)))
+	s.st.Sent++
+	if s.st.Sent < s.n {
+		ctx.SetTimer("emit", 2)
+	}
+}
+func (s *source) OnMessage(ctx fixd.Context, from string, payload []byte) {
+	s.st.Acked[string(payload)] = true
+}
+func (s *source) OnRollback(fixd.Context, fixd.RollbackInfo) {}
+
+func ackedSeen() fixd.GlobalInvariant {
+	return fixd.GlobalInvariant{
+		Name: "acked-was-seen",
+		Holds: func(states map[string]json.RawMessage) bool {
+			var sk sinkState
+			var sr sourceState
+			if raw, ok := states["sink"]; ok && json.Unmarshal(raw, &sk) != nil {
+				return false
+			}
+			if raw, ok := states["source"]; ok && json.Unmarshal(raw, &sr) != nil {
+				return false
+			}
+			for pkt := range sr.Acked {
+				if !sk.Seen[pkt] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// TestSameScheduleBothSubstrates is the substrate-seam acceptance test:
+// one fixd.ChaosSchedule value — loss, duplication and delay at once — is
+// injected through the public API on the simulated AND the live backend,
+// visibly perturbs both runs, and the loss-robust invariant holds on both.
+func TestSameScheduleBothSubstrates(t *testing.T) {
+	sched := fixd.ChaosSchedule{
+		{Kind: fixd.FaultDrop, Window: fixd.ChaosWindow{From: 0, To: 1 << 30},
+			Intensity: fixd.ChaosIntensity{Prob: 0.4}},
+		{Kind: fixd.FaultDuplicate, Window: fixd.ChaosWindow{From: 0, To: 1 << 30},
+			Intensity: fixd.ChaosIntensity{Prob: 1.0}},
+		{Kind: fixd.FaultDelay, Window: fixd.ChaosWindow{From: 0, To: 1 << 30},
+			Intensity: fixd.ChaosIntensity{Extra: 2}},
+	}
+
+	newSys := map[string]func(t *testing.T) *fixd.System{
+		"sim": func(t *testing.T) *fixd.System {
+			return fixd.New(fixd.Config{Seed: 11, MinLatency: 1, MaxLatency: 3, MaxSteps: 50_000})
+		},
+		"live": func(t *testing.T) *fixd.System {
+			sys, err := fixd.NewLive(fixd.LiveConfig{Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sys
+		},
+	}
+
+	for _, backend := range []string{"sim", "live"} {
+		t.Run(backend, func(t *testing.T) {
+			sys := newSys[backend](t)
+			defer sys.Close()
+			sys.Add("sink", func() fixd.Machine { return &sink{} })
+			sys.Add("source", func() fixd.Machine { return &source{n: 20} })
+			sys.AddInvariant(ackedSeen())
+
+			sys.InjectChaos(sched) // the identical value, both backends
+
+			stats := sys.Run()
+			if stats.Duplicated == 0 {
+				t.Error("p=1.0 duplication left no trace")
+			}
+			if stats.Dropped == 0 {
+				t.Error("p=0.4 loss left no trace")
+			}
+			if bad := sys.CheckInvariants(); len(bad) != 0 {
+				t.Errorf("invariant violated under chaos: %v", bad)
+			}
+			if caps := sys.Substrate().Capabilities(); caps.Name != backend {
+				t.Errorf("capabilities name = %q, want %q", caps.Name, backend)
+			}
+		})
+	}
+}
+
+// TestSimAccessorCompat pins the deprecated escape hatch: sim-backed
+// systems still expose the simulator, live-backed systems return nil.
+func TestSimAccessorCompat(t *testing.T) {
+	sim := fixd.New(fixd.Config{Seed: 1})
+	if sim.Sim() == nil {
+		t.Error("sim-backed System.Sim() = nil")
+	}
+	live, err := fixd.NewLive(fixd.LiveConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if live.Sim() != nil {
+		t.Error("live-backed System.Sim() should be nil")
+	}
+}
+
+// faultySink reports a local fault on its third delivery.
+type faultySink struct {
+	sink
+	n int
+}
+
+func (s *faultySink) OnMessage(ctx fixd.Context, from string, payload []byte) {
+	s.n++
+	if s.n == 3 {
+		ctx.Fault("sink: third packet poisoned")
+	}
+	s.sink.OnMessage(ctx, from, payload)
+}
+
+// TestLiveProtectedResponse pins the coordinator contract on the live
+// backend: when a protected Run returns because of a fault, the response
+// (with its investigation) is already complete — Run must not race the
+// Fig. 4 protocol.
+func TestLiveProtectedResponse(t *testing.T) {
+	sys, err := fixd.NewLive(fixd.LiveConfig{Seed: 9, InitCheckpoint: true, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Add("sink", func() fixd.Machine { return &faultySink{} })
+	sys.Add("source", func() fixd.Machine { return &source{n: 8} })
+	sys.AddInvariant(ackedSeen())
+	sys.Protect(fixd.ProtectOptions{TreatLocalFaultAsViolation: true, StopAtFirstViolation: true,
+		MaxStates: 300, MaxDepth: 8})
+
+	sys.Run()
+	resp := sys.Response()
+	if resp == nil {
+		t.Fatal("protected live Run returned without a completed response")
+	}
+	if resp.Fault.Proc != "sink" {
+		t.Errorf("fault from %q, want sink", resp.Fault.Proc)
+	}
+	if resp.Investigation == nil {
+		t.Error("response carries no investigation")
+	}
+	sys.Resume()
+}
+
+// TestLiveDiagnose pins liblog-style per-process replay through the
+// public API on the live backend.
+func TestLiveDiagnose(t *testing.T) {
+	sys, err := fixd.NewLive(fixd.LiveConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Add("sink", func() fixd.Machine { return &sink{} })
+	sys.Add("source", func() fixd.Machine { return &source{n: 6} })
+	sys.Run()
+
+	d, err := sys.Diagnose("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Diverged {
+		t.Error("faithful live replay diverged")
+	}
+	if d.Events == 0 || len(d.Trace) == 0 {
+		t.Errorf("diagnosis = %+v", d)
+	}
+	if _, err := sys.Diagnose("ghost"); err == nil {
+		t.Error("want error for unknown process")
+	}
+}

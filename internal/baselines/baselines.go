@@ -17,6 +17,15 @@ import (
 	"repro/internal/scroll"
 )
 
+// Source is the scroll-bearing substrate view the baselines read: the
+// process registry plus per-process and merged scroll access. *dsim.Sim
+// and the live substrate (internal/substrate) both satisfy it.
+type Source interface {
+	Procs() []string
+	Scroll(id string) *scroll.Scroll
+	MergedScroll() []scroll.Record
+}
+
 // ReplayDiagnosis is the liblog capability: given the scrolls of a failed
 // run, re-execute one process in isolation and present the interaction
 // trace. It diagnoses (what happened on this path) but cannot explore
@@ -32,7 +41,7 @@ type ReplayDiagnosis struct {
 
 // Diagnose replays proc's scroll against a fresh machine instance and
 // formats the globally ordered interaction trace.
-func Diagnose(s *dsim.Sim, proc string, fresh dsim.Machine) (*ReplayDiagnosis, error) {
+func Diagnose(s Source, proc string, fresh dsim.Machine) (*ReplayDiagnosis, error) {
 	recs := s.Scroll(proc).Records()
 	res, err := dsim.Replay(proc, fresh, recs, 0, 0)
 	if err != nil {
@@ -107,7 +116,7 @@ func CMCCheck(factories map[string]func() dsim.Machine, invariants []fault.Globa
 // their send and receive. This is how a checkpoint/rollback system decides
 // recovery lines after the fact; with uncoordinated (periodic) checkpoints
 // it exhibits the domino effect that experiment E6 measures.
-func ExtractDependencies(s *dsim.Sim) (recovery.Line, []recovery.Message) {
+func ExtractDependencies(s Source) (recovery.Line, []recovery.Message) {
 	return ExtractDependenciesFunc(s, nil)
 }
 
@@ -116,7 +125,7 @@ func ExtractDependencies(s *dsim.Sim) (recovery.Line, []recovery.Message) {
 // Coordinated snapshot protocols use this to exclude their marker traffic,
 // which by design crosses the cut (sent after the sender's checkpoint,
 // received before the receiver's) without carrying application state.
-func ExtractDependenciesFunc(s *dsim.Sim, ignore func(r scroll.Record) bool) (recovery.Line, []recovery.Message) {
+func ExtractDependenciesFunc(s Source, ignore func(r scroll.Record) bool) (recovery.Line, []recovery.Message) {
 	// First pass: checkpoint interval at each send/recv, per process.
 	type sendInfo struct {
 		proc     string
@@ -180,13 +189,13 @@ type DominoReport struct {
 // semantics: k undoes every event in intervals >= k, so counts[p]+1 keeps
 // the volatile suffix (no rollback), counts[p] restores the latest
 // checkpoint, and 0 is the initial state.
-func AnalyzeRecovery(s *dsim.Sim, failedProc string) DominoReport {
+func AnalyzeRecovery(s Source, failedProc string) DominoReport {
 	return AnalyzeRecoveryFunc(s, failedProc, nil)
 }
 
 // AnalyzeRecoveryFunc is AnalyzeRecovery with a record filter (see
 // ExtractDependenciesFunc).
-func AnalyzeRecoveryFunc(s *dsim.Sim, failedProc string, ignore func(r scroll.Record) bool) DominoReport {
+func AnalyzeRecoveryFunc(s Source, failedProc string, ignore func(r scroll.Record) bool) DominoReport {
 	counts, msgs := ExtractDependenciesFunc(s, ignore)
 	start := recovery.Line{}
 	for p, c := range counts {

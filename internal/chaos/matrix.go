@@ -2,6 +2,8 @@ package chaos
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -50,11 +52,17 @@ func (c *CellResult) Fail() string {
 }
 
 // MatrixConfig parameterizes a sweep. Zero values select the defaults:
-// every registered application, every matrix fault kind, seeds 1–4.
+// every registered application, every matrix fault kind, seeds 1–4,
+// sequential execution.
 type MatrixConfig struct {
 	Apps  []apps.AppSpec
 	Kinds []fault.Kind
 	Seeds []int64
+	// Workers shards the sweep across a bounded worker pool. Cells are
+	// independent (each owns its simulation), so any worker count produces
+	// the identical report: results are written by cell index, never by
+	// completion order. <= 1 runs sequentially.
+	Workers int
 }
 
 // MatrixReport is a full sweep's outcome.
@@ -76,7 +84,9 @@ func (m *MatrixReport) Failures() []*CellResult {
 // RunMatrix sweeps fault kinds × applications × seeds on the correct
 // variants. Each cell generates its scenario from the cell identity,
 // executes it twice (the second run is the replay-determinism check), and
-// evaluates the application's global invariants at quiescence.
+// evaluates the application's global invariants at quiescence. With
+// cfg.Workers > 1 the cells are sharded across a worker pool; the report
+// is identical to a sequential sweep regardless of worker count.
 func RunMatrix(cfg MatrixConfig) *MatrixReport {
 	if cfg.Apps == nil {
 		cfg.Apps = apps.Registry()
@@ -87,24 +97,64 @@ func RunMatrix(cfg MatrixConfig) *MatrixReport {
 	if cfg.Seeds == nil {
 		cfg.Seeds = []int64{1, 2, 3, 4}
 	}
-	rep := &MatrixReport{}
+	// Enumerate the cells up front: the slice order is the report order,
+	// whatever order the workers finish in.
+	type cellSpec struct {
+		spec apps.AppSpec
+		kind fault.Kind
+		seed int64
+	}
+	var specs []cellSpec
 	for _, spec := range cfg.Apps {
 		for _, kind := range cfg.Kinds {
 			for _, seed := range cfg.Seeds {
-				runner := Runner{Spec: spec, Seed: seed, Probe: true}
-				scen := Generate(kind, runner.Procs(), runner.Crashable(), spec.Horizon, seed)
-				sched := Schedule{scen}
-				r1 := runner.Run(sched)
-				r2 := runner.Run(sched)
-				rep.Cells = append(rep.Cells, &CellResult{
-					Cell:          Cell{App: spec.Name, Kind: kind, Seed: seed},
-					Scenario:      scen,
-					Result:        r1,
-					Deterministic: r1.Digest == r2.Digest,
-				})
+				specs = append(specs, cellSpec{spec: spec, kind: kind, seed: seed})
 			}
 		}
 	}
+	rep := &MatrixReport{Cells: make([]*CellResult, len(specs))}
+	runCell := func(i int) {
+		cs := specs[i]
+		runner := Runner{Spec: cs.spec, Seed: cs.seed, Probe: true}
+		scen := Generate(cs.kind, runner.Procs(), runner.Crashable(), cs.spec.Horizon, cs.seed)
+		sched := Schedule{scen}
+		r1 := runner.Run(sched)
+		r2 := runner.Run(sched)
+		rep.Cells[i] = &CellResult{
+			Cell:          Cell{App: cs.spec.Name, Kind: cs.kind, Seed: cs.seed},
+			Scenario:      scen,
+			Result:        r1,
+			Deterministic: r1.Digest == r2.Digest,
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 1 {
+		for i := range specs {
+			runCell(i)
+		}
+		return rep
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				runCell(i)
+			}
+		}()
+	}
+	wg.Wait()
 	return rep
 }
 

@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/fault"
+)
+
+// TestMatrixShardingDeterminism: the sharded sweep produces a report
+// byte-identical to the sequential one — same cell order, same scenarios,
+// same digests — regardless of worker count.
+func TestMatrixShardingDeterminism(t *testing.T) {
+	cfg := MatrixConfig{
+		Apps:  apps.Registry()[:2],
+		Kinds: []fault.Kind{fault.Drop, fault.Crash, fault.Reorder},
+		Seeds: []int64{1, 2},
+	}
+	seq := RunMatrix(cfg)
+	for _, workers := range []int{2, 4, 16} {
+		cfg.Workers = workers
+		shard := RunMatrix(cfg)
+		if len(shard.Cells) != len(seq.Cells) {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(shard.Cells), len(seq.Cells))
+		}
+		for i, c := range shard.Cells {
+			s := seq.Cells[i]
+			if c.Cell != s.Cell {
+				t.Fatalf("workers=%d cell %d: %v, want %v (ordering broke)", workers, i, c.Cell, s.Cell)
+			}
+			if !reflect.DeepEqual(c.Scenario, s.Scenario) {
+				t.Errorf("workers=%d %s: scenario %v != %v", workers, c.Cell, c.Scenario, s.Scenario)
+			}
+			if c.Result.Digest != s.Result.Digest {
+				t.Errorf("workers=%d %s: digest mismatch", workers, c.Cell)
+			}
+			if c.Deterministic != s.Deterministic || c.Pass() != s.Pass() {
+				t.Errorf("workers=%d %s: verdict mismatch", workers, c.Cell)
+			}
+		}
+	}
+}
+
+// TestMatrixWorkersExceedCells: more workers than cells is clamped, not a
+// deadlock or a panic.
+func TestMatrixWorkersExceedCells(t *testing.T) {
+	rep := RunMatrix(MatrixConfig{
+		Apps:    apps.Registry()[:1],
+		Kinds:   []fault.Kind{fault.Delay},
+		Seeds:   []int64{1},
+		Workers: 64,
+	})
+	if len(rep.Cells) != 1 || rep.Cells[0] == nil {
+		t.Fatalf("cells = %v", rep.Cells)
+	}
+}
+
+// TestShrinkTargets: after ddmin converges, individual processes are
+// dropped from a scenario's target set one at a time — but never below a
+// single member (empty = "all" would widen the scenario).
+func TestShrinkTargets(t *testing.T) {
+	sched := Schedule{{
+		Kind:      fault.Drop,
+		Targets:   []int{0, 1, 2, 3},
+		Window:    Window{From: 1, To: 2},
+		Intensity: Intensity{Prob: 0.1},
+	}}
+	// The failure only needs target 2 in the set.
+	fails := func(s Schedule) bool {
+		for _, sc := range s {
+			for _, tgt := range sc.Targets {
+				if tgt == 2 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	res := Shrink(sched, fails, 200)
+	if len(res.Schedule) != 1 {
+		t.Fatalf("schedule shrank to %v", res.Schedule)
+	}
+	if got := res.Schedule[0].Targets; !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("targets shrank to %v, want [2]", got)
+	}
+}
+
+// TestShrinkTargetsFloor: a failure that needs no particular target keeps
+// one member rather than emptying the set.
+func TestShrinkTargetsFloor(t *testing.T) {
+	sched := Schedule{{
+		Kind:      fault.Duplicate,
+		Targets:   []int{0, 1, 2},
+		Window:    Window{From: 1, To: 2},
+		Intensity: Intensity{Prob: 0.1},
+	}}
+	fails := func(s Schedule) bool { return len(s) > 0 } // any non-empty schedule
+	res := Shrink(sched, fails, 200)
+	if len(res.Schedule) != 1 || len(res.Schedule[0].Targets) != 1 {
+		t.Errorf("shrank to %v, want one scenario with one target", res.Schedule)
+	}
+}

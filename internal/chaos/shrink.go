@@ -18,9 +18,11 @@ type ShrinkResult struct {
 // Shrink minimizes a failing fault schedule: first classic ddmin over the
 // scenario list (Zeller's delta debugging, reducing to a 1-minimal
 // subsequence), then per-scenario attribute shrinking that halves windows
-// and intensities while the failure persists. fails must be a
-// deterministic predicate — with a seeded Runner it always is — and budget
-// bounds the total number of executions.
+// and intensities while the failure persists, and finally target-set
+// shrinking that drops individual processes from each scenario's
+// partition/target group one at a time. fails must be a deterministic
+// predicate — with a seeded Runner it always is — and budget bounds the
+// total number of executions.
 func Shrink(sched Schedule, fails func(Schedule) bool, budget int) *ShrinkResult {
 	res := &ShrinkResult{Schedule: sched}
 	exhausted := false
@@ -127,6 +129,24 @@ func Shrink(sched Schedule, fails func(Schedule) bool, budget int) *ShrinkResult
 				sc.Intensity.Skew = s
 				return true
 			})
+		}
+	}
+
+	// Phase 3: target-set shrinking — drop individual processes from each
+	// scenario's target group one at a time while the failure persists.
+	// Sets never shrink below one member: for message-level kinds an empty
+	// target list means "all processes", which would *widen* the scenario.
+	for i := range cur {
+		for j := 0; j < len(cur[i].Targets) && len(cur[i].Targets) > 1; {
+			cand := append(Schedule{}, cur...)
+			sc := cand[i]
+			sc.Targets = append(append([]int{}, sc.Targets[:j]...), sc.Targets[j+1:]...)
+			cand[i] = sc
+			if try(cand) {
+				cur = cand // target j removed; the next candidate shifts into j
+			} else {
+				j++
+			}
 		}
 	}
 	res.Schedule = cur

@@ -56,6 +56,22 @@ type Config struct {
 	MaxResponses int
 }
 
+// Substrate is the runtime surface the coordinator drives: the process
+// registry, scroll and vector-clock access, the fault-report hook, and the
+// Healer's checkpoint/rollback capability (heal.Target). *dsim.Sim
+// satisfies it natively; internal/substrate adapts the live runtime.
+// Substrates without real checkpoints still work — the recovery line then
+// degenerates to the always-consistent initial states (FellBackToNow).
+type Substrate interface {
+	heal.Target
+	Now() uint64
+	Clock(id string) vclock.VC
+	Scroll(id string) *scroll.Scroll
+	SetFaultHandler(h func(dsim.FaultRecord) bool)
+	Run() dsim.Stats
+	Resume() dsim.Stats
+}
+
 // Response records one complete execution of the Fig. 4 protocol.
 type Response struct {
 	Fault         dsim.FaultRecord
@@ -68,19 +84,19 @@ type Response struct {
 	Elapsed       time.Duration
 }
 
-// Coordinator drives FixD on top of a simulation.
+// Coordinator drives FixD on top of a substrate.
 type Coordinator struct {
-	sim       *dsim.Sim
+	sim       Substrate
 	factories map[string]func() dsim.Machine
 	cfg       Config
 	responses []*Response
 }
 
-// NewCoordinator wires a coordinator to the simulation. factories must
+// NewCoordinator wires a coordinator to the substrate. factories must
 // provide a fresh-instance constructor for every process (the "model" each
 // process ships on request — here, its own implementation, as the paper
 // permits).
-func NewCoordinator(s *dsim.Sim, factories map[string]func() dsim.Machine, cfg Config) *Coordinator {
+func NewCoordinator(s Substrate, factories map[string]func() dsim.Machine, cfg Config) *Coordinator {
 	if cfg.MaxStates <= 0 {
 		cfg.MaxStates = 20_000
 	}
@@ -91,15 +107,15 @@ func NewCoordinator(s *dsim.Sim, factories map[string]func() dsim.Machine, cfg C
 		cfg.MaxResponses = 1
 	}
 	c := &Coordinator{sim: s, factories: factories, cfg: cfg}
-	s.FaultHandler = c.onFault
+	s.SetFaultHandler(c.onFault)
 	return c
 }
 
 // Responses returns the fault responses executed so far.
 func (c *Coordinator) Responses() []*Response { return c.responses }
 
-// onFault is installed as the simulation's FaultHandler.
-func (c *Coordinator) onFault(s *dsim.Sim, f dsim.FaultRecord) bool {
+// onFault is installed as the substrate's fault handler.
+func (c *Coordinator) onFault(f dsim.FaultRecord) bool {
 	if len(c.responses) >= c.cfg.MaxResponses {
 		return false
 	}
@@ -109,7 +125,7 @@ func (c *Coordinator) onFault(s *dsim.Sim, f dsim.FaultRecord) bool {
 		resp = &Response{Fault: f}
 	}
 	c.responses = append(c.responses, resp)
-	return true // pause the simulation; caller decides whether to Resume
+	return true // pause the substrate; caller decides whether to Resume
 }
 
 // Respond executes the Fig. 4 protocol for the given fault and returns the
@@ -233,7 +249,7 @@ func (c *Coordinator) inTransitAt(lineSeq map[string]uint64) []investigate.Msg {
 	return out
 }
 
-// RunProtected runs the simulation under coordinator protection and
+// RunProtected runs the substrate under coordinator protection and
 // returns the first response, or nil if the run completed without faults.
 func (c *Coordinator) RunProtected() *Response {
 	c.sim.Run()
@@ -243,7 +259,7 @@ func (c *Coordinator) RunProtected() *Response {
 	return c.responses[0]
 }
 
-// ResumeAfterHeal continues the simulation after a successful heal.
+// ResumeAfterHeal continues the substrate after a successful heal.
 func (c *Coordinator) ResumeAfterHeal() dsim.Stats {
 	return c.sim.Resume()
 }

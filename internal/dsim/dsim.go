@@ -330,6 +330,16 @@ func (s *Sim) AddProcess(id string, m Machine) {
 	sort.Strings(s.order)
 }
 
+// SetFaultHandler installs h as the simulation's FaultHandler in the
+// substrate-neutral shape (no *Sim parameter). Passing nil clears it.
+func (s *Sim) SetFaultHandler(h func(FaultRecord) bool) {
+	if h == nil {
+		s.FaultHandler = nil
+		return
+	}
+	s.FaultHandler = func(_ *Sim, f FaultRecord) bool { return h(f) }
+}
+
 // Store exposes the simulation's checkpoint store.
 func (s *Sim) Store() *checkpoint.Store { return s.store }
 

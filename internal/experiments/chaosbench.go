@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// MatrixWorkers is the worker-pool width RunE9 uses for its matrix sweep.
+// 0/1 runs sequentially; cmd/fixd-bench sets it from -shard.workers. The
+// report is identical either way — sharding only changes wall time.
+var MatrixWorkers int
+
+// ChaosBench is the machine-readable result of the chaos-matrix sharding
+// benchmark (cmd/fixd-bench writes it to BENCH_chaos.json).
+type ChaosBench struct {
+	Cells                 int     `json:"cells"`
+	Seeds                 int     `json:"seeds"`
+	Workers               int     `json:"workers"`
+	SequentialSeconds     float64 `json:"sequential_seconds"`
+	ShardedSeconds        float64 `json:"sharded_seconds"`
+	SequentialCellsPerSec float64 `json:"sequential_cells_per_sec"`
+	ShardedCellsPerSec    float64 `json:"sharded_cells_per_sec"`
+	Speedup               float64 `json:"speedup"`
+	Failures              int     `json:"failures"`
+	Deterministic         bool    `json:"deterministic"` // sharded report == sequential report
+}
+
+// JSON renders the benchmark result.
+func (b *ChaosBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// RunChaosBench times the chaos matrix sequentially and sharded across
+// workers, and cross-checks that both sweeps produce identical reports.
+// It always uses the reduced seed set: the benchmark measures sharding
+// throughput and overhead, not fault coverage, so there is no reason to
+// pay for two extra full-size sweeps on top of E9's own.
+func RunChaosBench(workers int) *ChaosBench {
+	seeds := []int64{1, 2}
+	if workers < 2 {
+		workers = 2
+	}
+	cfg := chaos.MatrixConfig{Seeds: seeds}
+
+	t0 := time.Now()
+	seq := chaos.RunMatrix(cfg)
+	seqDur := time.Since(t0)
+
+	cfg.Workers = workers
+	t1 := time.Now()
+	shard := chaos.RunMatrix(cfg)
+	shardDur := time.Since(t1)
+
+	b := &ChaosBench{
+		Cells:             len(seq.Cells),
+		Seeds:             len(seeds),
+		Workers:           workers,
+		SequentialSeconds: seqDur.Seconds(),
+		ShardedSeconds:    shardDur.Seconds(),
+		Failures:          len(shard.Failures()),
+		Deterministic:     len(shard.Cells) == len(seq.Cells),
+	}
+	for i := range seq.Cells {
+		if !b.Deterministic {
+			break
+		}
+		if shard.Cells[i].Cell != seq.Cells[i].Cell ||
+			shard.Cells[i].Result.Digest != seq.Cells[i].Result.Digest {
+			b.Deterministic = false
+		}
+	}
+	if s := seqDur.Seconds(); s > 0 {
+		b.SequentialCellsPerSec = float64(b.Cells) / s
+	}
+	if s := shardDur.Seconds(); s > 0 {
+		b.ShardedCellsPerSec = float64(b.Cells) / s
+	}
+	if shardDur > 0 {
+		b.Speedup = seqDur.Seconds() / shardDur.Seconds()
+	}
+	return b
+}

@@ -27,7 +27,7 @@ func RunE9(quick bool) *Table {
 	}
 	t.Header = append(t.Header, "pipeline")
 
-	rep := chaos.RunMatrix(chaos.MatrixConfig{Seeds: seeds})
+	rep := chaos.RunMatrix(chaos.MatrixConfig{Seeds: seeds, Workers: MatrixWorkers})
 	pass := map[string]map[fault.Kind]int{}
 	for _, c := range rep.Cells {
 		if pass[c.App] == nil {

@@ -72,8 +72,32 @@ type Plan struct {
 	Injections []Injection
 }
 
-// Apply arms every injection on the simulation. Call before Sim.Run.
-func (p *Plan) Apply(s *dsim.Sim) {
+// Injector is the chaos capability surface a substrate exposes for fault
+// injection: process-level crash/restart and clock skew, plus windowed
+// message-level perturbations. *dsim.Sim implements it natively; the live
+// runtime implements it at the transport hub (internal/substrate). Times
+// are virtual ticks — the substrate defines their duration.
+type Injector interface {
+	// CrashAt stops proc at virtual time t.
+	CrashAt(proc string, t uint64)
+	// RestartAt revives a crashed proc at t from its latest checkpoint.
+	RestartAt(proc string, t uint64)
+	// Partition splits groupA from everyone else during [from, to).
+	Partition(groupA []string, from, to uint64)
+	// InjectDelay adds extra latency plus jitter in [0, jitter] to
+	// messages touching procs (either endpoint; empty = all) in [from, to).
+	InjectDelay(procs []string, from, to, extra, jitter uint64)
+	// InjectDrop loses matching messages with probability prob.
+	InjectDrop(procs []string, from, to uint64, prob float64)
+	// InjectDup duplicates matching messages with probability prob.
+	InjectDup(procs []string, from, to uint64, prob float64)
+	// InjectSkew offsets proc's observed clock by offset during [from, to).
+	InjectSkew(proc string, from, to uint64, offset int64)
+}
+
+// Apply arms every injection on the substrate's injector. Call before the
+// run starts.
+func (p *Plan) Apply(s Injector) {
 	for _, inj := range p.Injections {
 		switch inj.Kind {
 		case Crash:
@@ -128,7 +152,16 @@ type Violation struct {
 	Time      uint64
 }
 
-// Monitor evaluates global invariants against a simulation's current
+// StateSource is the read-only view of a substrate the monitor needs:
+// the process registry and each process's serialized machine state.
+// *dsim.Sim and the live substrate both satisfy it.
+type StateSource interface {
+	Procs() []string
+	MachineState(id string) []byte
+	Now() uint64
+}
+
+// Monitor evaluates global invariants against a substrate's current
 // machine states. It is the omniscient-observer counterpart to the local
 // Context.Fault mechanism; experiments use it as ground truth.
 type Monitor struct {
@@ -141,7 +174,7 @@ func NewMonitor(invs ...GlobalInvariant) *Monitor {
 }
 
 // Check evaluates all invariants and returns the violations found.
-func (m *Monitor) Check(s *dsim.Sim) []Violation {
+func (m *Monitor) Check(s StateSource) []Violation {
 	states := make(map[string]json.RawMessage)
 	for _, id := range s.Procs() {
 		states[id] = json.RawMessage(s.MachineState(id))

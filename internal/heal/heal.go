@@ -32,6 +32,17 @@ import (
 	"repro/internal/recovery"
 )
 
+// Target is the checkpoint/rollback capability surface the Healer drives:
+// any substrate exposing a checkpoint store, recovery-line rollback, and
+// the dynamic-update primitive. *dsim.Sim satisfies it natively; the live
+// substrate (internal/substrate) provides a best-effort implementation.
+type Target interface {
+	Procs() []string
+	Store() *checkpoint.Store
+	RollbackTo(line map[string]string) error
+	ReplaceMachine(procID string, m dsim.Machine, state []byte) error
+}
+
 // Program is a versioned set of process implementations.
 type Program struct {
 	Version   string
@@ -89,7 +100,7 @@ func Restart(cfg dsim.Config, prog Program) (*dsim.Sim, *Report) {
 // corrected program with mapped states — recovery option two. If any check
 // fails, the simulation is left untouched and the report lists the
 // failures.
-func Apply(s *dsim.Sim, line map[string]string, prog Program, mapper StateMapper, opts VerifyOptions) (*Report, error) {
+func Apply(s Target, line map[string]string, prog Program, mapper StateMapper, opts VerifyOptions) (*Report, error) {
 	rep := &Report{Mode: "update", Version: prog.Version, Line: line}
 	if mapper == nil {
 		mapper = func(_ string, old []byte) ([]byte, error) { return old, nil }
@@ -204,7 +215,7 @@ func Apply(s *dsim.Sim, line map[string]string, prog Program, mapper StateMapper
 
 // LatestLine builds a recovery line from each process's most recent
 // checkpoint. It returns nil if any process lacks one.
-func LatestLine(s *dsim.Sim, procs []string) map[string]string {
+func LatestLine(s Target, procs []string) map[string]string {
 	line := make(map[string]string, len(procs))
 	for _, id := range procs {
 		ck := s.Store().Latest(id)
@@ -223,7 +234,7 @@ func LatestLine(s *dsim.Sim, procs []string) map[string]string {
 // It walks backwards, discarding the newest offending checkpoint until a
 // verified line emerges, and returns nil if none exists (callers should
 // then restart from scratch).
-func VerifiedLine(s *dsim.Sim, invariants []fault.GlobalInvariant) map[string]string {
+func VerifiedLine(s Target, invariants []fault.GlobalInvariant) map[string]string {
 	// Processes without any checkpoint are left out of the line (they are
 	// not rolled back; RollbackTo re-delivers their in-transit sends).
 	// Invariant functions receive only the line members' states and must

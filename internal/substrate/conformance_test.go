@@ -1,0 +1,417 @@
+package substrate
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+	"repro/internal/scroll"
+)
+
+// The conformance workload: a producer emits n uniquely-identified jobs on
+// a timer cadence; a worker deduplicates, marks each job in its heap, and
+// acknowledges. The invariant — every acked job was seen by the worker —
+// is robust to arbitrary message loss, duplication, delay and partition,
+// so it must hold on BOTH substrates under every benign chaos schedule.
+
+type workerState struct {
+	Seen  map[string]bool
+	Count int
+}
+
+type confWorker struct{ st workerState }
+
+func (w *confWorker) State() any { return &w.st }
+func (w *confWorker) Init(ctx dsim.Context) {
+	w.st.Seen = map[string]bool{}
+}
+func (w *confWorker) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	job := string(payload)
+	if !w.st.Seen[job] {
+		w.st.Seen[job] = true
+		ctx.Heap().WriteUint64(w.st.Count*8, uint64(len(job)))
+		w.st.Count++
+	}
+	ctx.Send(from, payload) // idempotent ack
+}
+func (w *confWorker) OnTimer(dsim.Context, string)               {}
+func (w *confWorker) OnRollback(dsim.Context, dsim.RollbackInfo) {}
+
+type producerState struct {
+	Sent  int
+	Acked map[string]bool
+}
+
+type confProducer struct {
+	st    producerState
+	n     int
+	every uint64
+}
+
+func (p *confProducer) State() any { return &p.st }
+func (p *confProducer) Init(ctx dsim.Context) {
+	p.st.Acked = map[string]bool{}
+	ctx.SetTimer("emit", p.every)
+}
+func (p *confProducer) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	p.st.Acked[string(payload)] = true
+}
+func (p *confProducer) OnTimer(ctx dsim.Context, name string) {
+	if name != "emit" || p.st.Sent >= p.n {
+		return
+	}
+	ctx.Send("worker", []byte(fmt.Sprintf("job-%d", p.st.Sent)))
+	p.st.Sent++
+	if p.st.Sent < p.n {
+		ctx.SetTimer("emit", p.every)
+	}
+}
+func (p *confProducer) OnRollback(dsim.Context, dsim.RollbackInfo) {}
+
+// ackedSubsetOfSeen is the cross-substrate safety property.
+func ackedSubsetOfSeen() fault.GlobalInvariant {
+	return fault.GlobalInvariant{
+		Name: "acked ⊆ seen",
+		Holds: func(states map[string]json.RawMessage) bool {
+			var w workerState
+			var p producerState
+			if raw, ok := states["worker"]; ok {
+				if json.Unmarshal(raw, &w) != nil {
+					return false
+				}
+			}
+			if raw, ok := states["producer"]; ok {
+				if json.Unmarshal(raw, &p) != nil {
+					return false
+				}
+			}
+			for job := range p.Acked {
+				if !w.Seen[job] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+const confJobs = 12
+
+// newConfSubstrate builds one backend with the conformance app loaded.
+// Live runs with a 1ms tick; the producer emits every 3 ticks.
+func newConfSubstrate(t *testing.T, backend string) Substrate {
+	t.Helper()
+	var sub Substrate
+	switch backend {
+	case "sim":
+		sub = NewSim(dsim.Config{Seed: 7, MinLatency: 1, MaxLatency: 4,
+			InitCheckpoint: true, CheckpointEvery: 4, MaxSteps: 100_000})
+	case "live", "live-tcp":
+		live, err := NewLive(LiveConfig{Seed: 7, UseTCP: backend == "live-tcp",
+			InitCheckpoint: true, CheckpointEvery: 4})
+		if err != nil {
+			t.Skipf("live substrate unavailable: %v", err)
+		}
+		sub = live
+	default:
+		t.Fatalf("unknown backend %q", backend)
+	}
+	t.Cleanup(func() { sub.Close() })
+	sub.AddProcess("worker", &confWorker{})
+	sub.AddProcess("producer", &confProducer{n: confJobs, every: 3})
+	return sub
+}
+
+// wide is a window covering the whole run on either backend.
+var wide = chaos.Window{From: 0, To: 1 << 30}
+
+// TestConformance runs the identical chaos.Schedule value on every
+// backend and asserts the shared contract: the loss-robust invariant
+// holds, the schedule visibly perturbs the network, and the scroll stays
+// structurally sound (every recv references a recorded send).
+func TestConformance(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched chaos.Schedule
+		check func(t *testing.T, sub Substrate, stats dsim.Stats)
+	}{
+		{
+			name:  "baseline",
+			sched: nil,
+			check: func(t *testing.T, sub Substrate, stats dsim.Stats) {
+				var p producerState
+				json.Unmarshal(sub.MachineState("producer"), &p)
+				if len(p.Acked) != confJobs {
+					t.Errorf("acked %d/%d jobs without chaos", len(p.Acked), confJobs)
+				}
+			},
+		},
+		{
+			name: "drop-all",
+			sched: chaos.Schedule{{Kind: fault.Drop, Window: wide,
+				Intensity: chaos.Intensity{Prob: 1.0}}},
+			check: func(t *testing.T, sub Substrate, stats dsim.Stats) {
+				if stats.Dropped == 0 {
+					t.Error("p=1.0 drop schedule dropped nothing")
+				}
+				var p producerState
+				json.Unmarshal(sub.MachineState("producer"), &p)
+				if len(p.Acked) != 0 {
+					t.Errorf("%d acks crossed a p=1.0 drop rule", len(p.Acked))
+				}
+			},
+		},
+		{
+			name: "duplicate-all",
+			sched: chaos.Schedule{{Kind: fault.Duplicate, Window: wide,
+				Intensity: chaos.Intensity{Prob: 1.0}}},
+			check: func(t *testing.T, sub Substrate, stats dsim.Stats) {
+				if stats.Duplicated == 0 {
+					t.Error("p=1.0 dup schedule duplicated nothing")
+				}
+				var w workerState
+				json.Unmarshal(sub.MachineState("worker"), &w)
+				if w.Count != confJobs {
+					t.Errorf("worker deduplicated to %d jobs, want %d", w.Count, confJobs)
+				}
+			},
+		},
+		{
+			name: "delay-jitter",
+			sched: chaos.Schedule{{Kind: fault.Reorder, Window: wide,
+				Intensity: chaos.Intensity{Extra: 2, Jitter: 6}}},
+			check: func(t *testing.T, sub Substrate, stats dsim.Stats) {
+				var p producerState
+				json.Unmarshal(sub.MachineState("producer"), &p)
+				if len(p.Acked) != confJobs {
+					t.Errorf("acked %d/%d under pure delay", len(p.Acked), confJobs)
+				}
+			},
+		},
+		{
+			name: "partition-worker",
+			sched: chaos.Schedule{{Kind: fault.Partition, Targets: []int{1}, // "worker" sorts after "producer"
+				Window: wide}},
+			check: func(t *testing.T, sub Substrate, stats dsim.Stats) {
+				var p producerState
+				json.Unmarshal(sub.MachineState("producer"), &p)
+				if len(p.Acked) != 0 {
+					t.Errorf("%d acks crossed the partition", len(p.Acked))
+				}
+			},
+		},
+	}
+	for _, backend := range []string{"sim", "live", "live-tcp"} {
+		for _, tc := range cases {
+			t.Run(backend+"/"+tc.name, func(t *testing.T) {
+				sub := newConfSubstrate(t, backend)
+
+				// The identical schedule value compiles through the same
+				// path on every backend.
+				tc.sched.Compile(sub.Procs()).Apply(sub.Injector())
+
+				stats := sub.Run()
+				if bad := fault.NewMonitor(ackedSubsetOfSeen()).Check(sub); len(bad) != 0 {
+					t.Errorf("invariant violated: %v", bad)
+				}
+				checkScrollSound(t, sub)
+				tc.check(t, sub, stats)
+			})
+		}
+	}
+}
+
+// checkScrollSound verifies the cross-backend scroll contract: merged
+// records are Lamport-ordered and every receive references a send that was
+// recorded by some process.
+func checkScrollSound(t *testing.T, sub Substrate) {
+	t.Helper()
+	recs := sub.MergedScroll()
+	if len(recs) == 0 {
+		t.Fatal("empty merged scroll")
+	}
+	sent := map[string]bool{}
+	for _, r := range recs {
+		if r.Kind == scroll.KindSend {
+			sent[r.MsgID] = true
+		}
+	}
+	last := uint64(0)
+	for _, r := range recs {
+		if r.Lamport < last {
+			t.Fatal("merged scroll out of Lamport order")
+		}
+		last = r.Lamport
+		if r.Kind == scroll.KindRecv && !sent[r.MsgID] {
+			t.Fatalf("recv of %q has no recorded send", r.MsgID)
+		}
+	}
+}
+
+// TestLiveInjectionAudit: the hub tap records exactly which messages the
+// schedule intervened on.
+func TestLiveInjectionAudit(t *testing.T) {
+	sub := newConfSubstrate(t, "live")
+	sched := chaos.Schedule{{Kind: fault.Drop, Window: wide,
+		Intensity: chaos.Intensity{Prob: 1.0}}}
+	sched.Compile(sub.Procs()).Apply(sub.Injector())
+	sub.Run()
+	audit := sub.(*LiveSubstrate).InjectionAudit()
+	if len(audit) == 0 {
+		t.Fatal("p=1.0 drop left no audit trail")
+	}
+	for _, line := range audit {
+		if line[:4] != "drop" {
+			t.Fatalf("unexpected audit entry %q", line)
+		}
+	}
+}
+
+// TestLiveCrashRestart exercises the process-level injections the hub
+// cannot host: the worker crashes mid-run and restarts from its latest
+// checkpoint; jobs sent while it is down are lost, the invariant holds.
+func TestLiveCrashRestart(t *testing.T) {
+	sub := newConfSubstrate(t, "live")
+	sched := chaos.Schedule{{Kind: fault.Crash, Targets: []int{1},
+		Window: chaos.Window{From: 8, To: 22}}}
+	sched.Compile(sub.Procs()).Apply(sub.Injector())
+	stats := sub.Run()
+	if stats.Crashes != 1 || stats.Restarts != 1 {
+		t.Errorf("crashes=%d restarts=%d, want 1/1", stats.Crashes, stats.Restarts)
+	}
+	if bad := fault.NewMonitor(ackedSubsetOfSeen()).Check(sub); len(bad) != 0 {
+		t.Errorf("invariant violated after crash-restart: %v", bad)
+	}
+}
+
+// TestLiveClockSkew verifies Context.Now observations shift inside the
+// injected window.
+func TestLiveClockSkew(t *testing.T) {
+	live, err := NewLive(LiveConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	probe := &nowProbe{}
+	live.AddProcess("probe", probe)
+	live.InjectSkew("probe", 0, 1<<30, 500_000)
+	live.Run()
+	probeState := struct{ Samples []uint64 }{}
+	json.Unmarshal(live.MachineState("probe"), &probeState)
+	if len(probeState.Samples) == 0 {
+		t.Fatal("probe sampled nothing")
+	}
+	for _, s := range probeState.Samples {
+		if s < 500_000 {
+			t.Fatalf("sample %d escaped a +500000 skew", s)
+		}
+	}
+}
+
+// nowProbe samples Context.Now a few times on a timer.
+type nowProbe struct {
+	st struct{ Samples []uint64 }
+}
+
+func (p *nowProbe) State() any                             { return &p.st }
+func (p *nowProbe) Init(ctx dsim.Context)                  { ctx.SetTimer("sample", 2) }
+func (p *nowProbe) OnMessage(dsim.Context, string, []byte) {}
+func (p *nowProbe) OnTimer(ctx dsim.Context, name string) {
+	p.st.Samples = append(p.st.Samples, ctx.Now())
+	if len(p.st.Samples) < 4 {
+		ctx.SetTimer("sample", 2)
+	}
+}
+func (p *nowProbe) OnRollback(dsim.Context, dsim.RollbackInfo) {}
+
+// TestLiveProcessReplay closes the loop on the live Scroll: a process
+// recorded on the live substrate replays offline through the simulator's
+// replay runner without divergence, and a tampered implementation is
+// caught — the paper's record/replay capability on real goroutines.
+func TestLiveProcessReplay(t *testing.T) {
+	sub := newConfSubstrate(t, "live")
+	sub.Run()
+	recs := sub.Scroll("worker").Records()
+
+	rep, err := dsim.Replay("worker", &confWorker{}, recs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diverged {
+		t.Fatalf("faithful replay diverged at %d", rep.DivergeAt)
+	}
+	if rep.Events == 0 {
+		t.Fatal("replay consumed no events")
+	}
+
+	villain := &tamperedWorker{}
+	rep2, err := dsim.Replay("worker", villain, recs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Diverged {
+		t.Fatal("tampered replay did not diverge")
+	}
+}
+
+// tamperedWorker acknowledges with a corrupted payload.
+type tamperedWorker struct{ confWorker }
+
+func (w *tamperedWorker) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	ctx.Send(from, []byte("tampered"))
+}
+
+// TestLiveFaultResponse drives the full coordinator pipeline on the live
+// substrate: a local fault pauses the run, the response carries an
+// investigation, and Resume continues.
+func TestLiveFaultResponse(t *testing.T) {
+	live, err := NewLive(LiveConfig{Seed: 1, CheckpointEvery: 2, InitCheckpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	live.AddProcess("worker", &faultyWorker{})
+	live.AddProcess("producer", &confProducer{n: 6, every: 3})
+
+	handled := make(chan dsim.FaultRecord, 1)
+	live.SetFaultHandler(func(f dsim.FaultRecord) bool {
+		select {
+		case handled <- f:
+		default:
+		}
+		return true
+	})
+	live.Run()
+	select {
+	case f := <-handled:
+		if f.Proc != "worker" {
+			t.Errorf("fault from %q, want worker", f.Proc)
+		}
+	default:
+		t.Fatal("fault never reached the handler")
+	}
+	if len(live.Faults()) == 0 {
+		t.Error("no fault recorded")
+	}
+	live.Resume()
+}
+
+// faultyWorker reports a local fault on the third delivery.
+type faultyWorker struct {
+	st struct{ N int }
+}
+
+func (w *faultyWorker) State() any        { return &w.st }
+func (w *faultyWorker) Init(dsim.Context) {}
+func (w *faultyWorker) OnMessage(ctx dsim.Context, from string, payload []byte) {
+	w.st.N++
+	if w.st.N == 3 {
+		ctx.Fault("worker: third delivery poisoned")
+	}
+	ctx.Send(from, payload)
+}
+func (w *faultyWorker) OnTimer(dsim.Context, string)               {}
+func (w *faultyWorker) OnRollback(dsim.Context, dsim.RollbackInfo) {}

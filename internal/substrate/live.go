@@ -1,0 +1,1014 @@
+package substrate
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+	"repro/internal/scroll"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// LiveConfig parameterizes the live (real-goroutine) substrate.
+type LiveConfig struct {
+	// Seed drives the chaos-injection probability draws. Unlike the
+	// simulator it does not make runs replayable (see Capabilities).
+	Seed int64
+	// Tick is the real duration of one virtual tick (default 1ms). Chaos
+	// windows, injected delays and timer delays are expressed in ticks.
+	Tick time.Duration
+	// Settle is how long the system must stay idle (no queued events, no
+	// in-flight messages) before Run declares quiescence (default 75ms —
+	// generous enough to cover loopback-TCP propagation).
+	Settle time.Duration
+	// MaxWait bounds one Run/Resume call (default 10s).
+	MaxWait time.Duration
+	// UseTCP routes messages through a real TCP hub on the loopback
+	// interface instead of the in-memory switch.
+	UseTCP bool
+	// HubAddr is the hub listen address when UseTCP ("127.0.0.1:0").
+	HubAddr string
+	// CICheckpoint checkpoints a process before every message delivery
+	// (communication-induced checkpointing), mirroring dsim.Config.
+	CICheckpoint bool
+	// CheckpointEvery takes a periodic checkpoint every N deliveries per
+	// process. 0 = off.
+	CheckpointEvery uint64
+	// InitCheckpoint checkpoints every process right after Init.
+	InitCheckpoint bool
+	// HeapSize / HeapPageSize mirror dsim.Config (defaults 64KiB / 4096).
+	HeapSize     int
+	HeapPageSize int
+}
+
+func (cfg LiveConfig) withDefaults() LiveConfig {
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	if cfg.Settle <= 0 {
+		cfg.Settle = 75 * time.Millisecond
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 10 * time.Second
+	}
+	if cfg.HubAddr == "" {
+		cfg.HubAddr = "127.0.0.1:0"
+	}
+	if cfg.HeapSize <= 0 {
+		cfg.HeapSize = 64 << 10
+	}
+	if cfg.HeapPageSize <= 0 {
+		cfg.HeapPageSize = checkpoint.DefaultPageSize
+	}
+	return cfg
+}
+
+// liveEvent is one unit of work for a process's event loop.
+type liveEvent struct {
+	kind  int // levInit, levMsg, levTimer, levCrash, levRestart
+	msg   transport.Message
+	timer string
+}
+
+const (
+	levInit = iota
+	levMsg
+	levTimer
+	levCrash
+	levRestart
+)
+
+// LiveSubstrate runs dsim.Machine implementations as real goroutines
+// exchanging messages over internal/transport, with the Scroll interposed
+// on every send and delivery and chaos injection interposed at the hub
+// (transport.ChaosNet). Virtual time is wall time divided into ticks, so
+// the same tick-denominated chaos.Schedule that drives the simulator
+// drives the live network.
+//
+// Concurrency model: each process owns one event-loop goroutine; machine
+// callbacks for a process are serialized (per-process mutex), processes
+// run genuinely in parallel. Quiescence is detected by activity counting
+// plus a settle window; a protected fault pauses every loop before its
+// next event (in-flight handlers finish first).
+type LiveSubstrate struct {
+	cfg LiveConfig
+
+	hub *transport.Hub    // TCP mode
+	sw  *transport.Switch // in-memory mode
+	net *transport.ChaosNet
+
+	mu      sync.Mutex // registry, faults, handler, skews, pending injections
+	procs   map[string]*liveProc
+	order   []string
+	faults  []dsim.FaultRecord
+	handler func(dsim.FaultRecord) bool
+	skews   []liveSkew
+	pending []func() // injections armed before Run, fired at start
+	ctlTims []*time.Timer
+	started bool
+	closed  bool
+
+	faultMu sync.Mutex // serializes fault-handler executions across procs
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	store    *checkpoint.Store
+	shutdown chan struct{}
+
+	startAt    atomic.Pointer[time.Time] // tick origin (nil = not started); monotonic
+	activity   atomic.Int64              // queued events + pending timers + running handlers
+	ctlPending atomic.Int64              // armed injection timers not yet fired
+	msgN       atomic.Uint64
+
+	pauseMu   sync.Mutex
+	pauseCond *sync.Cond
+	paused    bool
+	closing   bool // set by Close under pauseMu so waitUnpaused cannot miss it
+
+	auditMu sync.Mutex
+	audit   []string // hub-tap record of chaos verdicts (drop/partition/dup)
+
+	delivered  atomic.Uint64
+	crashDrops atomic.Uint64
+	timerFires atomic.Uint64
+	ckpts      atomic.Uint64
+	rollbacks  atomic.Uint64
+	crashes    atomic.Uint64
+	restarts   atomic.Uint64
+	steps      atomic.Uint64
+}
+
+// liveSkew offsets one process's observed clock during a tick window.
+type liveSkew struct {
+	proc     string
+	from, to uint64
+	offset   int64
+}
+
+// NewLive returns a live substrate. With cfg.UseTCP it starts a TCP hub on
+// the loopback interface; otherwise messages flow through an in-memory
+// switch. The error is non-nil only when the hub cannot listen.
+func NewLive(cfg LiveConfig) (*LiveSubstrate, error) {
+	cfg = cfg.withDefaults()
+	s := &LiveSubstrate{
+		cfg:      cfg,
+		procs:    make(map[string]*liveProc),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		store:    checkpoint.NewStore(),
+		shutdown: make(chan struct{}),
+	}
+	s.pauseCond = sync.NewCond(&s.pauseMu)
+	s.net = transport.NewChaosNet(s.Now, cfg.Tick, cfg.Seed)
+	// The hub tap audits every chaos intervention, so a perturbed live run
+	// can report exactly which messages the schedule touched.
+	s.net.SetTap(func(msg transport.Message, verdict string) {
+		if verdict == "deliver" {
+			return
+		}
+		s.auditMu.Lock()
+		s.audit = append(s.audit, fmt.Sprintf("%s %s->%s %s", verdict, msg.From, msg.To, msg.ID))
+		s.auditMu.Unlock()
+	})
+	if cfg.UseTCP {
+		hub, err := transport.NewHub(cfg.HubAddr)
+		if err != nil {
+			return nil, fmt.Errorf("substrate: live hub: %w", err)
+		}
+		s.hub = hub
+	} else {
+		s.sw = transport.NewSwitch()
+	}
+	return s, nil
+}
+
+// InjectionAudit returns the hub tap's record of chaos interventions, one
+// "verdict from->to msgID" line per dropped, partitioned or duplicated
+// message.
+func (s *LiveSubstrate) InjectionAudit() []string {
+	s.auditMu.Lock()
+	defer s.auditMu.Unlock()
+	return append([]string(nil), s.audit...)
+}
+
+// HubAddr returns the TCP hub's listen address ("" in switch mode).
+func (s *LiveSubstrate) HubAddr() string {
+	if s.hub == nil {
+		return ""
+	}
+	return s.hub.Addr()
+}
+
+// liveProc is the runtime of one live process.
+type liveProc struct {
+	sub     *LiveSubstrate
+	id      string
+	mu      sync.Mutex // serializes machine callbacks and state access
+	machine dsim.Machine
+	heap    *checkpoint.Heap
+	scroll  *scroll.Scroll
+	clock   vclock.VC
+	lamport vclock.Lamport
+	tr      transport.Transport
+	inbox   <-chan transport.Message
+	events  chan liveEvent
+	crashed bool
+	halted  bool
+
+	delivered     uint64
+	ckptSkew      uint64
+	pendingTimers []string
+	pendingFaults []dsim.FaultRecord
+}
+
+// AddProcess implements Substrate. It must be called before Run; transport
+// registration failures and duplicate IDs panic, mirroring dsim.
+func (s *LiveSubstrate) AddProcess(id string, m dsim.Machine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.procs[id]; dup {
+		panic(fmt.Sprintf("substrate: duplicate live process %q", id))
+	}
+	var inner transport.Transport
+	if s.hub != nil {
+		inner = transport.NewTCPTransport(s.hub.Addr())
+	} else {
+		inner = s.sw
+	}
+	tr := s.net.Wrap(inner)
+	inbox, err := tr.Register(id)
+	if err != nil {
+		panic(fmt.Sprintf("substrate: register live process %q: %v", id, err))
+	}
+	p := &liveProc{
+		sub:     s,
+		id:      id,
+		machine: m,
+		heap:    checkpoint.NewHeapPages(s.cfg.HeapSize, s.cfg.HeapPageSize),
+		scroll:  scroll.NewMemory(id),
+		clock:   vclock.New(),
+		tr:      tr,
+		inbox:   inbox,
+		events:  make(chan liveEvent, 1024),
+	}
+	if s.cfg.CheckpointEvery > 0 {
+		p.ckptSkew = uint64(len(s.order)) % s.cfg.CheckpointEvery
+	}
+	s.procs[id] = p
+	s.order = append(s.order, id)
+	sort.Strings(s.order)
+	go p.pump()
+	go p.loop()
+}
+
+// pump forwards the transport inbox into the event loop.
+func (p *liveProc) pump() {
+	for msg := range p.inbox {
+		p.post(liveEvent{kind: levMsg, msg: msg}, true)
+	}
+}
+
+// post enqueues an event. counted events contribute to the activity
+// counter until handled; timer events are pre-counted by SetTimer.
+func (p *liveProc) post(ev liveEvent, counted bool) {
+	if counted {
+		p.sub.activity.Add(1)
+	}
+	select {
+	case p.events <- ev:
+	case <-p.sub.shutdown:
+		if counted {
+			p.sub.activity.Add(-1)
+		}
+	}
+}
+
+// loop is the process's serial event executor.
+func (p *liveProc) loop() {
+	for {
+		select {
+		case <-p.sub.shutdown:
+			return
+		case ev := <-p.events:
+			p.sub.waitUnpaused()
+			p.handle(ev)
+			p.sub.activity.Add(-1)
+			p.dispatchFaults()
+		}
+	}
+}
+
+// handle executes one event under the process mutex.
+func (p *liveProc) handle(ev liveEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.sub
+	ctx := &liveCtx{p: p}
+	switch ev.kind {
+	case levInit:
+		p.machine.Init(ctx)
+		if s.cfg.InitCheckpoint {
+			p.takeCheckpointLocked("init")
+		}
+	case levMsg:
+		if p.crashed || p.halted {
+			s.crashDrops.Add(1)
+			return
+		}
+		if s.cfg.CICheckpoint {
+			p.takeCheckpointLocked("cic")
+		}
+		p.clock.Merge(ev.msg.Clock)
+		p.clock.Tick(p.id)
+		lam := p.lamport.Witness(ev.msg.Lamport)
+		p.scroll.Append(scroll.Record{
+			Kind: scroll.KindRecv, MsgID: ev.msg.ID, Peer: ev.msg.From,
+			Payload: ev.msg.Payload, Lamport: lam, Clock: p.clock.Copy(),
+		})
+		p.delivered++
+		s.delivered.Add(1)
+		s.steps.Add(1)
+		p.machine.OnMessage(ctx, ev.msg.From, ev.msg.Payload)
+		if n := s.cfg.CheckpointEvery; n > 0 && (p.delivered+p.ckptSkew)%n == 0 {
+			p.takeCheckpointLocked("periodic")
+		}
+	case levTimer:
+		if !p.removeTimerLocked(ev.timer) {
+			// Stale fire: the timer was invalidated by a rollback or
+			// crash-restart (dsim purges such events from its queue; a
+			// time.AfterFunc cannot be recalled, so it is skipped here).
+			return
+		}
+		if p.crashed || p.halted {
+			return
+		}
+		p.clock.Tick(p.id)
+		lam := p.lamport.Tick()
+		p.scroll.Append(scroll.Record{
+			Kind: scroll.KindCustom, MsgID: "timer:" + ev.timer,
+			Payload: []byte(ev.timer), Lamport: lam, Clock: p.clock.Copy(),
+		})
+		s.timerFires.Add(1)
+		s.steps.Add(1)
+		p.machine.OnTimer(ctx, ev.timer)
+	case levCrash:
+		if !p.crashed {
+			p.crashed = true
+			s.crashes.Add(1)
+		}
+	case levRestart:
+		if !p.crashed {
+			return
+		}
+		p.crashed = false
+		s.restarts.Add(1)
+		if ck := s.store.Latest(p.id); ck != nil {
+			p.restoreLocked(ck)
+			p.machine.OnRollback(ctx, dsim.RollbackInfo{Manual: true, Reason: "crash restart"})
+		} else {
+			p.machine.Init(ctx)
+		}
+	}
+}
+
+// removeTimerLocked drops one pending entry for name, reporting whether
+// the timer was still armed (false = a stale fire to be ignored).
+func (p *liveProc) removeTimerLocked(name string) bool {
+	for i, n := range p.pendingTimers {
+		if n == name {
+			p.pendingTimers = append(p.pendingTimers[:i], p.pendingTimers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// takeCheckpointLocked snapshots the process (caller holds p.mu).
+func (p *liveProc) takeCheckpointLocked(label string) *checkpoint.Checkpoint {
+	extra, err := json.Marshal(p.machine.State())
+	if err != nil {
+		panic(fmt.Sprintf("substrate: state of %s not serializable: %v", p.id, err))
+	}
+	ck := &checkpoint.Checkpoint{
+		Proc:      p.id,
+		Clock:     p.clock.Copy(),
+		ScrollSeq: uint64(p.scroll.Len()),
+		Time:      p.sub.Now(),
+		Snap:      p.heap.Snapshot(),
+		Extra:     extra,
+		Timers:    append([]string(nil), p.pendingTimers...),
+	}
+	p.sub.store.Put(ck)
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindCkpt, MsgID: ck.ID, Payload: []byte(label),
+		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+	})
+	p.sub.ckpts.Add(1)
+	return ck
+}
+
+// restoreLocked rewinds the process to a checkpoint: heap, machine state,
+// vector clock, scroll position, and the timers pending at the checkpoint.
+// Messages already in flight cannot be recalled — redelivery is
+// at-least-once, the documented fidelity gap of the live backend.
+func (p *liveProc) restoreLocked(ck *checkpoint.Checkpoint) {
+	p.heap.Restore(ck.Snap)
+	if err := json.Unmarshal(ck.Extra, p.machine.State()); err != nil {
+		panic(fmt.Sprintf("substrate: restore state of %s: %v", p.id, err))
+	}
+	p.clock = ck.Clock.Copy()
+	p.scroll.Truncate(ck.ScrollSeq)
+	p.halted = false
+	p.pendingTimers = nil
+	ctx := &liveCtx{p: p}
+	for _, name := range ck.Timers {
+		ctx.SetTimer(name, 2)
+	}
+	p.sub.rollbacks.Add(1)
+}
+
+// dispatchFaults runs deferred Context.Fault reports through the installed
+// handler, outside the process mutex (so the handler may walk every
+// process). A handler returning true pauses the substrate.
+func (p *liveProc) dispatchFaults() {
+	p.mu.Lock()
+	pending := p.pendingFaults
+	p.pendingFaults = nil
+	p.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	s := p.sub
+	s.mu.Lock()
+	handler := s.handler
+	s.mu.Unlock()
+	if handler == nil {
+		return
+	}
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	for _, rec := range pending {
+		// Freeze peers at their next event while the handler runs. Pause
+		// ownership matters: a declined fault only releases a pause this
+		// iteration took — never one held by an earlier accepted response
+		// or by a user Stop (dsim likewise never clears an accepted stop).
+		wasPaused := s.isPaused()
+		s.pause()
+		if !handler(rec) && !wasPaused {
+			s.unpause()
+		}
+	}
+}
+
+// --- Substrate: execution ---
+
+// Run starts every process (Init on first call) and blocks until
+// quiescence, MaxWait, Stop, or a protected fault pauses the run.
+func (s *LiveSubstrate) Run() dsim.Stats {
+	s.mu.Lock()
+	if !s.started {
+		s.started = true
+		now := time.Now()
+		s.startAt.Store(&now)
+		for _, f := range s.pending {
+			f()
+		}
+		s.pending = nil
+		for _, id := range s.order {
+			s.procs[id].post(liveEvent{kind: levInit}, true)
+		}
+	}
+	s.mu.Unlock()
+	return s.waitQuiesce()
+}
+
+// Resume continues after a pause.
+func (s *LiveSubstrate) Resume() dsim.Stats {
+	s.unpause()
+	return s.waitQuiesce()
+}
+
+// Stop pauses the run: loops freeze before their next event and Run
+// returns once the pause is observed.
+func (s *LiveSubstrate) Stop() { s.pause() }
+
+func (s *LiveSubstrate) pause() {
+	s.pauseMu.Lock()
+	s.paused = true
+	s.pauseMu.Unlock()
+}
+
+func (s *LiveSubstrate) unpause() {
+	s.pauseMu.Lock()
+	s.paused = false
+	s.pauseMu.Unlock()
+	s.pauseCond.Broadcast()
+}
+
+func (s *LiveSubstrate) isPaused() bool {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	return s.paused
+}
+
+// waitUnpaused blocks an event loop while the substrate is paused. The
+// closing flag shares pauseMu with the wait loop, so Close's wakeup
+// cannot be missed.
+func (s *LiveSubstrate) waitUnpaused() {
+	s.pauseMu.Lock()
+	for s.paused && !s.closing {
+		s.pauseCond.Wait()
+	}
+	s.pauseMu.Unlock()
+}
+
+// idle reports whether no work is queued, running, or in flight.
+func (s *LiveSubstrate) idle() bool {
+	if s.activity.Load() != 0 || s.net.InFlight() != 0 || s.ctlPending.Load() != 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.procs {
+		if len(p.inbox) != 0 || len(p.events) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// waitQuiesce polls until the system stays idle for the settle window, the
+// run is paused, or MaxWait elapses.
+func (s *LiveSubstrate) waitQuiesce() dsim.Stats {
+	deadline := time.Now().Add(s.cfg.MaxWait)
+	var quietSince time.Time
+	for {
+		if s.isPaused() {
+			// A protected fault pauses the substrate *before* its handler
+			// runs (dispatchFaults holds faultMu throughout); block on the
+			// lock so Run never returns while a response is being built.
+			s.faultMu.Lock()
+			stillPaused := s.isPaused()
+			s.faultMu.Unlock()
+			if stillPaused {
+				return s.Stats()
+			}
+			quietSince = time.Time{} // handler declined the pause; keep running
+			continue
+		}
+		if time.Now().After(deadline) {
+			return s.Stats()
+		}
+		if s.idle() {
+			if quietSince.IsZero() {
+				quietSince = time.Now()
+			}
+			if time.Since(quietSince) >= s.cfg.Settle {
+				return s.Stats()
+			}
+		} else {
+			quietSince = time.Time{}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Now returns the current virtual tick: monotonic time since Run divided
+// by the tick duration (0 before the run starts).
+func (s *LiveSubstrate) Now() uint64 {
+	start := s.startAt.Load()
+	if start == nil {
+		return 0
+	}
+	return uint64(time.Since(*start) / s.cfg.Tick)
+}
+
+// Stats implements Substrate.
+func (s *LiveSubstrate) Stats() dsim.Stats {
+	_, dropped, duplicated := s.net.Stats()
+	return dsim.Stats{
+		Delivered:   s.delivered.Load(),
+		Dropped:     dropped + s.crashDrops.Load(),
+		Duplicated:  duplicated,
+		TimerFires:  s.timerFires.Load(),
+		Checkpoints: s.ckpts.Load(),
+		Rollbacks:   s.rollbacks.Load(),
+		Crashes:     s.crashes.Load(),
+		Restarts:    s.restarts.Load(),
+		Steps:       s.steps.Load(),
+	}
+}
+
+// --- Substrate: registry and scroll access ---
+
+// Procs implements Substrate.
+func (s *LiveSubstrate) Procs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Scroll implements Substrate.
+func (s *LiveSubstrate) Scroll(id string) *scroll.Scroll {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.procs[id]; ok {
+		return p.scroll
+	}
+	return nil
+}
+
+// MergedScroll implements Substrate.
+func (s *LiveSubstrate) MergedScroll() []scroll.Record {
+	s.mu.Lock()
+	scrolls := make([]*scroll.Scroll, 0, len(s.order))
+	for _, id := range s.order {
+		scrolls = append(scrolls, s.procs[id].scroll)
+	}
+	s.mu.Unlock()
+	return scroll.Merge(scrolls...)
+}
+
+// MachineState implements Substrate.
+func (s *LiveSubstrate) MachineState(id string) []byte {
+	s.mu.Lock()
+	p, ok := s.procs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, err := json.Marshal(p.machine.State())
+	if err != nil {
+		panic(fmt.Sprintf("substrate: state of %s not serializable: %v", id, err))
+	}
+	return b
+}
+
+// Clock implements Substrate.
+func (s *LiveSubstrate) Clock(id string) vclock.VC {
+	s.mu.Lock()
+	p, ok := s.procs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clock.Copy()
+}
+
+// --- Substrate: fault detection ---
+
+// Faults implements Substrate.
+func (s *LiveSubstrate) Faults() []dsim.FaultRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]dsim.FaultRecord(nil), s.faults...)
+}
+
+// SetFaultHandler implements Substrate.
+func (s *LiveSubstrate) SetFaultHandler(h func(dsim.FaultRecord) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handler = h
+}
+
+// --- Substrate: checkpoint / rollback ---
+
+// Store implements Substrate.
+func (s *LiveSubstrate) Store() *checkpoint.Store { return s.store }
+
+// RollbackTo restores the given recovery line. Live rollback is
+// best-effort: state, heap, clock and scroll rewind, but messages already
+// in flight are redelivered (at-least-once), so machines should tolerate
+// duplicate delivery after a rollback.
+func (s *LiveSubstrate) RollbackTo(line map[string]string) error {
+	ids := make([]string, 0, len(line))
+	for id := range line {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	cks := make(map[string]*checkpoint.Checkpoint, len(line))
+	for _, id := range ids {
+		ck := s.store.Get(line[id])
+		if ck == nil {
+			return fmt.Errorf("substrate: unknown checkpoint %q for %s", line[id], id)
+		}
+		if ck.Proc != id {
+			return fmt.Errorf("substrate: checkpoint %q belongs to %s, not %s", line[id], ck.Proc, id)
+		}
+		cks[id] = ck
+	}
+	for _, id := range ids {
+		s.mu.Lock()
+		p, ok := s.procs[id]
+		s.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("substrate: unknown process %q", id)
+		}
+		p.mu.Lock()
+		p.restoreLocked(cks[id])
+		p.machine.OnRollback(&liveCtx{p: p}, dsim.RollbackInfo{Manual: true, Reason: "time machine rollback"})
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// ReplaceMachine implements Substrate — the dynamic-update primitive.
+func (s *LiveSubstrate) ReplaceMachine(procID string, m dsim.Machine, state []byte) error {
+	s.mu.Lock()
+	p, ok := s.procs[procID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("substrate: unknown process %q", procID)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if state != nil {
+		if err := json.Unmarshal(state, m.State()); err != nil {
+			return fmt.Errorf("substrate: update state of %s rejected: %w", procID, err)
+		}
+	}
+	p.machine = m
+	return nil
+}
+
+// --- Substrate: chaos capability (fault.Injector) ---
+
+// Injector implements Substrate.
+func (s *LiveSubstrate) Injector() fault.Injector { return s }
+
+// CrashAt implements fault.Injector: the process stops consuming events at
+// tick t (messages to it are counted dropped).
+func (s *LiveSubstrate) CrashAt(proc string, t uint64) {
+	s.ctlAt(proc, t, levCrash)
+}
+
+// RestartAt implements fault.Injector: the crashed process restarts from
+// its latest checkpoint (or re-initializes).
+func (s *LiveSubstrate) RestartAt(proc string, t uint64) {
+	s.ctlAt(proc, t, levRestart)
+}
+
+func (s *LiveSubstrate) ctlAt(proc string, tick uint64, kind int) {
+	s.at(tick, func() {
+		s.mu.Lock()
+		p, ok := s.procs[proc]
+		s.mu.Unlock()
+		if ok {
+			p.post(liveEvent{kind: kind}, true)
+		}
+	})
+}
+
+// at schedules f at virtual tick t, deferring until Run if not started.
+func (s *LiveSubstrate) at(tick uint64, f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		s.pending = append(s.pending, func() { s.armAt(tick, f) })
+		return
+	}
+	s.armAt(tick, f)
+}
+
+// armAt converts a tick to a monotonic deadline (caller holds s.mu). The
+// armed timer counts as pending work so quiescence waits for scheduled
+// injections, matching the simulator (which drains every scheduled
+// crash/restart event before Run returns).
+func (s *LiveSubstrate) armAt(tick uint64, f func()) {
+	var d time.Duration
+	if start := s.startAt.Load(); start != nil {
+		d = time.Duration(tick)*s.cfg.Tick - time.Since(*start)
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.ctlPending.Add(1)
+	s.ctlTims = append(s.ctlTims, time.AfterFunc(d, func() {
+		defer s.ctlPending.Add(-1)
+		f()
+	}))
+}
+
+// Partition implements fault.Injector at the transport hub.
+func (s *LiveSubstrate) Partition(groupA []string, from, to uint64) {
+	s.net.Partition(groupA, from, to)
+}
+
+// InjectDelay implements fault.Injector at the transport hub.
+func (s *LiveSubstrate) InjectDelay(procs []string, from, to, extra, jitter uint64) {
+	s.net.InjectDelay(procs, from, to, extra, jitter)
+}
+
+// InjectDrop implements fault.Injector at the transport hub.
+func (s *LiveSubstrate) InjectDrop(procs []string, from, to uint64, prob float64) {
+	s.net.InjectDrop(procs, from, to, prob)
+}
+
+// InjectDup implements fault.Injector at the transport hub.
+func (s *LiveSubstrate) InjectDup(procs []string, from, to uint64, prob float64) {
+	s.net.InjectDup(procs, from, to, prob)
+}
+
+// InjectSkew implements fault.Injector: proc's Context.Now observations
+// are offset during [from, to).
+func (s *LiveSubstrate) InjectSkew(proc string, from, to uint64, offset int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.skews = append(s.skews, liveSkew{proc: proc, from: from, to: to, offset: offset})
+}
+
+// skewedNow returns proc's observed clock at tick t.
+func (s *LiveSubstrate) skewedNow(proc string, t uint64) uint64 {
+	v := int64(t)
+	s.mu.Lock()
+	for _, sk := range s.skews {
+		if sk.proc == proc && t >= sk.from && t < sk.to {
+			v += sk.offset
+		}
+	}
+	s.mu.Unlock()
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// --- Substrate: lifecycle ---
+
+// Capabilities implements Substrate.
+func (s *LiveSubstrate) Capabilities() Capabilities {
+	return Capabilities{
+		Name:          "live",
+		Deterministic: false,
+		ProcessReplay: true,
+		Checkpoints:   true,
+		Speculation:   false,
+	}
+}
+
+// Close shuts the substrate down: event loops exit, transports and the hub
+// close. Idempotent.
+func (s *LiveSubstrate) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	tims := s.ctlTims
+	procs := make([]*liveProc, 0, len(s.order))
+	for _, id := range s.order {
+		procs = append(procs, s.procs[id])
+	}
+	s.mu.Unlock()
+
+	close(s.shutdown)
+	s.pauseMu.Lock()
+	s.closing = true
+	s.pauseMu.Unlock()
+	s.pauseCond.Broadcast()
+	for _, t := range tims {
+		t.Stop()
+	}
+	// Cancel delayed chaos deliveries before the inner transports close so
+	// none of them lands on a closed transport.
+	s.net.Close()
+	if s.hub != nil {
+		for _, p := range procs {
+			p.tr.Close()
+		}
+		return s.hub.Close()
+	}
+	return s.sw.Close()
+}
+
+// --- live Context ---
+
+// liveCtx is the dsim.Context implementation for live processes. Every
+// nondeterministic outcome is recorded in the process's scroll, so the
+// offline per-process replay (dsim.Replay) works on live recordings.
+type liveCtx struct {
+	p *liveProc
+}
+
+// Self implements dsim.Context.
+func (c *liveCtx) Self() string { return c.p.id }
+
+// Now returns the virtual tick — offset by injected skew — and records it.
+func (c *liveCtx) Now() uint64 {
+	p := c.p
+	t := p.sub.skewedNow(p.id, p.sub.Now())
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindTime, Payload: binary.LittleEndian.AppendUint64(nil, t),
+		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+	})
+	return t
+}
+
+// Random returns a seeded pseudo-random uint64 and records it.
+func (c *liveCtx) Random() uint64 {
+	p := c.p
+	p.sub.rngMu.Lock()
+	v := p.sub.rng.Uint64()
+	p.sub.rngMu.Unlock()
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindRandom, Payload: binary.LittleEndian.AppendUint64(nil, v),
+		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+	})
+	return v
+}
+
+// Send records the transmission and routes it through the (chaos-wrapped)
+// transport. Transport errors are dropped messages: the live network is
+// allowed to lose traffic, and machines must already tolerate loss.
+func (c *liveCtx) Send(to string, payload []byte) {
+	p := c.p
+	p.clock.Tick(p.id)
+	lam := p.lamport.Tick()
+	id := fmt.Sprintf("L%d", p.sub.msgN.Add(1))
+	body := append([]byte(nil), payload...)
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindSend, MsgID: id, Peer: to, Payload: body,
+		Lamport: lam, Clock: p.clock.Copy(),
+	})
+	p.tr.Send(transport.Message{ //nolint:errcheck // loss is within the model
+		ID: id, From: p.id, To: to, Payload: body, Lamport: lam, Clock: p.clock.Copy(),
+	})
+}
+
+// SetTimer schedules OnTimer(name) after delay ticks of wall time.
+func (c *liveCtx) SetTimer(name string, delay uint64) {
+	p := c.p
+	p.pendingTimers = append(p.pendingTimers, name)
+	p.sub.activity.Add(1) // held until the timer event is handled
+	time.AfterFunc(time.Duration(delay)*p.sub.cfg.Tick, func() {
+		p.post(liveEvent{kind: levTimer, timer: name}, false)
+	})
+}
+
+// Heap implements dsim.Context.
+func (c *liveCtx) Heap() *checkpoint.Heap { return c.p.heap }
+
+// Log appends an informational record to the scroll.
+func (c *liveCtx) Log(format string, args ...any) {
+	p := c.p
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindCustom, MsgID: "log",
+		Payload: []byte(fmt.Sprintf(format, args...)),
+		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+	})
+}
+
+// Fault reports a locally detected fault. The handler runs after the
+// current machine callback returns (outside the process mutex), so a
+// coordinator may inspect and roll back every process.
+func (c *liveCtx) Fault(desc string) {
+	p := c.p
+	rec := dsim.FaultRecord{Proc: p.id, Desc: desc, Time: p.sub.Now(), Clock: p.clock.Copy()}
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindFault, Payload: []byte(desc),
+		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+	})
+	p.sub.mu.Lock()
+	p.sub.faults = append(p.sub.faults, rec)
+	p.sub.mu.Unlock()
+	p.pendingFaults = append(p.pendingFaults, rec)
+}
+
+// Checkpoint takes an explicit checkpoint and returns its ID.
+func (c *liveCtx) Checkpoint(label string) string {
+	return c.p.takeCheckpointLocked(label).ID
+}
+
+// Speculate is unavailable on the live substrate: aborting a speculation
+// requires recalling messages from the network, which only a simulated
+// network can do.
+func (c *liveCtx) Speculate(string) (string, error) {
+	return "", fmt.Errorf("substrate: speculation requires the simulated substrate")
+}
+
+// Commit implements dsim.Context (no live speculations exist to commit).
+func (c *liveCtx) Commit(string) error {
+	return fmt.Errorf("substrate: speculation requires the simulated substrate")
+}
+
+// AbortSpec implements dsim.Context.
+func (c *liveCtx) AbortSpec(string, string) error {
+	return fmt.Errorf("substrate: speculation requires the simulated substrate")
+}
+
+// Halt stops the process permanently.
+func (c *liveCtx) Halt() { c.p.halted = true }

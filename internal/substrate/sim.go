@@ -1,0 +1,37 @@
+package substrate
+
+import (
+	"repro/internal/dsim"
+	"repro/internal/fault"
+)
+
+// SimSubstrate adapts the deterministic discrete-event simulator to the
+// Substrate interface. It is a thin wrapper: *dsim.Sim natively satisfies
+// every consumer interface already, so the adapter only adds the
+// capability descriptor and the injector accessor.
+type SimSubstrate struct {
+	*dsim.Sim
+}
+
+// NewSim returns a simulated substrate with the given configuration.
+func NewSim(cfg dsim.Config) *SimSubstrate { return &SimSubstrate{Sim: dsim.New(cfg)} }
+
+// WrapSim adapts an existing simulation.
+func WrapSim(s *dsim.Sim) *SimSubstrate { return &SimSubstrate{Sim: s} }
+
+// Injector implements Substrate: the simulator injects natively.
+func (s *SimSubstrate) Injector() fault.Injector { return s.Sim }
+
+// Capabilities implements Substrate: the simulator supports everything.
+func (s *SimSubstrate) Capabilities() Capabilities {
+	return Capabilities{
+		Name:          "sim",
+		Deterministic: true,
+		ProcessReplay: true,
+		Checkpoints:   true,
+		Speculation:   true,
+	}
+}
+
+// Close implements Substrate; the simulator holds no external resources.
+func (s *SimSubstrate) Close() error { return nil }

@@ -1,0 +1,125 @@
+// Package substrate defines FixD's substrate seam: the runtime surface the
+// framework's four components (Scroll, Time Machine, Investigator, Healer)
+// and the chaos engine program against, decoupled from any particular
+// execution backend — the MAPE-K separation of the managed substrate from
+// the monitor/analyze/plan/execute loop.
+//
+// Two implementations ship:
+//
+//   - SimSubstrate wraps the deterministic discrete-event simulator
+//     (internal/dsim): full fidelity — seeded replayable executions,
+//     copy-on-write checkpoints, distributed speculations. The default.
+//   - LiveSubstrate runs the same dsim.Machine implementations as real
+//     goroutines exchanging messages over internal/transport (an in-memory
+//     switch or a real TCP hub), with chaos injection interposed at the
+//     hub and the Scroll tapped on every send and delivery. Real
+//     concurrency means runs are not globally replayable and speculations
+//     are unavailable, but per-process scroll replay, invariant
+//     monitoring, fault response and best-effort checkpoint/rollback all
+//     work.
+//
+// The same chaos.Schedule compiles onto either backend through the
+// fault.Injector capability surface, so a fault scenario exercised in the
+// simulator can be replayed against real goroutines unchanged.
+package substrate
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/dsim"
+	"repro/internal/fault"
+	"repro/internal/scroll"
+	"repro/internal/vclock"
+)
+
+// Substrate is the backend-agnostic runtime surface. It is the superset of
+// the narrow consumer interfaces (core.Substrate, heal.Target,
+// fault.StateSource, fault.Injector, baselines.Source), so a Substrate
+// value can be handed to any FixD component directly.
+type Substrate interface {
+	// --- process registry ---
+
+	// AddProcess registers a machine under the given ID. Must be called
+	// before Run; duplicate IDs panic.
+	AddProcess(id string, m dsim.Machine)
+	// Procs returns the sorted process IDs.
+	Procs() []string
+
+	// --- execution ---
+
+	// Run starts the system (initializing machines on first call) and
+	// blocks until quiescence, a step/time bound, or a protected fault
+	// pauses it.
+	Run() dsim.Stats
+	// Resume continues after a pause without re-initializing machines.
+	Resume() dsim.Stats
+	// Stop pauses the run; Run/Resume return once in-flight work settles.
+	Stop()
+	// Stats returns the cumulative counters.
+	Stats() dsim.Stats
+	// Now returns the current virtual time in ticks.
+	Now() uint64
+
+	// --- scroll access ---
+
+	// Scroll returns the named process's recording (nil if unknown).
+	Scroll(id string) *scroll.Scroll
+	// MergedScroll returns all records in global (Lamport) order.
+	MergedScroll() []scroll.Record
+	// MachineState returns the JSON encoding of a process's current state.
+	MachineState(id string) []byte
+	// Clock returns a copy of the process's vector clock.
+	Clock(id string) vclock.VC
+
+	// --- fault detection ---
+
+	// Faults returns all locally detected faults so far.
+	Faults() []dsim.FaultRecord
+	// SetFaultHandler installs h on every Context.Fault report; returning
+	// true pauses the run. Passing nil clears it.
+	SetFaultHandler(h func(dsim.FaultRecord) bool)
+
+	// --- checkpoint / rollback (heal.Target) ---
+
+	// Store exposes the substrate's checkpoint store.
+	Store() *checkpoint.Store
+	// RollbackTo restores the given recovery line (proc -> checkpoint ID).
+	RollbackTo(line map[string]string) error
+	// ReplaceMachine swaps a process's implementation — the dynamic-update
+	// primitive the Healer builds on.
+	ReplaceMachine(procID string, m dsim.Machine, state []byte) error
+
+	// --- chaos capability ---
+
+	// Injector returns the fault-injection surface chaos schedules arm.
+	Injector() fault.Injector
+
+	// --- lifecycle ---
+
+	// Capabilities describes what this backend supports.
+	Capabilities() Capabilities
+	// Close releases backend resources (network listeners, goroutines).
+	Close() error
+}
+
+// Capabilities describes a backend's supported feature set, so callers can
+// degrade gracefully instead of failing at runtime.
+type Capabilities struct {
+	// Name identifies the backend ("sim", "live").
+	Name string
+	// Deterministic: identical configuration and seed reproduce the run
+	// byte-for-byte (merged-scroll digest equality). Sim-only: real
+	// goroutine scheduling and network timing are outside the seed's
+	// control.
+	Deterministic bool
+	// ProcessReplay: a single process can be re-executed offline from its
+	// scroll. True on both backends — it needs only the per-process log.
+	ProcessReplay bool
+	// Checkpoints: the checkpoint store is populated and RollbackTo works.
+	// On the live backend rollback is best-effort: messages already in
+	// flight cannot be recalled, so at-least-once redelivery may occur.
+	Checkpoints bool
+	// Speculation: distributed speculations with absorb/commit/abort.
+	// Sim-only: aborting requires recalling messages from the network,
+	// which only a simulated network can do.
+	Speculation bool
+}

@@ -1,0 +1,286 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosNet interposes windowed fault-injection rules on the live
+// transport's send path — the hub-level counterpart of dsim's netRule
+// machinery, so the same chaos.Schedule that perturbs the simulator can
+// perturb real goroutines exchanging real messages. Rules are scoped by
+// target set and a half-open virtual-time window [from, to); the clock is
+// supplied by the substrate (the live runtime maps virtual ticks onto wall
+// time), and tick gives one virtual tick's real duration for delays.
+//
+// A single ChaosNet is shared by every node of a run: Wrap decorates each
+// node's Transport so all sends flow through the same rule set and seeded
+// RNG. Unlike the simulator the live network is inherently nondeterministic,
+// so the RNG only shapes fault probability; it does not make runs
+// replayable (see internal/substrate for the capability matrix).
+type ChaosNet struct {
+	now  func() uint64
+	tick time.Duration
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []chaosRule
+	parts  []chaosPartition
+	closed bool
+	timers map[uint64]*time.Timer // pending delayed deliveries, by id
+	timerN uint64
+
+	inflight atomic.Int64 // delayed sends not yet handed to the inner transport
+
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+	duplicated atomic.Uint64
+
+	tap func(msg Message, verdict string)
+}
+
+// chaosRule mirrors dsim's netRule: one windowed, target-scoped
+// perturbation. A rule matches a message when the send time falls in
+// [from, to) and either endpoint is in procs (empty procs = every message).
+type chaosRule struct {
+	kind     int // 0 delay, 1 drop, 2 dup
+	procs    map[string]bool
+	from, to uint64
+	extra    uint64
+	jitter   uint64
+	prob     float64
+}
+
+const (
+	chaosDelay = iota
+	chaosDrop
+	chaosDup
+)
+
+// chaosPartition cuts groupA off from everyone else during [from, to).
+type chaosPartition struct {
+	groupA   map[string]bool
+	from, to uint64
+}
+
+// NewChaosNet returns an empty rule set. now supplies the current virtual
+// tick; tick is one virtual tick's real duration (used to realize injected
+// delays); seed drives the fault probability draws.
+func NewChaosNet(now func() uint64, tick time.Duration, seed int64) *ChaosNet {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	return &ChaosNet{now: now, tick: tick, rng: rand.New(rand.NewSource(seed)),
+		timers: make(map[uint64]*time.Timer)}
+}
+
+// SetTap installs a delivery-tap callback invoked with every routed message
+// and its verdict ("deliver", "drop", "partition", "dup"). The live
+// substrate uses it to keep network stats and an injection audit trail.
+func (n *ChaosNet) SetTap(tap func(msg Message, verdict string)) { n.tap = tap }
+
+// Partition splits groupA from everyone else during [from, to).
+func (n *ChaosNet) Partition(groupA []string, from, to uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := make(map[string]bool, len(groupA))
+	for _, id := range groupA {
+		g[id] = true
+	}
+	n.parts = append(n.parts, chaosPartition{groupA: g, from: from, to: to})
+}
+
+// InjectDelay adds extra ticks of latency, plus seeded jitter in
+// [0, jitter], to matching messages sent during [from, to).
+func (n *ChaosNet) InjectDelay(procs []string, from, to, extra, jitter uint64) {
+	n.addRule(chaosRule{kind: chaosDelay, procs: chaosSet(procs), from: from, to: to, extra: extra, jitter: jitter})
+}
+
+// InjectDrop loses matching messages with probability prob during [from, to).
+func (n *ChaosNet) InjectDrop(procs []string, from, to uint64, prob float64) {
+	n.addRule(chaosRule{kind: chaosDrop, procs: chaosSet(procs), from: from, to: to, prob: prob})
+}
+
+// InjectDup duplicates matching messages with probability prob during
+// [from, to); the copy takes its own delay draw.
+func (n *ChaosNet) InjectDup(procs []string, from, to uint64, prob float64) {
+	n.addRule(chaosRule{kind: chaosDup, procs: chaosSet(procs), from: from, to: to, prob: prob})
+}
+
+func (n *ChaosNet) addRule(r chaosRule) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rules = append(n.rules, r)
+}
+
+func chaosSet(procs []string) map[string]bool {
+	if len(procs) == 0 {
+		return nil
+	}
+	g := make(map[string]bool, len(procs))
+	for _, id := range procs {
+		g[id] = true
+	}
+	return g
+}
+
+func (r *chaosRule) matches(from, to string, t uint64) bool {
+	if t < r.from || t >= r.to {
+		return false
+	}
+	return len(r.procs) == 0 || r.procs[from] || r.procs[to]
+}
+
+// InFlight returns the number of delayed sends not yet delivered — part of
+// the live substrate's quiescence condition.
+func (n *ChaosNet) InFlight() int64 { return n.inflight.Load() }
+
+// Stats returns (delivered, dropped, duplicated) counters.
+func (n *ChaosNet) Stats() (delivered, dropped, duplicated uint64) {
+	return n.delivered.Load(), n.dropped.Load(), n.duplicated.Load()
+}
+
+// Wrap decorates a node Transport so its sends flow through the rule set.
+// Register and Close pass through untouched.
+func (n *ChaosNet) Wrap(inner Transport) Transport {
+	return &chaosTransport{net: n, inner: inner}
+}
+
+// route applies the rules to one send. Drops return nil: a lost message is
+// not a transport error.
+func (n *ChaosNet) route(inner Transport, msg Message) error {
+	t := n.now()
+	n.mu.Lock()
+	for _, p := range n.parts {
+		if t >= p.from && t < p.to && p.groupA[msg.From] != p.groupA[msg.To] {
+			n.mu.Unlock()
+			n.dropped.Add(1)
+			n.emit(msg, "partition")
+			return nil
+		}
+	}
+	var (
+		delay uint64
+		dup   bool
+		drop  bool
+	)
+	for i := range n.rules {
+		r := &n.rules[i]
+		if !r.matches(msg.From, msg.To, t) {
+			continue
+		}
+		switch r.kind {
+		case chaosDelay:
+			delay += r.extra
+			if r.jitter > 0 {
+				delay += uint64(n.rng.Int63n(int64(r.jitter + 1)))
+			}
+		case chaosDrop:
+			if n.rng.Float64() < r.prob {
+				drop = true
+			}
+		case chaosDup:
+			if n.rng.Float64() < r.prob {
+				dup = true
+			}
+		}
+	}
+	dupDelay := delay
+	if dup && delay > 0 {
+		// The copy takes an independent jitter draw where jitter applies.
+		dupDelay = 0
+		for i := range n.rules {
+			r := &n.rules[i]
+			if r.kind == chaosDelay && r.matches(msg.From, msg.To, t) {
+				dupDelay += r.extra
+				if r.jitter > 0 {
+					dupDelay += uint64(n.rng.Int63n(int64(r.jitter + 1)))
+				}
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	if drop {
+		n.dropped.Add(1)
+		n.emit(msg, "drop")
+		return nil
+	}
+	if dup {
+		n.duplicated.Add(1)
+		n.emit(msg, "dup")
+		n.dispatch(inner, msg, dupDelay)
+	}
+	return n.dispatch(inner, msg, delay)
+}
+
+// dispatch hands the message to the inner transport, after the injected
+// delay if any. Delayed sends are counted in-flight until delivered; their
+// eventual transport errors are swallowed (the run may already be over).
+func (n *ChaosNet) dispatch(inner Transport, msg Message, delayTicks uint64) error {
+	if delayTicks == 0 {
+		n.delivered.Add(1)
+		n.emit(msg, "deliver")
+		return inner.Send(msg)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.dropped.Add(1)
+		n.emit(msg, "drop")
+		return nil
+	}
+	n.timerN++
+	id := n.timerN
+	n.inflight.Add(1)
+	n.timers[id] = time.AfterFunc(time.Duration(delayTicks)*n.tick, func() {
+		defer n.inflight.Add(-1)
+		n.mu.Lock()
+		delete(n.timers, id)
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			n.dropped.Add(1)
+			n.emit(msg, "drop")
+			return
+		}
+		n.delivered.Add(1)
+		n.emit(msg, "deliver")
+		inner.Send(msg) //nolint:errcheck // best effort after the delay window
+	})
+	n.mu.Unlock()
+	return nil
+}
+
+// Close cancels pending delayed deliveries; subsequent delays drop. Call
+// before closing the inner transport so no delayed send lands on it.
+func (n *ChaosNet) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	for id, t := range n.timers {
+		if t.Stop() {
+			n.inflight.Add(-1)
+		}
+		delete(n.timers, id)
+	}
+	return nil
+}
+
+func (n *ChaosNet) emit(msg Message, verdict string) {
+	if n.tap != nil {
+		n.tap(msg, verdict)
+	}
+}
+
+// chaosTransport is the per-node decorator produced by Wrap.
+type chaosTransport struct {
+	net   *ChaosNet
+	inner Transport
+}
+
+func (t *chaosTransport) Register(id string) (<-chan Message, error) { return t.inner.Register(id) }
+func (t *chaosTransport) Send(msg Message) error                     { return t.net.route(t.inner, msg) }
+func (t *chaosTransport) Close() error                               { return t.inner.Close() }

@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// chaosEnv wires two endpoints through a ChaosNet-wrapped switch.
+func chaosEnv(t *testing.T, net *ChaosNet) (Transport, <-chan Message, <-chan Message) {
+	t.Helper()
+	sw := NewSwitch()
+	t.Cleanup(func() { sw.Close() })
+	tr := net.Wrap(sw)
+	a, err := tr.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, a, b
+}
+
+func recvWithin(t *testing.T, ch <-chan Message, d time.Duration) (Message, bool) {
+	t.Helper()
+	select {
+	case m := <-ch:
+		return m, true
+	case <-time.After(d):
+		return Message{}, false
+	}
+}
+
+func TestChaosNetDropAll(t *testing.T) {
+	net := NewChaosNet(func() uint64 { return 10 }, time.Millisecond, 1)
+	net.InjectDrop(nil, 0, 100, 1.0)
+	tr, _, b := chaosEnv(t, net)
+	if err := tr.Send(Message{From: "a", To: "b", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, b, 50*time.Millisecond); ok {
+		t.Fatal("message survived a p=1.0 drop rule")
+	}
+	if _, dropped, _ := net.Stats(); dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestChaosNetWindowScoping(t *testing.T) {
+	var now uint64 = 200 // outside the rule window
+	net := NewChaosNet(func() uint64 { return now }, time.Millisecond, 1)
+	net.InjectDrop(nil, 0, 100, 1.0)
+	tr, _, b := chaosEnv(t, net)
+	if err := tr.Send(Message{From: "a", To: "b", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, b, time.Second); !ok {
+		t.Fatal("message outside the window was dropped")
+	}
+}
+
+func TestChaosNetTargetScoping(t *testing.T) {
+	net := NewChaosNet(func() uint64 { return 10 }, time.Millisecond, 1)
+	net.InjectDrop([]string{"c"}, 0, 100, 1.0) // neither endpoint matches
+	tr, _, b := chaosEnv(t, net)
+	if err := tr.Send(Message{From: "a", To: "b", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, b, time.Second); !ok {
+		t.Fatal("message to untargeted endpoints was dropped")
+	}
+}
+
+func TestChaosNetDuplicate(t *testing.T) {
+	net := NewChaosNet(func() uint64 { return 10 }, time.Millisecond, 1)
+	net.InjectDup(nil, 0, 100, 1.0)
+	tr, _, b := chaosEnv(t, net)
+	if err := tr.Send(Message{ID: "m1", From: "a", To: "b", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if m, ok := recvWithin(t, b, time.Second); !ok || m.ID != "m1" {
+			t.Fatalf("copy %d: got %+v ok=%v", i, m, ok)
+		}
+	}
+	if _, _, dup := net.Stats(); dup != 1 {
+		t.Errorf("duplicated = %d, want 1", dup)
+	}
+}
+
+func TestChaosNetDelayHoldsMessage(t *testing.T) {
+	net := NewChaosNet(func() uint64 { return 10 }, 5*time.Millisecond, 1)
+	net.InjectDelay(nil, 0, 100, 40, 0) // 40 ticks × 5ms = 200ms
+	tr, _, b := chaosEnv(t, net)
+	start := time.Now()
+	if err := tr.Send(Message{From: "a", To: "b", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if net.InFlight() != 1 {
+		t.Errorf("in-flight = %d, want 1", net.InFlight())
+	}
+	if _, ok := recvWithin(t, b, 5*time.Second); !ok {
+		t.Fatal("delayed message never arrived")
+	}
+	if took := time.Since(start); took < 100*time.Millisecond {
+		t.Errorf("message arrived after %v, want >= ~200ms of injected delay", took)
+	}
+}
+
+func TestChaosNetPartition(t *testing.T) {
+	net := NewChaosNet(func() uint64 { return 10 }, time.Millisecond, 1)
+	net.Partition([]string{"a"}, 0, 100)
+	tr, a, b := chaosEnv(t, net)
+	if err := tr.Send(Message{From: "a", To: "b", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, b, 50*time.Millisecond); ok {
+		t.Fatal("message crossed the partition")
+	}
+	// Same-side traffic is unaffected.
+	if err := tr.Send(Message{From: "a", To: "a", Payload: []byte("self")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, a, time.Second); !ok {
+		t.Fatal("same-side message was cut")
+	}
+}
+
+func TestChaosNetTap(t *testing.T) {
+	net := NewChaosNet(func() uint64 { return 10 }, time.Millisecond, 1)
+	var verdicts []string
+	net.SetTap(func(_ Message, v string) { verdicts = append(verdicts, v) })
+	net.InjectDrop(nil, 0, 100, 1.0)
+	tr, _, _ := chaosEnv(t, net)
+	if err := tr.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 1 || verdicts[0] != "drop" {
+		t.Errorf("verdicts = %v", verdicts)
+	}
+}

@@ -24,12 +24,16 @@ import (
 	"repro/internal/vclock"
 )
 
-// Message is one transported datagram.
+// Message is one transported datagram. ID, when set, is the scroll
+// message identity — it lets a receiver's recv record reference the
+// sender's send record, which recovery-line analysis depends on.
 type Message struct {
-	From    string `json:"from"`
-	To      string `json:"to"`
-	Payload []byte `json:"payload"`
-	Lamport uint64 `json:"lamport"`
+	ID      string    `json:"id,omitempty"`
+	From    string    `json:"from"`
+	To      string    `json:"to"`
+	Payload []byte    `json:"payload"`
+	Lamport uint64    `json:"lamport"`
+	Clock   vclock.VC `json:"clock,omitempty"` // sender's vector time, for recovery-line analysis
 }
 
 // Transport delivers messages between named endpoints.
@@ -69,15 +73,17 @@ func (s *Switch) Register(id string) (<-chan Message, error) {
 	return ch, nil
 }
 
-// Send implements Transport.
+// Send implements Transport. The channel send happens under the switch
+// mutex so Close (which closes every inbox) can never race it into a
+// send-on-closed-channel panic; inbox consumers drain without taking the
+// mutex, so a full inbox exerts backpressure rather than deadlocking.
 func (s *Switch) Send(msg Message) error {
 	s.mu.Lock()
-	ch, ok := s.boxes[msg.To]
-	closed := s.closed
-	s.mu.Unlock()
-	if closed {
+	defer s.mu.Unlock()
+	if s.closed {
 		return errors.New("transport: switch closed")
 	}
+	ch, ok := s.boxes[msg.To]
 	if !ok {
 		return fmt.Errorf("transport: unknown endpoint %q", msg.To)
 	}
