@@ -2,7 +2,11 @@
 // experiment and prints the result tables (see README.md for the
 // experiment index). Whenever the chaos matrix (E9) runs, the sharding
 // benchmark also runs and writes machine-readable results — cells/sec,
-// sequential vs. sharded — to BENCH_chaos.json for CI trending.
+// sequential vs. sharded — to BENCH_chaos.json for CI trending. With
+// -search, the guided-search benchmark additionally runs and records
+// corpus growth, distinct-fingerprint counts (guided vs the equal-budget
+// random baseline) and the shrunk failing-schedule artifacts into
+// BENCH_search.json.
 //
 // Usage:
 //
@@ -11,6 +15,7 @@
 //	fixd-bench -only E3         # a single experiment
 //	fixd-bench -shard.workers 8 # worker pool for the chaos matrix
 //	fixd-bench -chaos.json out.json
+//	fixd-bench -search          # guided-search bench -> BENCH_search.json
 package main
 
 import (
@@ -34,14 +39,17 @@ var runners = map[string]func(bool) *experiments.Table{
 	"E7":  experiments.RunE7,
 	"E8":  experiments.RunE8,
 	"E9":  experiments.RunE9,
+	"E10": experiments.RunE10,
 	"ABL": experiments.RunAblations,
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "run a single experiment (E1..E9 or ABL)")
+	only := flag.String("only", "", "run a single experiment (E1..E10 or ABL)")
 	workers := flag.Int("shard.workers", runtime.NumCPU(), "worker pool width for the chaos matrix sweep")
 	chaosJSON := flag.String("chaos.json", "BENCH_chaos.json", "chaos sharding benchmark output path (\"\" disables)")
+	search := flag.Bool("search", false, "run the guided-search benchmark and write its JSON artifact")
+	searchJSON := flag.String("search.json", "BENCH_search.json", "guided-search benchmark output path")
 	flag.Parse()
 
 	experiments.MatrixWorkers = *workers
@@ -50,12 +58,15 @@ func main() {
 		id := strings.ToUpper(*only)
 		run, ok := runners[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "fixd-bench: unknown experiment %q (want E1..E9 or ABL)\n", *only)
+			fmt.Fprintf(os.Stderr, "fixd-bench: unknown experiment %q (want E1..E10 or ABL)\n", *only)
 			os.Exit(2)
 		}
 		fmt.Print(run(*quick).Format())
 		if id == "E9" {
 			emitChaosBench(*workers, *chaosJSON)
+		}
+		if *search {
+			emitSearchBench(*workers, *searchJSON)
 		}
 		return
 	}
@@ -64,6 +75,34 @@ func main() {
 		fmt.Println()
 	}
 	emitChaosBench(*workers, *chaosJSON)
+	if *search {
+		emitSearchBench(*workers, *searchJSON)
+	}
+}
+
+// emitSearchBench runs the guided-vs-random search benchmark (E10's
+// operating point) and writes the JSON artifact, including the corpus
+// growth curves and the shrunk failing-schedule artifacts.
+func emitSearchBench(workers int, path string) {
+	if path == "" {
+		return
+	}
+	b := experiments.RunSearchBench(workers)
+	out, err := b.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: search bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: search bench:", err)
+		os.Exit(1)
+	}
+	verdict := "guided > random"
+	if !b.GuidedWins {
+		verdict = "guided did NOT beat random"
+	}
+	fmt.Printf("guided-search bench: %d runs/app, guided %d shapes vs random %d (%s), %d apps -> %s\n",
+		b.Budget, b.GuidedShapes, b.RandomShapes, verdict, len(b.Apps), path)
 }
 
 // emitChaosBench runs the sequential-vs-sharded matrix benchmark (reduced

@@ -12,7 +12,7 @@ import (
 // TestRunnersComplete: every experiment the suite knows is reachable via
 // -only, including the chaos matrix.
 func TestRunnersComplete(t *testing.T) {
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "ABL"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "ABL"} {
 		if runners[id] == nil {
 			t.Errorf("experiment %s not registered", id)
 		}
@@ -51,5 +51,26 @@ func TestEmitChaosBench(t *testing.T) {
 	}
 	if b.Failures != 0 {
 		t.Errorf("%d matrix failures in the bench sweep", b.Failures)
+	}
+}
+
+// TestEmitSearchBench: -search writes a machine-readable artifact where
+// guided search wins the equal-budget comparison.
+func TestEmitSearchBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_search.json")
+	emitSearchBench(4, path)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b experiments.SearchBench
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Budget == 0 || b.Workers != 4 || len(b.Apps) == 0 {
+		t.Errorf("bench = %+v", b)
+	}
+	if !b.GuidedWins || b.GuidedShapes <= b.RandomShapes {
+		t.Errorf("guided %d shapes vs random %d: expected a strict win", b.GuidedShapes, b.RandomShapes)
 	}
 }

@@ -8,10 +8,11 @@
 // simulator (internal/dsim) or as real goroutines over the live transport
 // (internal/transport), and the same chaos schedule injects faults into
 // either backend. The framework components — Scroll, Time Machine,
-// Investigator, Healer, ModelD, distributed speculations, chaos engine —
-// live under repro/internal and target narrow substrate interfaces rather
-// than a concrete runtime. See README.md for the layout, the capability
-// matrix, and the experiment index.
+// Investigator, Healer, ModelD, distributed speculations, chaos engine
+// (a seeded matrix sweep plus coverage-guided schedule search over scroll
+// fingerprints) — live under repro/internal and target narrow substrate
+// interfaces rather than a concrete runtime. See README.md for the
+// layout, the capability matrix, and the experiment index.
 //
 // The benchmarks in bench_test.go regenerate the measurement behind every
 // figure of the paper; run them with:

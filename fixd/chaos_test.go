@@ -52,6 +52,31 @@ func TestInjectChaos(t *testing.T) {
 	}
 }
 
+// TestSearchChaosEntryPoint: the public guided search runs on a registered
+// app, grows a corpus beyond its seeds, and is deterministic.
+func TestSearchChaosEntryPoint(t *testing.T) {
+	var kv []apps.AppSpec
+	for _, s := range apps.Registry() {
+		if s.Name == "kvstore" {
+			kv = append(kv, s)
+		}
+	}
+	cfg := fixd.ChaosSearchConfig{Apps: kv, Seed: 5, Budget: 24, Workers: 2}
+	rep := fixd.SearchChaos(cfg)
+	if len(rep.Apps) != 1 || rep.Apps[0].Executions != 24 {
+		t.Fatalf("report = %+v", rep)
+	}
+	app := rep.Apps[0]
+	if len(app.Corpus) < 2 || app.DistinctShapes != len(app.Corpus) {
+		t.Errorf("corpus = %d entries, distinct shapes = %d", len(app.Corpus), app.DistinctShapes)
+	}
+	again := fixd.SearchChaos(cfg)
+	if again.Apps[0].DistinctShapes != app.DistinctShapes ||
+		again.Apps[0].DistinctDigests != app.DistinctDigests {
+		t.Error("public search not deterministic")
+	}
+}
+
 // TestShrinkChaos: the public shrinker reduces a redundant schedule.
 func TestShrinkChaos(t *testing.T) {
 	sched := fixd.ChaosSchedule{

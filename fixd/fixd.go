@@ -24,13 +24,16 @@
 //   - the Healer repairs the system by restarting the corrected program or
 //     dynamically updating it at a verified checkpoint.
 //
-// The chaos engine (Chaos, InjectChaos, ShrinkChaos) stresses all of the
-// above: composable fault scenarios — crash-restart, partitions, message
-// delay/reorder/duplication/loss, clock skew — swept deterministically
-// over the workload applications, with delta-debugging minimization of
-// any failing schedule. The same ChaosSchedule value compiles onto either
-// backend, so a scenario found in the simulator can be replayed against
-// real goroutines unchanged.
+// The chaos engine (Chaos, SearchChaos, InjectChaos, ShrinkChaos)
+// stresses all of the above: composable fault scenarios — crash-restart,
+// partitions, message delay/reorder/duplication/loss, clock skew — swept
+// deterministically over the workload applications, with delta-debugging
+// minimization of any failing schedule. Chaos sweeps a fixed matrix;
+// SearchChaos hunts with AFL-style coverage guidance, treating each run's
+// merged-scroll digest plus coarse event-shape signature as coverage and
+// mutating schedules that reached new shapes. The same ChaosSchedule
+// value compiles onto either backend, so a scenario found in the
+// simulator can be replayed against real goroutines unchanged.
 //
 // Capability matrix: replay determinism (byte-identical repeated runs) and
 // distributed speculations are sim-only — real goroutine scheduling is
@@ -114,6 +117,14 @@ type (
 	ChaosReport = chaos.MatrixReport
 	// ChaosArtifact is a replayable minimized counterexample.
 	ChaosArtifact = chaos.Artifact
+
+	// ChaosSearchConfig parameterizes coverage-guided chaos search.
+	ChaosSearchConfig = chaos.SearchConfig
+	// ChaosSearchReport is a guided (or baseline) search's outcome.
+	ChaosSearchReport = chaos.SearchReport
+	// ChaosFingerprint is one run's behavioral coverage signature: exact
+	// merged-scroll digest plus coarse event-shape signature.
+	ChaosFingerprint = chaos.Fingerprint
 )
 
 // Injectable fault kinds for chaos scenarios.
@@ -134,6 +145,20 @@ const (
 // both executions produce byte-identical scroll digests.
 func Chaos(seeds ...int64) *ChaosReport {
 	return chaos.RunMatrix(chaos.MatrixConfig{Seeds: seeds})
+}
+
+// SearchChaos runs AFL-style coverage-guided chaos search: each run's
+// behavioral fingerprint (merged-scroll digest plus the coarser
+// event-shape signature) is the coverage signal, schedules reaching new
+// shapes form the corpus, and new candidates are mutated from corpus
+// entries — window/intensity perturbation, retargeting, scenario add/drop,
+// splicing two parents. The whole search replays deterministically from
+// cfg.Seed, for any worker count. Failing schedules are minimized with the
+// shrinker and emitted as replayable artifacts on the report. The zero
+// config searches every registered workload application's correct variant
+// at the default budget; see chaos.SearchConfig for the knobs.
+func SearchChaos(cfg ChaosSearchConfig) *ChaosSearchReport {
+	return chaos.Search(cfg)
 }
 
 // ShrinkChaos minimizes a failing fault schedule by delta debugging:

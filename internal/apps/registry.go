@@ -65,6 +65,42 @@ func chaosConfig(minLat, maxLat uint64) dsim.Config {
 	}
 }
 
+// RegistryExcept returns the registry minus the named applications.
+// Guided search uses it to exclude tokenring, whose seeded-bug variant
+// saturates the simulation step bound under chaos (~1s per execution).
+func RegistryExcept(names ...string) []AppSpec {
+	skip := make(map[string]bool, len(names))
+	for _, n := range names {
+		skip[n] = true
+	}
+	var out []AppSpec
+	for _, s := range Registry() {
+		if !skip[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// JitterFreeKV returns the kvstore spec pinned to a jitter-free latency
+// band, so its blind-apply bug manifests only when a fault schedule
+// actually reorders messages — the controlled setting the shrinker tests
+// and the guided-search experiment share. Artifacts recorded under this
+// spec replay via Artifact.VerifyWith (registry resolution would use the
+// stock config).
+func JitterFreeKV() AppSpec {
+	for _, s := range Registry() {
+		if s.Name == "kvstore" {
+			s.Config = func(bool) dsim.Config {
+				return dsim.Config{MinLatency: 1, MaxLatency: 1,
+					InitCheckpoint: true, CheckpointEvery: 4, MaxSteps: 200_000}
+			}
+			return s
+		}
+	}
+	panic("apps: kvstore not registered")
+}
+
 // Registry returns the five workload applications in matrix order.
 func Registry() []AppSpec {
 	pick := func(buggy bool, bug, ok dsim.Config) dsim.Config {

@@ -1,7 +1,9 @@
 // Package chaos is FixD's deterministic chaos-testing subsystem: a
 // composable fault-scenario DSL, a seeded matrix runner that sweeps fault
-// kinds × workload applications × seeds, and a delta-debugging shrinker
-// that minimizes failing fault schedules to replayable counterexamples.
+// kinds × workload applications × seeds, an AFL-style coverage-guided
+// schedule search over scroll fingerprints (see search.go), and a
+// delta-debugging shrinker that minimizes failing fault schedules to
+// replayable counterexamples.
 //
 // The paper's central claim is that faults on arbitrary distributed
 // applications can be detected, reported and recovered from (§1). The
@@ -28,7 +30,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
-	"sort"
 	"strings"
 
 	"repro/internal/dsim"
@@ -187,53 +188,29 @@ func Generate(kind fault.Kind, procs []string, crashable []int, horizon uint64, 
 		length := minLen + uint64(rng.Int63n(int64(horizon/2+1)))
 		return Window{From: from, To: from + length}
 	}
-	// subset picks 1..max of the app's process indices (probe excluded).
-	subset := func(max int) []int {
-		n := len(procs) - 1 // exclude the trailing clock probe
-		if n < 1 {
-			n = 1
-		}
-		if max < 1 {
-			max = 1 // degenerate shapes (single-process apps) still get a target
-		}
-		k := 1 + rng.Intn(min(max, n))
-		perm := rng.Perm(n)[:k]
-		sort.Ints(perm)
-		return perm
-	}
 	sc := Scenario{Kind: kind}
 	switch kind {
-	case fault.Crash:
+	case fault.Crash, fault.Partition, fault.Delay:
 		sc.Window = window(horizon / 4)
-		if len(crashable) > 0 {
-			sc.Targets = []int{crashable[rng.Intn(len(crashable))]}
-		}
-	case fault.Partition:
-		sc.Window = window(horizon / 4)
-		sc.Targets = subset(len(procs) - 2) // proper subset: leave someone outside
-	case fault.Delay:
-		sc.Window = window(horizon / 4)
-		sc.Targets = subset(len(procs))
-		sc.Intensity.Extra = 5 + uint64(rng.Int63n(20))
-	case fault.Reorder:
+	case fault.Reorder, fault.Duplicate, fault.Drop:
 		sc.Window = window(horizon / 3)
-		sc.Targets = subset(len(procs))
-		sc.Intensity.Jitter = 10 + uint64(rng.Int63n(25))
-	case fault.Duplicate:
-		sc.Window = window(horizon / 3)
-		sc.Targets = subset(len(procs))
-		sc.Intensity.Prob = 0.3 + 0.4*rng.Float64()
-	case fault.Drop:
-		sc.Window = window(horizon / 3)
-		sc.Targets = subset(len(procs))
-		sc.Intensity.Prob = 0.2 + 0.4*rng.Float64()
 	case fault.ClockSkew:
-		// Target the clock probe (always the last process) so the skew is
-		// observed; bound the window so the probe is still ticking when the
-		// skew starts and ends — both edges are detectable regressions.
+		// Bound the window so the probe is still ticking when the skew
+		// starts and ends — both edges are detectable regressions.
 		from := 5 + uint64(rng.Int63n(25))
 		sc.Window = Window{From: from, To: from + 20 + uint64(rng.Int63n(40))}
-		sc.Targets = []int{len(procs) - 1}
+	}
+	sc.Targets = pickTargets(rng, kind, procs, crashable)
+	switch kind {
+	case fault.Delay:
+		sc.Intensity.Extra = 5 + uint64(rng.Int63n(20))
+	case fault.Reorder:
+		sc.Intensity.Jitter = 10 + uint64(rng.Int63n(25))
+	case fault.Duplicate:
+		sc.Intensity.Prob = 0.3 + 0.4*rng.Float64()
+	case fault.Drop:
+		sc.Intensity.Prob = 0.2 + 0.4*rng.Float64()
+	case fault.ClockSkew:
 		// The probe ticks every 5; an offset > 5 guarantees the window edge
 		// shows up as a regression on one side.
 		off := int64(6 + rng.Int63n(39))

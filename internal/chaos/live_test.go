@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/fault"
+)
+
+// TestMatrixLiveLane: with LiveSample set, the matrix re-runs that many
+// passing sim cells on the live substrate and reports per-cell divergence
+// verdicts. Delay and duplication are loss-robust on every workload, so
+// the sampled cells must also hold their invariants under real
+// concurrency.
+func TestMatrixLiveLane(t *testing.T) {
+	rep := RunMatrix(MatrixConfig{
+		Apps:       []apps.AppSpec{appByName(t, "bank")},
+		Kinds:      []fault.Kind{fault.Delay, fault.Duplicate},
+		Seeds:      []int64{1},
+		LiveSample: 2,
+	})
+	if len(rep.Live) != 2 {
+		t.Fatalf("live lane ran %d cells, want 2", len(rep.Live))
+	}
+	for _, l := range rep.Live {
+		if l.Err != "" {
+			t.Errorf("%s: live run errored: %s", l.Cell, l.Err)
+		}
+		if len(l.Violations) > 0 {
+			t.Errorf("%s under %s: diverged on live backend: %v", l.Cell, l.Scenario, l.Violations)
+		}
+	}
+	if d := rep.LiveDivergences(); len(d) != 0 {
+		t.Errorf("LiveDivergences = %d cells, want 0", len(d))
+	}
+}
+
+// TestMatrixLiveLaneClamped: asking for more live samples than there are
+// passing cells runs what exists; LiveSample zero keeps the lane off.
+func TestMatrixLiveLaneClamped(t *testing.T) {
+	cfg := MatrixConfig{
+		Apps:       []apps.AppSpec{appByName(t, "twopc")},
+		Kinds:      []fault.Kind{fault.Delay},
+		Seeds:      []int64{2},
+		LiveSample: 10,
+	}
+	rep := RunMatrix(cfg)
+	if want := len(rep.Cells) - len(rep.Failures()); len(rep.Live) != want {
+		t.Errorf("live cells = %d, want clamped to %d passing cells", len(rep.Live), want)
+	}
+	cfg.LiveSample = 0
+	if rep := RunMatrix(cfg); len(rep.Live) != 0 {
+		t.Errorf("LiveSample=0 still ran %d live cells", len(rep.Live))
+	}
+}

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/heal"
 	"repro/internal/scroll"
+	"repro/internal/substrate"
 )
 
 // Cell identifies one matrix cell: application × fault kind × seed.
@@ -63,11 +65,34 @@ type MatrixConfig struct {
 	// the identical report: results are written by cell index, never by
 	// completion order. <= 1 runs sequentially.
 	Workers int
+	// LiveSample opts into the live matrix lane: after the sim sweep, up to
+	// this many passing cells (the first ones in report order) re-run their
+	// schedules on substrate.LiveSubstrate — the same machines as real
+	// goroutines — checking invariants only. Replay digests are sim-only
+	// (real scheduling is outside the seed's control), so a live cell
+	// diverges when an invariant that held in simulation breaks under real
+	// concurrency, or the live run errors. Cells run sequentially: each
+	// owns real goroutines and timers.
+	LiveSample int
 }
+
+// LiveCellResult is one live-lane re-execution of a passing sim cell.
+type LiveCellResult struct {
+	Cell
+	Scenario   Scenario
+	Err        string   // live substrate construction or run error
+	Violations []string // invariants violated at live quiescence
+}
+
+// Diverged reports whether the live re-run broke the invariants that held
+// in simulation (or failed to run at all).
+func (l *LiveCellResult) Diverged() bool { return l.Err != "" || len(l.Violations) > 0 }
 
 // MatrixReport is a full sweep's outcome.
 type MatrixReport struct {
 	Cells []*CellResult
+	// Live holds the opt-in live-lane results (MatrixConfig.LiveSample).
+	Live []*LiveCellResult `json:",omitempty"`
 }
 
 // Failures returns the cells that broke the matrix contract.
@@ -76,6 +101,18 @@ func (m *MatrixReport) Failures() []*CellResult {
 	for _, c := range m.Cells {
 		if !c.Pass() {
 			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// LiveDivergences returns the live-lane cells whose invariants broke under
+// real concurrency.
+func (m *MatrixReport) LiveDivergences() []*LiveCellResult {
+	var out []*LiveCellResult
+	for _, l := range m.Live {
+		if l.Diverged() {
+			out = append(out, l)
 		}
 	}
 	return out
@@ -127,11 +164,28 @@ func RunMatrix(cfg MatrixConfig) *MatrixReport {
 			Deterministic: r1.Digest == r2.Digest,
 		}
 	}
+	// runLiveLane re-runs the first LiveSample passing cells (report order,
+	// so the sample is deterministic) on the live substrate, sequentially:
+	// each live cell owns real goroutines and timers.
+	runLiveLane := func() {
+		remaining := cfg.LiveSample
+		for i, c := range rep.Cells {
+			if remaining == 0 {
+				break
+			}
+			if c == nil || !c.Pass() {
+				continue
+			}
+			rep.Live = append(rep.Live, runLiveCell(specs[i].spec, c))
+			remaining--
+		}
+	}
 	workers := cfg.Workers
 	if workers <= 1 {
 		for i := range specs {
 			runCell(i)
 		}
+		runLiveLane()
 		return rep
 	}
 	if workers > len(specs) {
@@ -155,7 +209,43 @@ func RunMatrix(cfg MatrixConfig) *MatrixReport {
 		}()
 	}
 	wg.Wait()
+	runLiveLane()
 	return rep
+}
+
+// runLiveCell re-executes one passing sim cell's schedule on the live
+// substrate — the same machines as real goroutines over the in-memory
+// switch — and checks the application's invariants at quiescence. Digests
+// are not compared: replay determinism is a sim-only capability.
+func runLiveCell(spec apps.AppSpec, c *CellResult) *LiveCellResult {
+	out := &LiveCellResult{Cell: c.Cell, Scenario: c.Scenario}
+	simCfg := spec.Config(false)
+	live, err := substrate.NewLive(substrate.LiveConfig{
+		Seed:            c.Seed,
+		InitCheckpoint:  simCfg.InitCheckpoint,
+		CheckpointEvery: simCfg.CheckpointEvery,
+	})
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	defer live.Close()
+	ms := spec.Make(false)
+	ids := make([]string, 0, len(ms))
+	for id := range ms {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		live.AddProcess(id, ms[id])
+	}
+	live.AddProcess(ProbeName, &clockProbe{})
+	Schedule{c.Scenario}.Compile(live.Procs()).Apply(live.Injector())
+	live.Run()
+	for _, v := range fault.NewMonitor(spec.Invariants(false)...).Check(live) {
+		out.Violations = append(out.Violations, v.Invariant)
+	}
+	return out
 }
 
 // PipelineResult records one detect → report → recover execution on an

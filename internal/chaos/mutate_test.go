@@ -1,0 +1,143 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestNormalizeClamps: every sanitation rule, case by case.
+func TestNormalizeClamps(t *testing.T) {
+	in := Schedule{
+		{Kind: fault.Restart, Window: Window{From: 1, To: 2}}, // non-scenario kind: dropped
+		{Kind: fault.Drop, Window: Window{From: 50, To: 10}, // inverted window: reordered
+			Targets:   []int{3, -1, 3, 1, 999},                // dup/negative/huge targets
+			Intensity: Intensity{Prob: math.NaN(), Extra: 7}}, // NaN prob; Extra not Drop's field
+		{Kind: fault.Duplicate, Window: Window{From: 1, To: 2}, Intensity: Intensity{Prob: 4.5}},
+		{Kind: fault.ClockSkew, Window: Window{From: 1, To: 2}, Intensity: Intensity{Skew: 1 << 40}},
+	}
+	got := in.Normalize()
+	if len(got) != 3 {
+		t.Fatalf("normalized to %d scenarios, want 3: %s", len(got), got)
+	}
+	drop := got[0]
+	if drop.Window != (Window{From: 10, To: 50}) {
+		t.Errorf("window = %+v, want reordered [10,50)", drop.Window)
+	}
+	if !reflect.DeepEqual(drop.Targets, []int{1, 3}) {
+		t.Errorf("targets = %v, want deduped sorted in-range [1 3]", drop.Targets)
+	}
+	if drop.Intensity.Prob != 0 || drop.Intensity.Extra != 0 {
+		t.Errorf("intensity = %+v, want NaN prob scrubbed and Extra zeroed", drop.Intensity)
+	}
+	if got[1].Intensity.Prob != 1 {
+		t.Errorf("prob = %v, want clamped to 1", got[1].Intensity.Prob)
+	}
+	if got[2].Intensity.Skew != maxSkewAbs {
+		t.Errorf("skew = %d, want clamped to %d", got[2].Intensity.Skew, maxSkewAbs)
+	}
+
+	long := make(Schedule, MaxScheduleLen+5)
+	for i := range long {
+		long[i] = Scenario{Kind: fault.Delay, Window: Window{From: 1, To: 2}}
+	}
+	if got := long.Normalize(); len(got) != MaxScheduleLen {
+		t.Errorf("len = %d, want capped at %d", len(got), MaxScheduleLen)
+	}
+	if (Schedule{}).Normalize() != nil {
+		t.Error("empty schedule should normalize to nil")
+	}
+}
+
+// TestNormalizeIdempotentStableJSON: for arbitrary decoded schedules,
+// Normalize is idempotent and its JSON encoding round-trips byte for byte
+// — the property the fuzz target hammers.
+func TestNormalizeIdempotentStableJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		raw := make([]byte, rng.Intn(64))
+		rng.Read(raw)
+		norm := DecodeSchedule(raw).Normalize()
+		if again := norm.Normalize(); !reflect.DeepEqual(norm, again) {
+			t.Fatalf("not idempotent: %s vs %s", norm, again)
+		}
+		b1, err := json.Marshal(norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Schedule
+		if err := json.Unmarshal(b1, &back); err != nil {
+			t.Fatal(err)
+		}
+		b2, err := json.Marshal(back.Normalize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("JSON not stable:\n%s\n%s", b1, b2)
+		}
+	}
+}
+
+// TestDecodeScheduleJSON: JSON schedules — bare and wrapped in a shrinker
+// artifact — decode structurally.
+func TestDecodeScheduleJSON(t *testing.T) {
+	sched := Schedule{{Kind: fault.Drop, Targets: []int{1}, Window: Window{From: 5, To: 25},
+		Intensity: Intensity{Prob: 0.5}}}
+	raw, _ := json.Marshal(sched)
+	if got := DecodeSchedule(raw); !reflect.DeepEqual(got, sched) {
+		t.Errorf("decoded %s, want %s", got, sched)
+	}
+	art, _ := (&Artifact{App: "election", Seed: 5, Schedule: sched}).JSON()
+	if got := DecodeSchedule(art); !reflect.DeepEqual(got, sched) {
+		t.Errorf("artifact-wrapped decode = %s, want %s", got, sched)
+	}
+	if got := DecodeSchedule([]byte("{broken")); got != nil {
+		t.Errorf("broken JSON decoded to %v", got)
+	}
+}
+
+// TestMutateValid: mutants are always normalized, non-empty, and
+// reproducible from the rng seed; every operator eventually fires.
+func TestMutateValid(t *testing.T) {
+	procs := []string{"a", "b", "c", "d", ProbeName}
+	crashable := []int{0, 2}
+	parent := Schedule{Generate(fault.Drop, procs, crashable, 100, 1)}.Normalize()
+	donor := Schedule{Generate(fault.Crash, procs, crashable, 100, 2)}.Normalize()
+
+	rng := rand.New(rand.NewSource(11))
+	seen := map[string]bool{}
+	cur := parent
+	for i := 0; i < 300; i++ {
+		cand, op := Mutate(rng, cur, donor, procs, crashable, 100)
+		seen[op] = true
+		if len(cand) == 0 {
+			t.Fatalf("step %d (%s): empty mutant", i, op)
+		}
+		if norm := cand.Normalize(); !reflect.DeepEqual(norm, cand) {
+			t.Fatalf("step %d (%s): mutant not normalized: %s", i, op, cand)
+		}
+		cand.Compile(procs) // must not panic on any mutant
+		cur = cand
+	}
+	for _, op := range MutationOps {
+		if !seen[op] {
+			t.Errorf("operator %s never fired in 300 draws", op)
+		}
+	}
+
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		c1, o1 := Mutate(r1, parent, donor, procs, crashable, 100)
+		c2, o2 := Mutate(r2, parent, donor, procs, crashable, 100)
+		if o1 != o2 || !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("mutation not deterministic at step %d: %s/%s vs %s/%s", i, o1, c1, o2, c2)
+		}
+	}
+}

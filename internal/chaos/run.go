@@ -14,12 +14,19 @@ import (
 // fault schedule.
 type RunResult struct {
 	Digest      string   // SHA-256 of the merged scroll — the replay fingerprint
+	Shape       string   // coarse event-shape signature (scroll.Shape, ShapeBucket windows)
 	Violations  []string // global invariants violated at quiescence
 	LocalFaults int      // Context.Fault reports during the run
 	ProbeFaults int      // clock-probe regressions among them
 	Stats       dsim.Stats
 	Procs       []string
 }
+
+// ShapeBucket is the Lamport window width RunResult.Shape buckets events
+// into. One bucket covers a few message round-trips, so the shape captures
+// which phase of the run each process was active in without distinguishing
+// individual deliveries.
+const ShapeBucket = 64
 
 // Violated reports whether the named invariant (or, with an empty name,
 // any invariant) was violated.
@@ -101,7 +108,9 @@ func (r Runner) Run(sched Schedule) *RunResult {
 			res.ProbeFaults++
 		}
 	}
-	res.Digest = scroll.Digest(s.MergedScroll())
+	merged := s.MergedScroll()
+	res.Digest = scroll.Digest(merged)
+	res.Shape = scroll.Shape(merged, ShapeBucket)
 	return res
 }
 

@@ -1,31 +1,21 @@
 package chaos
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
 	"repro/internal/apps"
-	"repro/internal/dsim"
 	"repro/internal/fault"
 )
 
-// narrowKVSpec is the buggy kvstore pinned to a jitter-free latency band,
-// so its blind-apply bug manifests only when a reorder fault is injected —
-// the controlled setting for shrinker tests.
+// narrowKVSpec is the buggy kvstore pinned to a jitter-free latency band
+// (apps.JitterFreeKV), so its blind-apply bug manifests only when a
+// reorder fault is injected — the controlled setting for shrinker and
+// search tests.
 func narrowKVSpec(t *testing.T) apps.AppSpec {
 	t.Helper()
-	for _, s := range apps.Registry() {
-		if s.Name == "kvstore" {
-			spec := s
-			spec.Config = func(bool) dsim.Config {
-				return dsim.Config{MinLatency: 1, MaxLatency: 1,
-					InitCheckpoint: true, CheckpointEvery: 4, MaxSteps: 200_000}
-			}
-			return spec
-		}
-	}
-	t.Fatal("kvstore not registered")
-	return apps.AppSpec{}
+	return apps.JitterFreeKV()
 }
 
 // TestShrinkKVReorder seeds an invariant violation intentionally — the
@@ -120,6 +110,50 @@ func TestShrinkBudget(t *testing.T) {
 	// reductions it would need to prove it were never executed.
 	if starved := Shrink(sched, func(Schedule) bool { return true }, 1); starved.Minimal {
 		t.Error("budget-exhausted shrink claimed minimality")
+	}
+}
+
+// TestShrinkInvariantsProperty: over many generated schedules and
+// synthetic failure predicates, Shrink upholds its contract — the result
+// still fails, is never longer than the input, and target-set reduction
+// never empties a target group that started non-empty.
+func TestShrinkInvariantsProperty(t *testing.T) {
+	procs := []string{"p0", "p1", "p2", "p3", ProbeName}
+	crashable := []int{0, 1, 3}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 40; i++ {
+		n := 2 + rng.Intn(4)
+		sched := make(Schedule, 0, n)
+		for len(sched) < n {
+			sc := Generate(MatrixKinds[rng.Intn(len(MatrixKinds))], procs, crashable, 80, rng.Int63())
+			if len(sc.Targets) == 0 {
+				continue // the property below needs every input group non-empty
+			}
+			sched = append(sched, sc)
+		}
+		// The synthetic failure needs one culprit kind somewhere in the
+		// schedule — deterministic, and guaranteed true for the input.
+		culprit := sched[rng.Intn(n)].Kind
+		fails := func(s Schedule) bool {
+			for _, sc := range s {
+				if sc.Kind == culprit {
+					return true
+				}
+			}
+			return false
+		}
+		res := Shrink(sched, fails, 400)
+		if !fails(res.Schedule) {
+			t.Fatalf("case %d: shrunk schedule no longer fails: %s", i, res.Schedule)
+		}
+		if len(res.Schedule) > len(sched) {
+			t.Fatalf("case %d: shrunk schedule longer than input: %d > %d", i, len(res.Schedule), len(sched))
+		}
+		for _, sc := range res.Schedule {
+			if len(sc.Targets) == 0 {
+				t.Fatalf("case %d: target-set reduction emptied a group: %s", i, res.Schedule)
+			}
+		}
 	}
 }
 

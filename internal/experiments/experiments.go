@@ -89,6 +89,7 @@ func Suite(quick bool) []*Table {
 		RunE7(quick),
 		RunE8(quick),
 		RunE9(quick),
+		RunE10(quick),
 		RunAblations(quick),
 	}
 }

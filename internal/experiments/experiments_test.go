@@ -209,7 +209,7 @@ func TestSuiteQuick(t *testing.T) {
 		t.Skip("suite is slow")
 	}
 	tables := Suite(true)
-	if len(tables) != 10 {
+	if len(tables) != 11 {
 		t.Fatalf("tables = %d", len(tables))
 	}
 	for _, tbl := range tables {

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// SearchBenchApp is one application's guided-vs-random coverage record.
+type SearchBenchApp struct {
+	App            string              `json:"app"`
+	GuidedShapes   int                 `json:"guided_shapes"`
+	RandomShapes   int                 `json:"random_shapes"`
+	GuidedDigests  int                 `json:"guided_digests"`
+	RandomDigests  int                 `json:"random_digests"`
+	Corpus         int                 `json:"corpus"`
+	Failures       int                 `json:"failures"`
+	Growth         []chaos.GrowthPoint `json:"growth"`
+	ArtifactsFound []json.RawMessage   `json:"artifacts,omitempty"`
+}
+
+// SearchBench is the machine-readable result of the guided-search
+// benchmark (cmd/fixd-bench -search writes it to BENCH_search.json): corpus
+// growth and distinct-fingerprint counts for guided search and the
+// equal-budget random baseline, plus every failing schedule the guided
+// search shrank, embedded as replayable JSON artifacts.
+type SearchBench struct {
+	Seed          int64             `json:"seed"`
+	Budget        int               `json:"budget"`
+	Workers       int               `json:"workers"`
+	GuidedShapes  int               `json:"guided_shapes"`
+	RandomShapes  int               `json:"random_shapes"`
+	GuidedDigests int               `json:"guided_digests"`
+	RandomDigests int               `json:"random_digests"`
+	GuidedSeconds float64           `json:"guided_seconds"`
+	RandomSeconds float64           `json:"random_seconds"`
+	GuidedWins    bool              `json:"guided_wins"` // strictly more distinct shapes in total
+	Apps          []*SearchBenchApp `json:"apps"`
+}
+
+// JSON renders the benchmark result.
+func (b *SearchBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// RunSearchBench runs guided search and the random baseline at the E10
+// operating point (seeded-bug applications, equal budget) and records the
+// coverage curves. The guided pass shrinks its failures, so the bench
+// artifact doubles as a source of replayable counterexamples.
+func RunSearchBench(workers int) *SearchBench {
+	cfg := chaos.SearchConfig{Apps: searchApps(), Buggy: true, Seed: 1,
+		Budget: SearchBudget, Workers: workers}
+
+	t0 := time.Now()
+	guided := chaos.Search(cfg)
+	guidedDur := time.Since(t0)
+
+	rcfg := cfg
+	rcfg.ShrinkBudget = -1 // the baseline only measures coverage
+	t1 := time.Now()
+	random := chaos.RandomSearch(rcfg)
+	randomDur := time.Since(t1)
+
+	b := &SearchBench{
+		Seed: cfg.Seed, Budget: SearchBudget, Workers: workers,
+		GuidedSeconds: guidedDur.Seconds(), RandomSeconds: randomDur.Seconds(),
+	}
+	for i := range guided.Apps {
+		g, r := guided.Apps[i], random.Apps[i]
+		app := &SearchBenchApp{
+			App:          g.App,
+			GuidedShapes: g.DistinctShapes, RandomShapes: r.DistinctShapes,
+			GuidedDigests: g.DistinctDigests, RandomDigests: r.DistinctDigests,
+			Corpus: len(g.Corpus), Failures: len(g.Failures),
+			Growth: g.Growth,
+		}
+		for _, f := range g.Failures {
+			if raw, err := f.Artifact.JSON(); err == nil {
+				app.ArtifactsFound = append(app.ArtifactsFound, raw)
+			}
+		}
+		b.Apps = append(b.Apps, app)
+	}
+	b.GuidedShapes, b.GuidedDigests = guided.Totals()
+	b.RandomShapes, b.RandomDigests = random.Totals()
+	b.GuidedWins = b.GuidedShapes > b.RandomShapes
+	return b
+}

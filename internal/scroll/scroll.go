@@ -15,6 +15,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -114,6 +116,55 @@ func Digest(recs []Record) string {
 	h := sha256.New()
 	for i := range recs {
 		h.Write(recs[i].encode())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Shape returns a coarse event-shape signature of a record stream: for
+// every process, the records of each kind are counted per Lamport window of
+// the given bucket width, and each count is collapsed to its log2 bucket
+// (0, 1, 2, 3–4, 5–8, ...). The signature is an FNV-64a hex digest of the
+// canonical rendering of those buckets.
+//
+// Two runs share a shape when their executions have the same gross
+// structure — which processes delivered, sent, faulted, and checkpointed
+// roughly how much, in roughly which phase of the run — even when their
+// exact payloads, orderings and Lamport values differ. That makes Shape
+// the coverage signal for coverage-guided chaos search (internal/chaos):
+// the exact Digest distinguishes almost every schedule, so on its own
+// every fingerprint is a singleton; Shape deliberately aliases nearby
+// interleavings so "new shape" means behaviorally new.
+func Shape(recs []Record, bucket uint64) string {
+	if bucket == 0 {
+		bucket = 1
+	}
+	type key struct {
+		proc string
+		kind Kind
+		win  uint64
+	}
+	counts := make(map[key]int)
+	for i := range recs {
+		r := &recs[i]
+		counts[key{r.Proc, r.Kind, r.Lamport / bucket}]++
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.proc != b.proc {
+			return a.proc < b.proc
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.win < b.win
+	})
+	h := fnv.New64a()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s|%d|%d|%d;", k.proc, k.kind, k.win, bits.Len(uint(counts[k])))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -231,6 +231,53 @@ func TestReplayerPosRemaining(t *testing.T) {
 	}
 }
 
+// TestShape: the event-shape signature aliases nearby interleavings
+// (that is its job) but separates structurally different executions.
+func TestShape(t *testing.T) {
+	mk := func(proc string, kind Kind, lamports ...uint64) []Record {
+		var recs []Record
+		for _, l := range lamports {
+			recs = append(recs, Record{Proc: proc, Kind: kind, Lamport: l})
+		}
+		return recs
+	}
+	base := append(mk("a", KindRecv, 1, 2, 3), mk("b", KindSend, 5, 6)...)
+
+	// Record order must not matter: the signature is canonical.
+	shuffled := append(mk("b", KindSend, 6, 5), mk("a", KindRecv, 2, 1, 3)...)
+	if Shape(base, 64) != Shape(shuffled, 64) {
+		t.Error("shape depends on record order")
+	}
+	// Small timing shifts inside one window bucket alias.
+	shifted := append(mk("a", KindRecv, 2, 3, 4), mk("b", KindSend, 7, 8)...)
+	if Shape(base, 64) != Shape(shifted, 64) {
+		t.Error("within-bucket Lamport shifts should alias")
+	}
+	// Counts alias at log2 granularity ([2^k, 2^(k+1)) buckets): 4 and 7
+	// deliveries share a bucket, 4 and 8 do not.
+	if Shape(mk("a", KindRecv, 1, 2, 3, 4), 64) != Shape(mk("a", KindRecv, 1, 2, 3, 4, 5, 6, 7), 64) {
+		t.Error("4 vs 7 records should share a log2 count bucket")
+	}
+	if Shape(mk("a", KindRecv, 1, 2, 3, 4), 64) == Shape(mk("a", KindRecv, 1, 2, 3, 4, 5, 6, 7, 8), 64) {
+		t.Error("4 vs 8 records should differ")
+	}
+	// Different processes, kinds, or phases separate.
+	for name, other := range map[string][]Record{
+		"proc":  append(mk("c", KindRecv, 1, 2, 3), mk("b", KindSend, 5, 6)...),
+		"kind":  append(mk("a", KindEnv, 1, 2, 3), mk("b", KindSend, 5, 6)...),
+		"phase": append(mk("a", KindRecv, 1001, 1002, 1003), mk("b", KindSend, 5, 6)...),
+	} {
+		if Shape(base, 64) == Shape(other, 64) {
+			t.Errorf("%s difference did not change the shape", name)
+		}
+	}
+	// A zero bucket defaults instead of dividing by zero, and the empty
+	// stream has a stable signature.
+	if Shape(base, 0) == "" || Shape(nil, 64) != Shape(nil, 64) {
+		t.Error("degenerate inputs broke Shape")
+	}
+}
+
 func TestMergeGlobalOrder(t *testing.T) {
 	a := NewMemory("a")
 	b := NewMemory("b")

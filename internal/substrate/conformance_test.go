@@ -1,4 +1,4 @@
-package substrate
+package substrate_test
 
 import (
 	"encoding/json"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/dsim"
 	"repro/internal/fault"
 	"repro/internal/scroll"
+	"repro/internal/substrate"
 )
 
 // The conformance workload: a producer emits n uniquely-identified jobs on
@@ -102,15 +103,15 @@ const confJobs = 12
 
 // newConfSubstrate builds one backend with the conformance app loaded.
 // Live runs with a 1ms tick; the producer emits every 3 ticks.
-func newConfSubstrate(t *testing.T, backend string) Substrate {
+func newConfSubstrate(t *testing.T, backend string) substrate.Substrate {
 	t.Helper()
-	var sub Substrate
+	var sub substrate.Substrate
 	switch backend {
 	case "sim":
-		sub = NewSim(dsim.Config{Seed: 7, MinLatency: 1, MaxLatency: 4,
+		sub = substrate.NewSim(dsim.Config{Seed: 7, MinLatency: 1, MaxLatency: 4,
 			InitCheckpoint: true, CheckpointEvery: 4, MaxSteps: 100_000})
 	case "live", "live-tcp":
-		live, err := NewLive(LiveConfig{Seed: 7, UseTCP: backend == "live-tcp",
+		live, err := substrate.NewLive(substrate.LiveConfig{Seed: 7, UseTCP: backend == "live-tcp",
 			InitCheckpoint: true, CheckpointEvery: 4})
 		if err != nil {
 			t.Skipf("live substrate unavailable: %v", err)
@@ -136,12 +137,12 @@ func TestConformance(t *testing.T) {
 	cases := []struct {
 		name  string
 		sched chaos.Schedule
-		check func(t *testing.T, sub Substrate, stats dsim.Stats)
+		check func(t *testing.T, sub substrate.Substrate, stats dsim.Stats)
 	}{
 		{
 			name:  "baseline",
 			sched: nil,
-			check: func(t *testing.T, sub Substrate, stats dsim.Stats) {
+			check: func(t *testing.T, sub substrate.Substrate, stats dsim.Stats) {
 				var p producerState
 				json.Unmarshal(sub.MachineState("producer"), &p)
 				if len(p.Acked) != confJobs {
@@ -153,7 +154,7 @@ func TestConformance(t *testing.T) {
 			name: "drop-all",
 			sched: chaos.Schedule{{Kind: fault.Drop, Window: wide,
 				Intensity: chaos.Intensity{Prob: 1.0}}},
-			check: func(t *testing.T, sub Substrate, stats dsim.Stats) {
+			check: func(t *testing.T, sub substrate.Substrate, stats dsim.Stats) {
 				if stats.Dropped == 0 {
 					t.Error("p=1.0 drop schedule dropped nothing")
 				}
@@ -168,7 +169,7 @@ func TestConformance(t *testing.T) {
 			name: "duplicate-all",
 			sched: chaos.Schedule{{Kind: fault.Duplicate, Window: wide,
 				Intensity: chaos.Intensity{Prob: 1.0}}},
-			check: func(t *testing.T, sub Substrate, stats dsim.Stats) {
+			check: func(t *testing.T, sub substrate.Substrate, stats dsim.Stats) {
 				if stats.Duplicated == 0 {
 					t.Error("p=1.0 dup schedule duplicated nothing")
 				}
@@ -183,7 +184,7 @@ func TestConformance(t *testing.T) {
 			name: "delay-jitter",
 			sched: chaos.Schedule{{Kind: fault.Reorder, Window: wide,
 				Intensity: chaos.Intensity{Extra: 2, Jitter: 6}}},
-			check: func(t *testing.T, sub Substrate, stats dsim.Stats) {
+			check: func(t *testing.T, sub substrate.Substrate, stats dsim.Stats) {
 				var p producerState
 				json.Unmarshal(sub.MachineState("producer"), &p)
 				if len(p.Acked) != confJobs {
@@ -195,7 +196,7 @@ func TestConformance(t *testing.T) {
 			name: "partition-worker",
 			sched: chaos.Schedule{{Kind: fault.Partition, Targets: []int{1}, // "worker" sorts after "producer"
 				Window: wide}},
-			check: func(t *testing.T, sub Substrate, stats dsim.Stats) {
+			check: func(t *testing.T, sub substrate.Substrate, stats dsim.Stats) {
 				var p producerState
 				json.Unmarshal(sub.MachineState("producer"), &p)
 				if len(p.Acked) != 0 {
@@ -227,7 +228,7 @@ func TestConformance(t *testing.T) {
 // checkScrollSound verifies the cross-backend scroll contract: merged
 // records are Lamport-ordered and every receive references a send that was
 // recorded by some process.
-func checkScrollSound(t *testing.T, sub Substrate) {
+func checkScrollSound(t *testing.T, sub substrate.Substrate) {
 	t.Helper()
 	recs := sub.MergedScroll()
 	if len(recs) == 0 {
@@ -259,7 +260,7 @@ func TestLiveInjectionAudit(t *testing.T) {
 		Intensity: chaos.Intensity{Prob: 1.0}}}
 	sched.Compile(sub.Procs()).Apply(sub.Injector())
 	sub.Run()
-	audit := sub.(*LiveSubstrate).InjectionAudit()
+	audit := sub.(*substrate.LiveSubstrate).InjectionAudit()
 	if len(audit) == 0 {
 		t.Fatal("p=1.0 drop left no audit trail")
 	}
@@ -290,7 +291,7 @@ func TestLiveCrashRestart(t *testing.T) {
 // TestLiveClockSkew verifies Context.Now observations shift inside the
 // injected window.
 func TestLiveClockSkew(t *testing.T) {
-	live, err := NewLive(LiveConfig{Seed: 1})
+	live, err := substrate.NewLive(substrate.LiveConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func (w *tamperedWorker) OnMessage(ctx dsim.Context, from string, payload []byte
 // substrate: a local fault pauses the run, the response carries an
 // investigation, and Resume continues.
 func TestLiveFaultResponse(t *testing.T) {
-	live, err := NewLive(LiveConfig{Seed: 1, CheckpointEvery: 2, InitCheckpoint: true})
+	live, err := substrate.NewLive(substrate.LiveConfig{Seed: 1, CheckpointEvery: 2, InitCheckpoint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
