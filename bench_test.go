@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/baselines"
+	"repro/internal/chaos"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dsim"
@@ -256,6 +257,96 @@ func BenchmarkE7ModelDExplore(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- E9/E10: the chaos run loop (hot path) ---
+
+// chaosBenchRunner is a representative matrix cell: the kvstore under a
+// seeded reorder scenario.
+func chaosBenchRunner(baseline bool) (chaos.Runner, chaos.Schedule) {
+	r, err := chaos.RunnerFor("kvstore", false, 3, true)
+	if err != nil {
+		panic(err)
+	}
+	r.Baseline = baseline
+	sched := chaos.Schedule{chaos.Generate(fault.Reorder, r.Procs(), r.Crashable(), r.Spec.Horizon, 3)}
+	return r, sched
+}
+
+// BenchmarkE9RunPooled measures the pooled hot path: per-worker arena
+// reuse plus streaming fingerprints.
+func BenchmarkE9RunPooled(b *testing.B) {
+	r, sched := chaosBenchRunner(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(sched)
+	}
+}
+
+// BenchmarkE9RunBaseline measures the pre-pooling reference path: a fresh
+// simulation per run and batch fingerprints over the materialized merge.
+func BenchmarkE9RunBaseline(b *testing.B) {
+	r, sched := chaosBenchRunner(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(sched)
+	}
+}
+
+// BenchmarkE9RunEarlyExit measures the buggy tokenring with early-exit
+// invariant monitoring — the run that used to saturate the step bound.
+func BenchmarkE9RunEarlyExit(b *testing.B) {
+	r, err := chaos.RunnerFor("tokenring", true, 1, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.CheckEvery = 256
+	sched := chaos.Schedule{chaos.Generate(fault.Crash, r.Procs(), r.Crashable(), r.Spec.Horizon, 1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Run(sched); !res.Stats.EarlyExit {
+			b.Fatal("run did not early-exit")
+		}
+	}
+}
+
+// fingerprintBenchSim records a merged multi-process execution once.
+func fingerprintBenchSim() *dsim.Sim {
+	s := dsim.New(dsim.Config{Seed: 7, MaxSteps: 50_000})
+	for id, m := range apps.NewTokenRing(apps.TokenRingConfig{N: 6, Rounds: 10}) {
+		s.AddProcess(id, m)
+	}
+	s.Run()
+	return s
+}
+
+// BenchmarkE10FingerprintStreaming measures the one-pass digest+shape over
+// per-process scrolls (the coverage signal of guided search).
+func BenchmarkE10FingerprintStreaming(b *testing.B) {
+	s := fingerprintBenchSim()
+	scrolls := s.Scrolls()
+	var fp scroll.Fingerprinter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp.Fingerprint(scrolls, chaos.ShapeBucket)
+	}
+}
+
+// BenchmarkE10FingerprintBatch measures the pre-change pipeline: material-
+// ize the merge, then digest and shape it in separate passes.
+func BenchmarkE10FingerprintBatch(b *testing.B) {
+	s := fingerprintBenchSim()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged := s.MergedScroll()
+		scroll.Digest(merged)
+		scroll.Shape(merged, chaos.ShapeBucket)
 	}
 }
 

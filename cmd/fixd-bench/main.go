@@ -16,6 +16,14 @@
 //	fixd-bench -shard.workers 8 # worker pool for the chaos matrix
 //	fixd-bench -chaos.json out.json
 //	fixd-bench -search          # guided-search bench -> BENCH_search.json
+//	fixd-bench -runtime         # hot-path bench -> BENCH_runtime.json
+//
+// -runtime measures the chaos run loop end to end — runs/sec, ns/run and
+// allocs/run on the matrix and search workloads — on the pooled/streaming
+// path versus the pre-pooling reference path in the same binary, verifies
+// the two produce byte-identical reports (including a sharded sweep), and
+// records the buggy-tokenring cost before and after early-exit invariant
+// monitoring.
 package main
 
 import (
@@ -50,6 +58,8 @@ func main() {
 	chaosJSON := flag.String("chaos.json", "BENCH_chaos.json", "chaos sharding benchmark output path (\"\" disables)")
 	search := flag.Bool("search", false, "run the guided-search benchmark and write its JSON artifact")
 	searchJSON := flag.String("search.json", "BENCH_search.json", "guided-search benchmark output path")
+	runtimeBench := flag.Bool("runtime", false, "run the hot-path runtime benchmark and write its JSON artifact")
+	runtimeJSON := flag.String("runtime.json", "BENCH_runtime.json", "runtime benchmark output path")
 	flag.Parse()
 
 	experiments.MatrixWorkers = *workers
@@ -68,6 +78,9 @@ func main() {
 		if *search {
 			emitSearchBench(*workers, *searchJSON)
 		}
+		if *runtimeBench {
+			emitRuntimeBench(*workers, *quick, *runtimeJSON)
+		}
 		return
 	}
 	for _, tbl := range experiments.Suite(*quick) {
@@ -77,6 +90,42 @@ func main() {
 	emitChaosBench(*workers, *chaosJSON)
 	if *search {
 		emitSearchBench(*workers, *searchJSON)
+	}
+	if *runtimeBench {
+		emitRuntimeBench(*workers, *quick, *runtimeJSON)
+	}
+}
+
+// emitRuntimeBench runs the hot-path benchmark (old vs new run-loop path,
+// early-exit tokenring cost) and writes the JSON artifact.
+func emitRuntimeBench(workers int, quick bool, path string) {
+	if path == "" {
+		return
+	}
+	b := experiments.RunRuntimeBench(workers, quick)
+	out, err := b.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: runtime bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: runtime bench:", err)
+		os.Exit(1)
+	}
+	identical := "identical reports"
+	if !b.MatrixIdentical || !b.SearchIdentical || !b.MatrixShardedIdentical {
+		identical = "REPORTS DIVERGED"
+	}
+	fmt.Printf("runtime bench: matrix %.0f -> %.0f runs/s (%.2fx), search %.0f -> %.0f runs/s (%.2fx), %s; buggy tokenring %.1fms -> %.2fms median/run -> %s\n",
+		b.MatrixOld.RunsPerSec, b.MatrixNew.RunsPerSec, b.MatrixSpeedup,
+		b.SearchOld.RunsPerSec, b.SearchNew.RunsPerSec, b.SearchSpeedup,
+		identical, b.TokenringBeforeMedianMs, b.TokenringAfterMedianMs, path)
+	if identical != "identical reports" {
+		// The byte-identity cross-check is the whole point of carrying the
+		// old path in the binary; a diverging artifact must fail the run
+		// (and CI), not just annotate the JSON.
+		fmt.Fprintln(os.Stderr, "fixd-bench: runtime bench: old/new report divergence")
+		os.Exit(1)
 	}
 }
 

@@ -14,6 +14,23 @@
 // interfaces rather than a concrete runtime. See README.md for the
 // layout, the capability matrix, and the experiment index.
 //
+// # Performance
+//
+// Chaos throughput is budgeted in runs, so the per-run hot path is built
+// for reuse: chaos.Runner checks a simulation out of a per-worker pool
+// and Resets it between runs (typed index-addressed event queue with a
+// free-list arena, recycled checkpoint heaps and scroll buffers, cached
+// seeded rng registers); each run's digest and event-shape signature are
+// computed in one allocation-free streaming pass over the per-process
+// scrolls (scroll.Fingerprinter — scroll.Digest and scroll.Shape are thin
+// wrappers with byte-identical output); and an opt-in early-exit monitor
+// (Runner.CheckEvery, surfaced on fixd.ChaosMatrixConfig and
+// fixd.ChaosSearchConfig) halts a run with Stats.EarlyExit the moment a
+// global invariant is violated instead of burning the remaining step
+// budget. cmd/fixd-bench -runtime measures the pooled path against the
+// pre-change path in the same binary and writes BENCH_runtime.json — see
+// README.md ("Performance") for how to read it.
+//
 // The benchmarks in bench_test.go regenerate the measurement behind every
 // figure of the paper; run them with:
 //

@@ -115,6 +115,11 @@ type (
 	ChaosIntensity = chaos.Intensity
 	// ChaosReport is a chaos-matrix sweep's outcome.
 	ChaosReport = chaos.MatrixReport
+	// ChaosMatrixConfig parameterizes a chaos-matrix sweep: apps, kinds,
+	// seeds, worker sharding, the live sample lane, and the hot-path knobs
+	// CheckEvery (early-exit invariant cadence) and Baseline (pre-pooling
+	// reference path).
+	ChaosMatrixConfig = chaos.MatrixConfig
 	// ChaosArtifact is a replayable minimized counterexample.
 	ChaosArtifact = chaos.Artifact
 
@@ -145,6 +150,16 @@ const (
 // both executions produce byte-identical scroll digests.
 func Chaos(seeds ...int64) *ChaosReport {
 	return chaos.RunMatrix(chaos.MatrixConfig{Seeds: seeds})
+}
+
+// ChaosMatrix sweeps the chaos matrix with full control over the
+// configuration — worker sharding, the live lane, and the hot-path knobs:
+// CheckEvery halts each cell as soon as a global invariant is violated
+// (early-exit attribution lands on Stats.EarlyExit) instead of burning the
+// remaining step budget, and Baseline runs cells on the pre-pooling
+// reference path for benchmarking. Chaos is the zero-config shorthand.
+func ChaosMatrix(cfg ChaosMatrixConfig) *ChaosReport {
+	return chaos.RunMatrix(cfg)
 }
 
 // SearchChaos runs AFL-style coverage-guided chaos search: each run's
@@ -331,6 +346,25 @@ func (s *System) Heal(prog Program, mapper StateMapper) (*heal.Report, error) {
 // MergedScroll returns the global, Lamport-ordered record of every
 // nondeterministic action in the run.
 func (s *System) MergedScroll() []scroll.Record { return s.sub.MergedScroll() }
+
+// Fingerprint returns the run's behavioral fingerprint — the SHA-256
+// digest and the coarse event-shape signature (bucket is the Lamport
+// window width; 0 selects the chaos engine's default) of the globally
+// merged scroll. On backends exposing their per-process scrolls (both
+// built-ins do) the merge is streamed without materializing the merged
+// record slice; call it after Run or at a pause — fingerprinting a live
+// substrate mid-flight is racy.
+func (s *System) Fingerprint(bucket uint64) (digest, shape string) {
+	if bucket == 0 {
+		bucket = chaos.ShapeBucket
+	}
+	if sc, ok := s.sub.(interface{ Scrolls() []*scroll.Scroll }); ok {
+		var fp scroll.Fingerprinter
+		return fp.Fingerprint(sc.Scrolls(), bucket)
+	}
+	merged := s.sub.MergedScroll()
+	return scroll.Digest(merged), scroll.Shape(merged, bucket)
+}
 
 // Substrate exposes the underlying runtime for advanced use (fault
 // injection, checkpoint store access, manual rollback, capabilities).

@@ -29,12 +29,17 @@ package chaos
 import (
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"strings"
+	"sync"
 
 	"repro/internal/dsim"
 	"repro/internal/fault"
 )
+
+// genRngPool recycles scenario-generation rngs: Generate runs once per
+// matrix cell and once per search seed, and re-seeding a pooled source is
+// a register copy instead of the stdlib's full seeding pass.
+var genRngPool = sync.Pool{New: func() any { return dsim.NewReseedableRand() }}
 
 // Window is a half-open virtual-time interval [From, To).
 type Window struct {
@@ -179,7 +184,10 @@ var MatrixKinds = []fault.Kind{
 func Generate(kind fault.Kind, procs []string, crashable []int, horizon uint64, seed int64) Scenario {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%v|%d|%s", kind, len(procs), strings.Join(procs, ","))
-	rng := rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+	pooled := genRngPool.Get().(*dsim.ReseedableRand)
+	defer genRngPool.Put(pooled)
+	pooled.Reseed(seed ^ int64(h.Sum64()))
+	rng := pooled.Rand
 	if horizon < 40 {
 		horizon = 40
 	}

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// TestRunnerPathEquivalence: the pooled run path (per-worker arena +
+// streaming fingerprints) must produce byte-identical RunResults to the
+// pre-pooling baseline path for every registered application across fault
+// kinds — the contract the runtime benchmark's speedup claim rests on.
+func TestRunnerPathEquivalence(t *testing.T) {
+	for _, spec := range apps.Registry() {
+		for _, buggy := range []bool{false, true} {
+			if buggy && spec.Name == "tokenring" {
+				continue // ~1.2s/run on the baseline path; covered by TestEarlyExitEquivalence
+			}
+			r := Runner{Spec: spec, Buggy: buggy, Seed: 2, Probe: true}
+			for _, kind := range []string{"crash", "reorder", "drop"} {
+				var sched Schedule
+				for _, k := range MatrixKinds {
+					if k.String() == kind {
+						sched = Schedule{Generate(k, r.Procs(), r.Crashable(), spec.Horizon, 2)}
+					}
+				}
+				if sched == nil {
+					t.Fatalf("kind %q not found in MatrixKinds; equivalence coverage would silently vanish", kind)
+				}
+				pooled := r.Run(sched)
+				base := r
+				base.Baseline = true
+				want := base.Run(sched)
+				pj, _ := json.Marshal(pooled)
+				wj, _ := json.Marshal(want)
+				if !bytes.Equal(pj, wj) {
+					t.Fatalf("%s buggy=%v %s: pooled path diverged from baseline\n pooled %s\n base   %s",
+						spec.Name, buggy, kind, pj, wj)
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixPathEquivalence: whole-report byte identity between old and
+// new paths, sequentially and sharded.
+func TestMatrixPathEquivalence(t *testing.T) {
+	cfg := MatrixConfig{Seeds: []int64{1, 2}}
+	newRep, _ := json.Marshal(RunMatrix(cfg))
+	cfg.Baseline = true
+	oldRep, _ := json.Marshal(RunMatrix(cfg))
+	if !bytes.Equal(newRep, oldRep) {
+		t.Fatal("matrix report: pooled path != baseline path")
+	}
+	cfg.Baseline = false
+	cfg.Workers = 4
+	shardRep, _ := json.Marshal(RunMatrix(cfg))
+	if !bytes.Equal(newRep, shardRep) {
+		t.Fatal("matrix report: sharded pooled sweep != sequential sweep")
+	}
+}
+
+// TestSearchPathEquivalence: guided-search reports are byte-identical
+// across old/new paths and worker counts.
+func TestSearchPathEquivalence(t *testing.T) {
+	cfg := SearchConfig{Apps: apps.RegistryExcept("tokenring"), Buggy: true,
+		Seed: 1, Budget: 24, ShrinkBudget: -1}
+	newRep, _ := json.Marshal(Search(cfg))
+	cfg.Baseline = true
+	oldRep, _ := json.Marshal(Search(cfg))
+	if !bytes.Equal(newRep, oldRep) {
+		t.Fatal("search report: pooled path != baseline path")
+	}
+	cfg.Baseline = false
+	cfg.Workers = 3
+	shardRep, _ := json.Marshal(Search(cfg))
+	if !bytes.Equal(newRep, shardRep) {
+		t.Fatal("search report: 3-worker search != sequential search")
+	}
+}
+
+// TestEarlyExitEquivalence: early exit on the buggy tokenring must (a)
+// halt far below the step bound with the violation attributed, (b) be
+// deterministic, (c) produce identical results on pooled and baseline
+// paths, and (d) replay byte-identically through an artifact that records
+// the cadence.
+func TestEarlyExitEquivalence(t *testing.T) {
+	r, err := RunnerFor("tokenring", true, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CheckEvery = 256
+	sched := Schedule{Generate(MatrixKinds[0], r.Procs(), r.Crashable(), r.Spec.Horizon, 1)}
+
+	res := r.Run(sched)
+	if !res.Stats.EarlyExit {
+		t.Fatal("buggy tokenring run did not early-exit")
+	}
+	if res.Stats.Steps >= 10_000 {
+		t.Fatalf("early exit burned %d steps; want far below the 200k bound", res.Stats.Steps)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("early exit without a recorded violation")
+	}
+
+	again := r.Run(sched)
+	if again.Digest != res.Digest {
+		t.Fatal("early-exit run is not deterministic")
+	}
+	base := r
+	base.Baseline = true
+	if b := base.Run(sched); b.Digest != res.Digest || b.Stats != res.Stats {
+		t.Fatal("early-exit run differs between pooled and baseline paths")
+	}
+
+	art := NewArtifact(r, sched, res)
+	raw, err := art.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.CheckEvery != r.CheckEvery {
+		t.Fatalf("artifact lost the cadence: %d != %d", loaded.CheckEvery, r.CheckEvery)
+	}
+	if err := loaded.Verify(); err != nil {
+		t.Fatalf("early-exit artifact failed to replay: %v", err)
+	}
+}
+
+// TestCheckEveryOffMatchesQuiescence: cadence 0 must be exactly the
+// classic run-to-quiescence behavior (EarlyExit never set).
+func TestCheckEveryOffMatchesQuiescence(t *testing.T) {
+	r, err := RunnerFor("kvstore", false, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule{Generate(MatrixKinds[3], r.Procs(), r.Crashable(), r.Spec.Horizon, 1)}
+	res := r.Run(sched)
+	if res.Stats.EarlyExit {
+		t.Fatal("EarlyExit set without a cadence")
+	}
+	r.CheckEvery = 64 // correct variant: invariants hold, so no exit either
+	monitored := r.Run(sched)
+	if monitored.Stats.EarlyExit {
+		t.Fatalf("correct variant early-exited: %v", monitored.Violations)
+	}
+	if monitored.Digest != res.Digest {
+		t.Fatal("a non-tripping monitor changed the execution digest")
+	}
+}

@@ -74,6 +74,13 @@ type MatrixConfig struct {
 	// concurrency, or the live run errors. Cells run sequentially: each
 	// owns real goroutines and timers.
 	LiveSample int
+	// CheckEvery is the early-exit invariant cadence every cell runs with
+	// (see Runner.CheckEvery). 0 checks only at quiescence.
+	CheckEvery uint64
+	// Baseline runs every cell on the pre-pooling reference path (see
+	// Runner.Baseline); the report must be byte-identical. Used by the
+	// runtime benchmark and the path-equivalence tests.
+	Baseline bool
 }
 
 // LiveCellResult is one live-lane re-execution of a passing sim cell.
@@ -152,7 +159,8 @@ func RunMatrix(cfg MatrixConfig) *MatrixReport {
 	rep := &MatrixReport{Cells: make([]*CellResult, len(specs))}
 	runCell := func(i int) {
 		cs := specs[i]
-		runner := Runner{Spec: cs.spec, Seed: cs.seed, Probe: true}
+		runner := Runner{Spec: cs.spec, Seed: cs.seed, Probe: true,
+			CheckEvery: cfg.CheckEvery, Baseline: cfg.Baseline}
 		scen := Generate(cs.kind, runner.Procs(), runner.Crashable(), cs.spec.Horizon, cs.seed)
 		sched := Schedule{scen}
 		r1 := runner.Run(sched)

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/dsim"
@@ -15,7 +16,7 @@ import (
 type RunResult struct {
 	Digest      string   // SHA-256 of the merged scroll — the replay fingerprint
 	Shape       string   // coarse event-shape signature (scroll.Shape, ShapeBucket windows)
-	Violations  []string // global invariants violated at quiescence
+	Violations  []string // global invariants violated at quiescence (or at early exit)
 	LocalFaults int      // Context.Fault reports during the run
 	ProbeFaults int      // clock-probe regressions among them
 	Stats       dsim.Stats
@@ -47,6 +48,22 @@ type Runner struct {
 	Buggy bool
 	Seed  int64
 	Probe bool // attach the clock-probe overlay (matrix cells do)
+
+	// CheckEvery enables early-exit invariant monitoring: every CheckEvery
+	// processed simulation steps the application's global invariants are
+	// evaluated, and the run halts (Stats.EarlyExit) as soon as one is
+	// violated instead of burning the remaining step budget. 0 checks only
+	// at quiescence — the classic behavior. Early exit changes what the
+	// run executes (shorter scroll, different digest), so it is a run
+	// parameter: artifacts record it, and replays must use the same value.
+	CheckEvery uint64
+
+	// Baseline selects the pre-pooling reference path: a fresh simulation
+	// per run and batch fingerprinting over the materialized merged scroll.
+	// Results are byte-identical to the pooled path (the runtime benchmark
+	// and TestRunnerPathEquivalence depend on that); it exists only to
+	// measure what pooling buys and as an executable specification.
+	Baseline bool
 }
 
 // Procs returns the sorted process list a run will have, for target
@@ -76,13 +93,43 @@ func (r Runner) Crashable() []int {
 	return out
 }
 
+// runArena is the per-worker scratch a pooled run reuses: the simulation
+// (event arena, process heaps, scroll buffers) and the streaming
+// fingerprinter. Runner.Run checks arenas out of a sync.Pool, so each
+// worker of a matrix or search pool settles on its own arena instead of
+// paying a fresh simulation per run.
+type runArena struct {
+	sim *dsim.Sim
+	fp  scroll.Fingerprinter
+}
+
+var arenaPool = sync.Pool{}
+
 // Run executes the schedule. Identical Runner + schedule ⇒ identical
-// RunResult, byte-for-byte: processes are added in sorted order and every
-// nondeterministic draw flows through the seeded simulation.
+// RunResult, byte-for-byte: processes are added in sorted order, every
+// nondeterministic draw flows through the seeded simulation, and a Reset
+// arena is observationally identical to a fresh one.
 func (r Runner) Run(sched Schedule) *RunResult {
 	cfg := r.Spec.Config(r.Buggy)
 	cfg.Seed = r.Seed
-	s := dsim.New(cfg)
+	if r.Baseline {
+		return r.finish(sched, dsim.New(cfg), nil)
+	}
+	a, _ := arenaPool.Get().(*runArena)
+	if a == nil {
+		a = &runArena{sim: dsim.New(cfg)}
+	} else {
+		a.sim.Reset(cfg)
+	}
+	res := r.finish(sched, a.sim, a)
+	arenaPool.Put(a)
+	return res
+}
+
+// finish populates the simulation, executes the schedule and fingerprints
+// the outcome. With a nil arena it is the baseline path: batch
+// fingerprints over the materialized merged scroll.
+func (r Runner) finish(sched Schedule, s *dsim.Sim, a *runArena) *RunResult {
 	ms := r.Spec.Make(r.Buggy)
 	ids := make([]string, 0, len(ms))
 	for id := range ms {
@@ -96,10 +143,14 @@ func (r Runner) Run(sched Schedule) *RunResult {
 		s.AddProcess(ProbeName, &clockProbe{})
 	}
 	sched.Compile(s.Procs()).Apply(s)
+	mon := fault.NewMonitor(r.Spec.Invariants(r.Buggy)...)
+	if r.CheckEvery > 0 {
+		s.SetStepMonitor(r.CheckEvery, func() bool { return mon.AnyViolated(s) })
+	}
 	stats := s.Run()
 
 	res := &RunResult{Stats: stats, Procs: s.Procs()}
-	for _, v := range fault.NewMonitor(r.Spec.Invariants(r.Buggy)...).Check(s) {
+	for _, v := range mon.Check(s) {
 		res.Violations = append(res.Violations, v.Invariant)
 	}
 	for _, f := range s.Faults() {
@@ -108,9 +159,13 @@ func (r Runner) Run(sched Schedule) *RunResult {
 			res.ProbeFaults++
 		}
 	}
-	merged := s.MergedScroll()
-	res.Digest = scroll.Digest(merged)
-	res.Shape = scroll.Shape(merged, ShapeBucket)
+	if a != nil {
+		res.Digest, res.Shape = a.fp.Fingerprint(s.Scrolls(), ShapeBucket)
+	} else {
+		merged := s.MergedScroll()
+		res.Digest = scroll.Digest(merged)
+		res.Shape = scroll.Shape(merged, ShapeBucket)
+	}
 	return res
 }
 

@@ -43,6 +43,17 @@ type SearchConfig struct {
 	// (default 200). Negative disables shrinking: failures are still
 	// captured as artifacts, unminimized.
 	ShrinkBudget int
+	// CheckEvery is the early-exit invariant cadence every candidate runs
+	// with (see Runner.CheckEvery): a run halts as soon as an invariant is
+	// violated, which is what makes step-bound-saturating workloads like
+	// the seeded-bug tokenring affordable to search. 0 checks only at
+	// quiescence. Shrinking and artifacts inherit the cadence, so every
+	// captured failure replays byte-identically.
+	CheckEvery uint64
+	// Baseline evaluates candidates on the pre-pooling reference path (see
+	// Runner.Baseline); the report must be byte-identical. Used by the
+	// runtime benchmark and the path-equivalence tests.
+	Baseline bool
 }
 
 func (cfg SearchConfig) withDefaults() SearchConfig {
@@ -184,7 +195,8 @@ type appSearchState struct {
 func newAppSearchState(spec apps.AppSpec, cfg SearchConfig) *appSearchState {
 	return &appSearchState{
 		res:       &AppSearch{App: spec.Name},
-		runner:    Runner{Spec: spec, Buggy: cfg.Buggy, Seed: cfg.Seed, Probe: true},
+		runner: Runner{Spec: spec, Buggy: cfg.Buggy, Seed: cfg.Seed, Probe: true,
+			CheckEvery: cfg.CheckEvery, Baseline: cfg.Baseline},
 		cfg:       cfg,
 		seenShape: make(map[string]bool),
 		seenDig:   make(map[string]bool),

@@ -163,6 +163,12 @@ type Artifact struct {
 	Schedule   Schedule
 	Violations []string // invariant names the run violates
 	Digest     string   // expected merged-scroll digest
+	// CheckEvery is the early-exit invariant cadence the failing run used
+	// (see Runner.CheckEvery). Early exit shortens the execution, so the
+	// recorded digest is only reproducible at the same cadence; Replay
+	// restores it. Omitted (0) for classic run-to-quiescence artifacts, so
+	// pre-existing artifacts decode unchanged.
+	CheckEvery uint64 `json:",omitempty"`
 }
 
 // NewArtifact captures a failing run as a replayable artifact.
@@ -170,6 +176,7 @@ func NewArtifact(r Runner, sched Schedule, res *RunResult) *Artifact {
 	return &Artifact{
 		App: r.Spec.Name, Buggy: r.Buggy, Probe: r.Probe, Seed: r.Seed,
 		Schedule: sched, Violations: res.Violations, Digest: res.Digest,
+		CheckEvery: r.CheckEvery,
 	}
 }
 
@@ -192,6 +199,7 @@ func (a *Artifact) Replay() (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	runner.CheckEvery = a.CheckEvery
 	return runner.Run(a.Schedule), nil
 }
 
@@ -207,8 +215,12 @@ func (a *Artifact) Verify() error {
 }
 
 // VerifyWith replays the artifact on the given runner (which must match
-// the one that produced it) and checks the recorded outcome.
-func (a *Artifact) VerifyWith(r Runner) error { return a.check(r.Run(a.Schedule)) }
+// the one that produced it; the recorded early-exit cadence is restored
+// onto it) and checks the recorded outcome.
+func (a *Artifact) VerifyWith(r Runner) error {
+	r.CheckEvery = a.CheckEvery
+	return a.check(r.Run(a.Schedule))
+}
 
 func (a *Artifact) check(res *RunResult) error {
 	if res.Digest != a.Digest {

@@ -71,6 +71,37 @@ func (h *Heap) grow(size int) {
 	}
 }
 
+// Reset returns the heap to the zeroed state of a fresh NewHeapPages(size,
+// pageSize) while reusing the page buffers already allocated — the arena-
+// recycling primitive behind dsim.Sim.Reset. Retained pages are zeroed in
+// place, so Reset must not be called while any Snapshot of this heap is
+// still in use (the chaos runner drops its checkpoint store before
+// recycling, which makes every snapshot unreachable).
+func (h *Heap) Reset(size, pageSize int) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if pageSize != h.pageSize {
+		h.pageSize = pageSize
+		h.pages = nil
+	}
+	want := (size + pageSize - 1) / pageSize
+	if want > len(h.pages) {
+		want = len(h.pages) // grow below fills the rest
+	}
+	h.pages = h.pages[:want]
+	h.epoch = 0
+	for _, p := range h.pages {
+		clear(p.data)
+		p.epoch = 0
+	}
+	h.size = want * pageSize
+	h.copied, h.writes = 0, 0
+	h.grow(size)
+}
+
 // Size returns the heap size in bytes.
 func (h *Heap) Size() int {
 	h.mu.Lock()

@@ -1,8 +1,8 @@
 package checkpoint
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/vclock"
@@ -45,11 +45,27 @@ func (s *Store) Put(c *Checkpoint) string {
 	defer s.mu.Unlock()
 	if c.ID == "" {
 		s.nextID++
-		c.ID = fmt.Sprintf("ckpt-%s-%d", c.Proc, s.nextID)
+		buf := make([]byte, 0, len("ckpt-")+len(c.Proc)+1+20)
+		buf = append(buf, "ckpt-"...)
+		buf = append(buf, c.Proc...)
+		buf = append(buf, '-')
+		buf = strconv.AppendUint(buf, s.nextID, 10)
+		c.ID = string(buf)
 	}
 	s.byID[c.ID] = c
 	s.byProc[c.Proc] = append(s.byProc[c.Proc], c)
 	return c.ID
+}
+
+// Reset empties the store and rewinds ID assignment, so a recycled
+// simulation assigns the same checkpoint IDs as a fresh one — checkpoint
+// IDs appear in scroll records, so replay digests depend on them.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear(s.byID)
+	clear(s.byProc)
+	s.nextID = 0
 }
 
 // Get returns the checkpoint with the given ID, or nil.

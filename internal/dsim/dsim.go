@@ -17,12 +17,12 @@
 package dsim
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"repro/internal/checkpoint"
 	"repro/internal/scroll"
@@ -142,6 +142,11 @@ type Stats struct {
 	Crashes     uint64
 	Restarts    uint64
 	Steps       uint64
+	// EarlyExit reports that the run was halted by the step monitor (see
+	// SetStepMonitor) before the queue drained or MaxSteps was reached —
+	// the attribution the chaos harness uses to distinguish "invariant
+	// already violated, budget saved" from a naturally quiescent run.
+	EarlyExit bool
 }
 
 // event is a scheduled occurrence.
@@ -164,6 +169,10 @@ type event struct {
 
 	// control fields
 	proc string
+
+	// dead marks a lazily-deleted event (purged by rollback); Resume
+	// discards it without processing.
+	dead bool
 }
 
 type eventKind int
@@ -175,26 +184,6 @@ const (
 	evRestart
 )
 
-// eventQueue is a min-heap ordered by (time, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // proc is the simulator's bookkeeping for one process.
 type proc struct {
 	id        string
@@ -202,11 +191,27 @@ type proc struct {
 	heap      *checkpoint.Heap
 	scroll    *scroll.Scroll
 	clock     vclock.VC
+	snap      vclock.VC // cached clock copy, shared by records between ticks
+	ctx       *simContext
 	lamport   vclock.Lamport
 	crashed   bool
 	halted    bool
 	delivered uint64 // events delivered (for periodic checkpoints)
 	ckptSkew  uint64 // stagger offset for periodic checkpoints
+}
+
+// clockSnap returns a copy of the process's vector clock that is shared by
+// every record created until the clock next advances. Scroll records,
+// queued events, checkpoints and fault records all treat their clock as
+// immutable (nothing in the tree mutates a Record.Clock in place), so
+// sharing one snapshot between ticks removes a map allocation per recorded
+// action — a measurable slice of the chaos hot path. Every site that
+// mutates p.clock must nil p.snap.
+func (p *proc) clockSnap() vclock.VC {
+	if p.snap == nil {
+		p.snap = p.clock.Copy()
+	}
+	return p.snap
 }
 
 // partition is a temporary network split.
@@ -254,14 +259,15 @@ type skewRule struct {
 
 // Sim is a deterministic distributed-system simulation.
 type Sim struct {
-	cfg   Config
-	rng   *rand.Rand
+	cfg    Config
+	rng    *rand.Rand
+	rngSrc *gfsrSource // rng's source, reseeded (from cache) on Reset
 	now   uint64
 	seq   uint64
 	queue eventQueue
-	dead  map[uint64]bool // lazily deleted event seqs
 	procs map[string]*proc
 	order []string
+	spare map[string]*proc // retired procs whose arenas Reset recycles
 
 	specs    *speculation.Manager
 	store    *checkpoint.Store
@@ -271,8 +277,14 @@ type Sim struct {
 	rules    []netRule
 	skews    []skewRule
 	msgN     uint64
+	msgIDBuf []byte // scratch for message-ID rendering
+	timerRec map[string]timerRecParts // cached timer-record strings/payloads
+	payBuf   []byte                   // bump arena for 8-byte record payloads
 	stop     bool
 	lastFIFO map[string]uint64 // per-channel last scheduled delivery time
+
+	monEvery uint64      // step-monitor cadence (0 = off)
+	monFn    func() bool // step monitor; true halts with Stats.EarlyExit
 
 	// FaultHandler, if set, is invoked on every Context.Fault report. The
 	// FixD coordinator (internal/core) uses it to trigger the Fig. 4
@@ -280,8 +292,43 @@ type Sim struct {
 	FaultHandler func(*Sim, FaultRecord) bool
 }
 
-// New creates a simulation with the given configuration.
-func New(cfg Config) *Sim {
+// timerRecParts caches the per-timer-name record fields ("timer:x" MsgID
+// and name payload). Timer fires are the single most frequent record in the
+// chaos workloads; the cached strings and payload bytes are shared across
+// records and runs — records never mutate them.
+type timerRecParts struct {
+	msgID   string
+	payload []byte
+}
+
+// timerParts returns the cached record fields for a timer name.
+func (s *Sim) timerParts(name string) timerRecParts {
+	if tr, ok := s.timerRec[name]; ok {
+		return tr
+	}
+	if s.timerRec == nil {
+		s.timerRec = make(map[string]timerRecParts)
+	}
+	tr := timerRecParts{msgID: "timer:" + name, payload: []byte(name)}
+	s.timerRec[name] = tr
+	return tr
+}
+
+// appendU64 renders v little-endian into the payload bump arena and
+// returns the 8-byte slice. Records retain these slices (read-only), so
+// one 4KiB chunk amortizes ~512 record payload allocations; chunks are
+// released to the GC when the records referencing them go.
+func (s *Sim) appendU64(v uint64) []byte {
+	if cap(s.payBuf)-len(s.payBuf) < 8 {
+		s.payBuf = make([]byte, 0, 4096)
+	}
+	start := len(s.payBuf)
+	s.payBuf = binary.LittleEndian.AppendUint64(s.payBuf, v)
+	return s.payBuf[start:len(s.payBuf):len(s.payBuf)]
+}
+
+// normalize fills config defaults; New and Reset must agree on them.
+func normalize(cfg Config) Config {
 	if cfg.MinLatency == 0 {
 		cfg.MinLatency = 1
 	}
@@ -297,16 +344,64 @@ func New(cfg Config) *Sim {
 	if cfg.HeapPageSize <= 0 {
 		cfg.HeapPageSize = checkpoint.DefaultPageSize
 	}
+	return cfg
+}
+
+// New creates a simulation with the given configuration.
+func New(cfg Config) *Sim {
 	s := &Sim{
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		dead:     make(map[uint64]bool),
+		cfg:      normalize(cfg),
 		procs:    make(map[string]*proc),
+		spare:    make(map[string]*proc),
 		store:    checkpoint.NewStore(),
 		lastFIFO: make(map[string]uint64),
 	}
+	s.rngSrc = &gfsrSource{}
+	s.rngSrc.Seed(s.cfg.Seed)
+	s.rng = rand.New(s.rngSrc)
 	s.specs = speculation.NewManager(specCtl{s})
 	return s
+}
+
+// Reset rewinds the simulation to the state New(cfg) would produce while
+// recycling every allocation the previous run grew: the event arena, the
+// retired processes' checkpoint heaps and scroll buffers, the rule and
+// fault slices, and the FIFO bookkeeping. The chaos runner keeps one Sim
+// per worker and Resets it between runs instead of paying a fresh arena
+// per run; a Reset simulation is observationally identical to a fresh one
+// (byte-identical scrolls, digests and stats for the same seed, machines
+// and schedule — see TestResetEquivalence).
+//
+// Outstanding references into the old run — checkpoints, snapshots,
+// scroll record slices — must be dropped before Reset: their backing
+// memory is zeroed and reused.
+func (s *Sim) Reset(cfg Config) {
+	s.cfg = normalize(cfg)
+	if s.rngSrc == nil {
+		s.rngSrc = &gfsrSource{}
+		s.rng = rand.New(s.rngSrc)
+	}
+	s.rngSrc.Seed(s.cfg.Seed)
+	s.now, s.seq, s.msgN = 0, 0, 0
+	s.queue.reset()
+	for id, p := range s.procs {
+		p.machine = nil
+		s.spare[id] = p
+		delete(s.procs, id)
+	}
+	s.order = s.order[:0]
+	s.specs = speculation.NewManager(specCtl{s})
+	s.store.Reset()
+	s.faults = s.faults[:0]
+	s.stats = Stats{}
+	s.parts = s.parts[:0]
+	s.rules = s.rules[:0]
+	s.skews = s.skews[:0]
+	s.stop = false
+	clear(s.lastFIFO)
+	s.monEvery, s.monFn = 0, nil
+	s.FaultHandler = nil
+	s.payBuf = nil // records of the old run may still reference the chunk
 }
 
 // AddProcess registers a machine under the given process ID. It must be
@@ -315,12 +410,33 @@ func (s *Sim) AddProcess(id string, m Machine) {
 	if _, dup := s.procs[id]; dup {
 		panic(fmt.Sprintf("dsim: duplicate process %q", id))
 	}
-	p := &proc{
-		id:      id,
-		machine: m,
-		heap:    checkpoint.NewHeapPages(s.cfg.HeapSize, s.cfg.HeapPageSize),
-		scroll:  scroll.NewMemory(id),
-		clock:   vclock.New(),
+	p := s.spare[id]
+	if p != nil {
+		delete(s.spare, id)
+		p.machine = m
+		p.heap.Reset(s.cfg.HeapSize, s.cfg.HeapPageSize)
+		p.scroll.Truncate(0)
+		clear(p.clock)
+		p.snap = nil
+		p.lamport = vclock.Lamport{}
+		p.crashed, p.halted = false, false
+		p.delivered, p.ckptSkew = 0, 0
+	} else {
+		p = &proc{
+			id:      id,
+			machine: m,
+			heap:    checkpoint.NewHeapPages(s.cfg.HeapSize, s.cfg.HeapPageSize),
+			scroll:  scroll.NewMemory(id),
+			clock:   vclock.New(),
+		}
+	}
+	if p.ctx == nil || p.ctx.sim != s {
+		// One reusable context per process: machine callbacks receive the
+		// same (sim, proc) pair for the process's whole life, so handing
+		// them a shared value instead of a fresh allocation per event is
+		// observationally identical (machines must not retain the Context
+		// beyond the callback, which none do).
+		p.ctx = &simContext{sim: s, proc: p}
 	}
 	if s.cfg.CheckpointEvery > 0 {
 		p.ckptSkew = uint64(len(s.order)) % s.cfg.CheckpointEvery
@@ -328,6 +444,20 @@ func (s *Sim) AddProcess(id string, m Machine) {
 	s.procs[id] = p
 	s.order = append(s.order, id)
 	sort.Strings(s.order)
+}
+
+// SetStepMonitor installs fn, invoked after every 'every' processed steps
+// while the simulation runs. Returning true halts the run immediately with
+// Stats.EarlyExit set — the hook behind the chaos harness's early-exit
+// invariant monitoring, which stops a run as soon as an invariant is
+// already violated instead of burning the remaining step budget. Passing
+// every == 0 or fn == nil clears the monitor.
+func (s *Sim) SetStepMonitor(every uint64, fn func() bool) {
+	if every == 0 || fn == nil {
+		s.monEvery, s.monFn = 0, nil
+		return
+	}
+	s.monEvery, s.monFn = every, fn
 }
 
 // SetFaultHandler installs h as the simulation's FaultHandler in the
@@ -405,6 +535,17 @@ func (s *Sim) Trace() *trace.Trace {
 	return scroll.ToTrace(scroll.Merge(scrolls...))
 }
 
+// Scrolls returns the live per-process scrolls in sorted process order —
+// the copy-free input to scroll.Fingerprinter, which streams the global
+// merge instead of materializing it like MergedScroll.
+func (s *Sim) Scrolls() []*scroll.Scroll {
+	scrolls := make([]*scroll.Scroll, 0, len(s.order))
+	for _, id := range s.order {
+		scrolls = append(scrolls, s.procs[id].scroll)
+	}
+	return scrolls
+}
+
 // MergedScroll returns all scroll records in global (Lamport) order.
 func (s *Sim) MergedScroll() []scroll.Record {
 	scrolls := make([]*scroll.Scroll, 0, len(s.order))
@@ -416,13 +557,13 @@ func (s *Sim) MergedScroll() []scroll.Record {
 
 // CrashAt schedules a crash of proc at virtual time t.
 func (s *Sim) CrashAt(procID string, t uint64) {
-	s.push(&event{time: t, kind: evCrash, proc: procID})
+	s.push(event{time: t, kind: evCrash, proc: procID})
 }
 
 // RestartAt schedules a restart of proc at virtual time t: the process is
 // restored from its most recent checkpoint (or reinitialized if none).
 func (s *Sim) RestartAt(procID string, t uint64) {
-	s.push(&event{time: t, kind: evRestart, proc: procID})
+	s.push(event{time: t, kind: evRestart, proc: procID})
 }
 
 // Partition splits the network into groupA vs everyone else during the
@@ -549,10 +690,10 @@ func (s *Sim) skewedNow(proc string, t uint64) uint64 {
 // Stop makes Run return after the current event.
 func (s *Sim) Stop() { s.stop = true }
 
-func (s *Sim) push(e *event) {
+func (s *Sim) push(e event) {
 	s.seq++
 	e.seq = s.seq
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 }
 
 // partitioned reports whether a message from -> to is cut at time t.
@@ -570,7 +711,7 @@ func (s *Sim) partitioned(from, to string, t uint64) bool {
 func (s *Sim) Run() Stats {
 	for _, id := range s.order {
 		p := s.procs[id]
-		p.machine.Init(&simContext{sim: s, proc: p})
+		p.machine.Init(p.ctx)
 	}
 	if s.cfg.InitCheckpoint {
 		for _, id := range s.order {
@@ -584,10 +725,9 @@ func (s *Sim) Run() Stats {
 // used after a Time-Machine rollback or an external Stop.
 func (s *Sim) Resume() Stats {
 	s.stop = false
-	for len(s.queue) > 0 && !s.stop && int(s.stats.Steps) < s.cfg.MaxSteps {
-		ev := heap.Pop(&s.queue).(*event)
-		if s.dead[ev.seq] {
-			delete(s.dead, ev.seq)
+	for s.queue.len() > 0 && !s.stop && int(s.stats.Steps) < s.cfg.MaxSteps {
+		ev := s.queue.pop()
+		if ev.dead {
 			continue
 		}
 		s.stats.Steps++
@@ -596,13 +736,17 @@ func (s *Sim) Resume() Stats {
 		}
 		switch ev.kind {
 		case evMessage:
-			s.deliver(ev)
+			s.deliver(&ev)
 		case evTimer:
-			s.fireTimer(ev)
+			s.fireTimer(&ev)
 		case evCrash:
 			s.crash(ev.proc)
 		case evRestart:
 			s.restart(ev.proc)
+		}
+		if s.monFn != nil && s.stats.Steps%s.monEvery == 0 && s.monFn() {
+			s.stats.EarlyExit = true
+			break
 		}
 	}
 	return s.stats
@@ -650,16 +794,17 @@ func (s *Sim) deliver(ev *event) {
 	}
 	p.clock.Merge(ev.clock)
 	p.clock.Tick(p.id)
+	p.snap = nil
 	lam := p.lamport.Witness(ev.lamport)
 	if _, err := p.scroll.Append(scroll.Record{
 		Kind: scroll.KindRecv, MsgID: ev.msgID, Peer: ev.from,
-		Payload: ev.payload, Lamport: lam, Clock: p.clock.Copy(),
+		Payload: ev.payload, Lamport: lam, Clock: p.clockSnap(),
 	}); err != nil {
 		panic(fmt.Sprintf("dsim: scroll append: %v", err))
 	}
 	p.delivered++
 	s.stats.Delivered++
-	p.machine.OnMessage(&simContext{sim: s, proc: p}, ev.from, ev.payload)
+	p.machine.OnMessage(p.ctx, ev.from, ev.payload)
 	// Periodic (uncoordinated) checkpoint policy.
 	if n := s.cfg.CheckpointEvery; n > 0 && (p.delivered+p.ckptSkew)%n == 0 {
 		s.takeCheckpoint(p, "", "periodic")
@@ -673,13 +818,15 @@ func (s *Sim) fireTimer(ev *event) {
 		return
 	}
 	p.clock.Tick(p.id)
+	p.snap = nil
 	lam := p.lamport.Tick()
+	tr := s.timerParts(ev.timerName)
 	p.scroll.Append(scroll.Record{
-		Kind: scroll.KindCustom, MsgID: "timer:" + ev.timerName,
-		Payload: []byte(ev.timerName), Lamport: lam, Clock: p.clock.Copy(),
+		Kind: scroll.KindCustom, MsgID: tr.msgID,
+		Payload: tr.payload, Lamport: lam, Clock: p.clockSnap(),
 	})
 	s.stats.TimerFires++
-	p.machine.OnTimer(&simContext{sim: s, proc: p}, ev.timerName)
+	p.machine.OnTimer(p.ctx, ev.timerName)
 }
 
 // crash marks a process crashed; its pending timers die with it.
@@ -702,9 +849,9 @@ func (s *Sim) restart(id string) {
 	s.stats.Restarts++
 	if ck := s.store.Latest(id); ck != nil {
 		s.restoreProc(p, ck)
-		p.machine.OnRollback(&simContext{sim: s, proc: p}, RollbackInfo{Manual: true, Reason: "crash restart"})
+		p.machine.OnRollback(p.ctx, RollbackInfo{Manual: true, Reason: "crash restart"})
 	} else {
-		p.machine.Init(&simContext{sim: s, proc: p})
+		p.machine.Init(p.ctx)
 	}
 }
 
@@ -723,22 +870,22 @@ func (s *Sim) takeCheckpoint(p *proc, specID, label string) *checkpoint.Checkpoi
 	}
 	ck := &checkpoint.Checkpoint{
 		Proc:      p.id,
-		Clock:     p.clock.Copy(),
+		Clock:     p.clockSnap(),
 		ScrollSeq: uint64(p.scroll.Len()),
 		Time:      s.now,
 		Snap:      snap,
 		Extra:     extra,
 		SpecID:    specID,
 	}
-	for _, ev := range s.queue {
-		if ev.kind == evTimer && ev.proc == p.id && !s.dead[ev.seq] {
+	for i := 0; i < s.queue.len(); i++ {
+		if ev := s.queue.at(i); ev.kind == evTimer && ev.proc == p.id && !ev.dead {
 			ck.Timers = append(ck.Timers, ev.timerName)
 		}
 	}
 	s.store.Put(ck)
 	p.scroll.Append(scroll.Record{
 		Kind: scroll.KindCkpt, MsgID: ck.ID, Payload: []byte(label),
-		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+		Lamport: p.lamport.Now(), Clock: p.clockSnap(),
 	})
 	s.stats.Checkpoints++
 	return ck
@@ -753,21 +900,23 @@ func (s *Sim) restoreProc(p *proc, ck *checkpoint.Checkpoint) {
 		panic(fmt.Sprintf("dsim: restore state of %s: %v", p.id, err))
 	}
 	p.clock = ck.Clock.Copy()
+	p.snap = nil
 	p.scroll.Truncate(ck.ScrollSeq)
 	p.halted = false
-	for _, ev := range s.queue {
+	for i := 0; i < s.queue.len(); i++ {
+		ev := s.queue.at(i)
 		if ev.kind == evMessage && ev.from == p.id && ev.creatorSeq >= ck.ScrollSeq {
-			s.dead[ev.seq] = true
+			ev.dead = true
 		}
 		if ev.kind == evTimer && ev.proc == p.id {
-			s.dead[ev.seq] = true
+			ev.dead = true
 		}
 	}
 	// Re-arm the timers that were pending when the checkpoint was taken
 	// (their original deadlines are gone; a fresh latency draw is within
 	// the asynchronous timing model).
 	for _, name := range ck.Timers {
-		s.push(&event{
+		s.push(event{
 			time: s.now + s.latency(), kind: evTimer,
 			proc: p.id, timerName: name, creatorSeq: ck.ScrollSeq,
 		})
@@ -804,18 +953,19 @@ func (s *Sim) RollbackTo(line map[string]string) error {
 	for _, id := range procIDs {
 		rolled[id] = true
 	}
-	for _, ev := range s.queue {
+	for i := 0; i < s.queue.len(); i++ {
+		ev := s.queue.at(i)
 		switch ev.kind {
 		case evMessage:
 			if rolled[ev.to] {
-				s.dead[ev.seq] = true
+				ev.dead = true
 			}
 			if rolled[ev.from] && ev.creatorSeq >= cks[ev.from].ScrollSeq {
-				s.dead[ev.seq] = true
+				ev.dead = true
 			}
 		case evTimer:
 			if rolled[ev.proc] && ev.creatorSeq >= cks[ev.proc].ScrollSeq {
-				s.dead[ev.seq] = true
+				ev.dead = true
 			}
 		}
 	}
@@ -840,7 +990,7 @@ func (s *Sim) RollbackTo(line map[string]string) error {
 			if r.Kind != scroll.KindSend || received[r.MsgID] || !rolled[r.Peer] {
 				continue
 			}
-			s.push(&event{
+			s.push(event{
 				time: s.now + s.latency(), kind: evMessage,
 				msgID: r.MsgID, from: r.Proc, to: r.Peer,
 				payload: r.Payload, lamport: r.Lamport, clock: r.Clock.Copy(),
@@ -850,7 +1000,7 @@ func (s *Sim) RollbackTo(line map[string]string) error {
 	// Notify machines (alternate path opportunity), in sorted order.
 	for _, id := range procIDs {
 		p := s.procs[id]
-		p.machine.OnRollback(&simContext{sim: s, proc: p}, RollbackInfo{Manual: true, Reason: "time machine rollback"})
+		p.machine.OnRollback(p.ctx, RollbackInfo{Manual: true, Reason: "time machine rollback"})
 	}
 	return nil
 }
@@ -903,7 +1053,7 @@ func (c specCtl) Rollback(procID, ckptID string, aborted *speculation.Speculatio
 		return fmt.Errorf("dsim: unknown checkpoint %q", ckptID)
 	}
 	c.s.restoreProc(p, ck)
-	p.machine.OnRollback(&simContext{sim: c.s, proc: p}, RollbackInfo{
+	p.machine.OnRollback(p.ctx, RollbackInfo{
 		SpecID: aborted.ID, Assumption: aborted.Assumption, Reason: aborted.Reason,
 	})
 	return nil
@@ -924,8 +1074,8 @@ func (c *simContext) Self() string { return c.proc.id }
 func (c *simContext) Now() uint64 {
 	t := c.sim.skewedNow(c.proc.id, c.sim.now)
 	c.proc.scroll.Append(scroll.Record{
-		Kind: scroll.KindTime, Payload: binary.LittleEndian.AppendUint64(nil, t),
-		Lamport: c.proc.lamport.Now(), Clock: c.proc.clock.Copy(),
+		Kind: scroll.KindTime, Payload: c.sim.appendU64(t),
+		Lamport: c.proc.lamport.Now(), Clock: c.proc.clockSnap(),
 	})
 	return t
 }
@@ -934,8 +1084,8 @@ func (c *simContext) Now() uint64 {
 func (c *simContext) Random() uint64 {
 	v := c.sim.rng.Uint64()
 	c.proc.scroll.Append(scroll.Record{
-		Kind: scroll.KindRandom, Payload: binary.LittleEndian.AppendUint64(nil, v),
-		Lamport: c.proc.lamport.Now(), Clock: c.proc.clock.Copy(),
+		Kind: scroll.KindRandom, Payload: c.sim.appendU64(v),
+		Lamport: c.proc.lamport.Now(), Clock: c.proc.clockSnap(),
 	})
 	return v
 }
@@ -946,13 +1096,16 @@ func (c *simContext) Random() uint64 {
 func (c *simContext) Send(to string, payload []byte) {
 	s, p := c.sim, c.proc
 	p.clock.Tick(p.id)
+	p.snap = nil
 	lam := p.lamport.Tick()
 	s.msgN++
-	id := fmt.Sprintf("m%d", s.msgN)
+	s.msgIDBuf = append(s.msgIDBuf[:0], 'm')
+	s.msgIDBuf = strconv.AppendUint(s.msgIDBuf, s.msgN, 10)
+	id := string(s.msgIDBuf)
 	body := append([]byte(nil), payload...)
 	rec := scroll.Record{
 		Kind: scroll.KindSend, MsgID: id, Peer: to, Payload: body,
-		Lamport: lam, Clock: p.clock.Copy(),
+		Lamport: lam, Clock: p.clockSnap(),
 	}
 	seq, _ := p.scroll.Append(rec)
 	specs := s.specs.ActiveSpecs(p.id)
@@ -970,10 +1123,10 @@ func (c *simContext) Send(to string, payload []byte) {
 		// Injected delay applies after the FIFO clamp: chaos rules may
 		// reorder a channel on purpose.
 		t += s.injectedDelay(p.id, to, s.now)
-		s.push(&event{
+		s.push(event{
 			time: t, kind: evMessage,
 			msgID: id, from: p.id, to: to, payload: body,
-			lamport: lam, clock: p.clock.Copy(), specs: specs, creatorSeq: seq,
+			lamport: lam, clock: p.clockSnap(), specs: specs, creatorSeq: seq,
 		})
 	}
 	deliver()
@@ -989,7 +1142,7 @@ func (c *simContext) Send(to string, payload []byte) {
 
 // SetTimer schedules OnTimer(name) after delay virtual ticks.
 func (c *simContext) SetTimer(name string, delay uint64) {
-	c.sim.push(&event{
+	c.sim.push(event{
 		time: c.sim.now + delay, kind: evTimer,
 		proc: c.proc.id, timerName: name, creatorSeq: uint64(c.proc.scroll.Len()),
 	})
@@ -1003,7 +1156,7 @@ func (c *simContext) Log(format string, args ...any) {
 	c.proc.scroll.Append(scroll.Record{
 		Kind: scroll.KindCustom, MsgID: "log",
 		Payload: []byte(fmt.Sprintf(format, args...)),
-		Lamport: c.proc.lamport.Now(), Clock: c.proc.clock.Copy(),
+		Lamport: c.proc.lamport.Now(), Clock: c.proc.clockSnap(),
 	})
 }
 
@@ -1011,10 +1164,10 @@ func (c *simContext) Log(format string, args ...any) {
 // recorded in the scroll and forwarded to the simulation's FaultHandler.
 func (c *simContext) Fault(desc string) {
 	s, p := c.sim, c.proc
-	rec := FaultRecord{Proc: p.id, Desc: desc, Time: s.now, Clock: p.clock.Copy()}
+	rec := FaultRecord{Proc: p.id, Desc: desc, Time: s.now, Clock: p.clockSnap()}
 	p.scroll.Append(scroll.Record{
 		Kind: scroll.KindFault, Payload: []byte(desc),
-		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+		Lamport: p.lamport.Now(), Clock: p.clockSnap(),
 	})
 	s.faults = append(s.faults, rec)
 	if s.FaultHandler != nil && s.FaultHandler(s, rec) {

@@ -1,0 +1,193 @@
+package dsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/scroll"
+)
+
+// The hot-path overhaul (typed event queue, pooled arenas, gfsr source,
+// shared clock snapshots) must be invisible in every observable output.
+// These tests pin the equivalences the chaos engine depends on.
+
+// TestGFSRMatchesStdlib: the cached-seeding source must be bit-exact with
+// math/rand's default source across the drawing methods dsim uses —
+// including after a cached re-seed, which is the path Sim.Reset takes.
+func TestGFSRMatchesStdlib(t *testing.T) {
+	src := &gfsrSource{}
+	for _, seed := range []int64{0, 1, 2, 42, -7, 1 << 40} {
+		for pass := 0; pass < 2; pass++ { // pass 1 hits the seeded-register cache
+			src.Seed(seed)
+			got := rand.New(src)
+			want := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					if g, w := got.Uint64(), want.Uint64(); g != w {
+						t.Fatalf("seed %d pass %d draw %d: Uint64 %d != %d", seed, pass, i, g, w)
+					}
+				case 1:
+					if g, w := got.Int63n(97), want.Int63n(97); g != w {
+						t.Fatalf("seed %d pass %d draw %d: Int63n %d != %d", seed, pass, i, g, w)
+					}
+				case 2:
+					if g, w := got.Float64(), want.Float64(); g != w {
+						t.Fatalf("seed %d pass %d draw %d: Float64 %v != %v", seed, pass, i, g, w)
+					}
+				case 3:
+					if g, w := got.Int63(), want.Int63(); g != w {
+						t.Fatalf("seed %d pass %d draw %d: Int63 %d != %d", seed, pass, i, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReseedableRand: Reseed rewinds to the exact stdlib stream.
+func TestReseedableRand(t *testing.T) {
+	r := NewReseedableRand()
+	for i := 0; i < 3; i++ {
+		r.Reseed(99)
+		want := rand.New(rand.NewSource(99))
+		for j := 0; j < 50; j++ {
+			if g, w := r.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("reseed %d draw %d: %d != %d", i, j, g, w)
+			}
+		}
+	}
+}
+
+// chattyRun drives a timer+message workload with checkpoints — enough
+// machinery to exercise the event queue, the clock snapshots, the timer
+// caches and the checkpoint store.
+func chattyRun(s *Sim) (Stats, string) {
+	a, b := newPingPair(12)
+	s.AddProcess("a", a)
+	s.AddProcess("b", b)
+	s.AddProcess("t", &tickerMachine{fires: 6})
+	stats := s.Run()
+	return stats, scroll.Digest(s.MergedScroll())
+}
+
+// tickerMachine re-arms a timer a fixed number of times, reading the clock
+// and drawing randomness so Time/Random records hit the payload arena.
+type tickerMachine struct {
+	st    struct{ Fired int }
+	fires int
+}
+
+func (m *tickerMachine) State() any                        { return &m.st }
+func (m *tickerMachine) Init(ctx Context)                  { ctx.SetTimer("tick", 3) }
+func (m *tickerMachine) OnMessage(Context, string, []byte) {}
+func (m *tickerMachine) OnTimer(ctx Context, name string) {
+	m.st.Fired++
+	ctx.Now()
+	ctx.Random()
+	if m.st.Fired < m.fires {
+		ctx.SetTimer("tick", 3)
+	}
+}
+func (m *tickerMachine) OnRollback(Context, RollbackInfo) {}
+
+// TestResetEquivalence: a Reset simulation must be observationally
+// identical to a fresh one — stats and merged-scroll digest — for the same
+// seed and machines, including when the Reset changes seed and config, and
+// when the arena previously ran a completely different process set.
+func TestResetEquivalence(t *testing.T) {
+	cfgA := Config{Seed: 3, CheckpointEvery: 4, InitCheckpoint: true}
+	cfgB := Config{Seed: 9, MinLatency: 2, MaxLatency: 7, CICheckpoint: true}
+
+	fresh := func(cfg Config) (Stats, string) { return chattyRun(New(cfg)) }
+	wantStatsA, wantDigA := fresh(cfgA)
+	wantStatsB, wantDigB := fresh(cfgB)
+
+	arena := New(cfgB)
+	arena.AddProcess("other", &tickerMachine{fires: 3}) // different shape first
+	arena.Run()
+	for i := 0; i < 3; i++ {
+		arena.Reset(cfgA)
+		if stats, dig := chattyRun(arena); stats != wantStatsA || dig != wantDigA {
+			t.Fatalf("reset run %d (cfgA): stats/digest diverged from fresh sim\n got %+v %s\nwant %+v %s",
+				i, stats, dig, wantStatsA, wantDigA)
+		}
+		arena.Reset(cfgB)
+		if stats, dig := chattyRun(arena); stats != wantStatsB || dig != wantDigB {
+			t.Fatalf("reset run %d (cfgB): stats/digest diverged from fresh sim\n got %+v %s\nwant %+v %s",
+				i, stats, dig, wantStatsB, wantDigB)
+		}
+	}
+}
+
+// TestStepMonitorEarlyExit: the monitor halts the run at its cadence and
+// attributes the halt on Stats.EarlyExit; without a monitor the same run
+// drains normally.
+func TestStepMonitorEarlyExit(t *testing.T) {
+	s := New(Config{Seed: 1})
+	full, _ := chattyRun(s)
+	if full.EarlyExit {
+		t.Fatal("unmonitored run reported EarlyExit")
+	}
+
+	s = New(Config{Seed: 1})
+	calls := 0
+	s.SetStepMonitor(4, func() bool {
+		calls++
+		return calls >= 3 // trip on the third check, i.e. step 12
+	})
+	stats, _ := chattyRun(s)
+	if !stats.EarlyExit {
+		t.Fatal("monitored run did not report EarlyExit")
+	}
+	if stats.Steps != 12 {
+		t.Fatalf("early exit at step %d, want 12 (cadence 4, tripped on check 3)", stats.Steps)
+	}
+	if stats.Steps >= full.Steps {
+		t.Fatalf("early exit did not save steps: %d >= %d", stats.Steps, full.Steps)
+	}
+}
+
+// TestEventPoolAllocs: the typed queue's arena and free-list must schedule
+// and pop events with zero allocations once warm — the regression guard on
+// the event pool itself (the old container/heap implementation boxed every
+// event: two allocations per push).
+func TestEventPoolAllocs(t *testing.T) {
+	var q eventQueue
+	churn := func() {
+		for i := 0; i < 64; i++ {
+			q.push(event{time: uint64(64 - i), seq: uint64(i)})
+		}
+		for q.len() > 0 {
+			q.pop()
+		}
+	}
+	churn() // warm the arena to its high-water mark
+
+	if allocs := testing.AllocsPerRun(100, churn); allocs > 0 {
+		t.Fatalf("warm event queue allocates %.1f times per 64-event churn; want 0", allocs)
+	}
+}
+
+// TestWarmArenaAllocs bounds the whole per-run allocation count of a warm
+// Reset arena. The floor is semantic — machine construction, one clock
+// snapshot per Lamport tick, one body copy per send, checkpoint JSON — and
+// sits well below the fresh-simulation path, which pays maps, heaps and
+// scroll buffers every run (see BENCH_runtime.json allocs_per_run).
+func TestWarmArenaAllocs(t *testing.T) {
+	cfg := Config{Seed: 5}
+	arena := New(cfg)
+	run := func() {
+		arena.Reset(cfg)
+		a, b := newPingPair(12)
+		arena.AddProcess("a", a)
+		arena.AddProcess("b", b)
+		arena.AddProcess("t", &tickerMachine{fires: 6})
+		arena.Run()
+	}
+	run() // warm the arena
+
+	if allocs := testing.AllocsPerRun(10, run); allocs > 400 {
+		t.Fatalf("warm arena allocates %.0f times per run; want <= 400 (per-run pooling has regressed)", allocs)
+	}
+}

@@ -1,0 +1,110 @@
+package dsim
+
+// eventQueue is the simulator's scheduling core: a binary min-heap of
+// arena indices ordered by (time, seq). The previous implementation was a
+// container/heap of boxed *event values — one heap allocation per message,
+// timer and control event, interface-boxed on every Push/Pop. Here events
+// live in a flat arena addressed by index, popped slots go onto a
+// free-list, and the heap stores int32 indices, so a warm simulation
+// schedules events with zero allocations (the arena grows to the
+// high-water mark of in-flight events and is reused, including across
+// Sim.Reset).
+//
+// Because (time, seq) is a total order (seq is unique), any correct heap
+// pops events in the identical sequence the old implementation did —
+// replay digests are unchanged.
+//
+// Events are addressed by index, never by retained pointer: the arena's
+// backing array moves when it grows, so callers copy the event value out
+// (pop returns a copy) or re-resolve indices (at).
+type eventQueue struct {
+	arena []event
+	free  []int32
+	heap  []int32
+}
+
+// len returns the number of scheduled events (including dead ones).
+func (q *eventQueue) len() int { return len(q.heap) }
+
+// push stores a copy of ev in the arena and schedules it.
+func (q *eventQueue) push(ev event) {
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+		q.arena[idx] = ev
+	} else {
+		idx = int32(len(q.arena))
+		q.arena = append(q.arena, ev)
+	}
+	q.heap = append(q.heap, idx)
+	q.up(len(q.heap) - 1)
+}
+
+// pop removes and returns a copy of the minimum event, releasing its arena
+// slot to the free-list immediately (the returned copy stays valid).
+func (q *eventQueue) pop() event {
+	idx := q.heap[0]
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	ev := q.arena[idx]
+	q.arena[idx] = event{} // drop payload/clock references for the GC
+	q.free = append(q.free, idx)
+	return ev
+}
+
+// at returns the event stored at heap position i, for in-place scans
+// (marking dead, collecting pending timers). The pointer is valid only
+// until the next push.
+func (q *eventQueue) at(i int) *event { return &q.arena[q.heap[i]] }
+
+// reset empties the queue, keeping the arena and free-list capacity.
+func (q *eventQueue) reset() {
+	clear(q.arena) // drop payload/clock references
+	q.arena = q.arena[:0]
+	q.free = q.free[:0]
+	q.heap = q.heap[:0]
+}
+
+// less orders heap positions by (time, seq).
+func (q *eventQueue) less(i, j int) bool {
+	a, b := &q.arena[q.heap[i]], &q.arena[q.heap[j]]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.heap[i], q.heap[min] = q.heap[min], q.heap[i]
+		i = min
+	}
+}

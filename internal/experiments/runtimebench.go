@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/chaos"
+)
+
+// RuntimePath is one measured execution path of the run-loop benchmark.
+type RuntimePath struct {
+	Runs         int     `json:"runs"`           // schedule executions timed
+	Seconds      float64 `json:"seconds"`        // best rep wall time
+	RunsPerSec   float64 `json:"runs_per_sec"`   // Runs / Seconds
+	NsPerRun     float64 `json:"ns_per_run"`     // Seconds / Runs
+	AllocsPerRun float64 `json:"allocs_per_run"` // heap allocations per run (sequential rep)
+}
+
+// RuntimeBench is the machine-readable result of the hot-path benchmark
+// (cmd/fixd-bench -runtime writes it to BENCH_runtime.json): the chaos
+// run loop measured end to end on the matrix and search workloads, old
+// path (fresh simulation per run + batch fingerprints — Baseline) versus
+// new path (pooled per-worker arena + streaming fingerprints), in the same
+// binary, plus the buggy-tokenring cost before and after early-exit
+// invariant monitoring. Old and new must produce byte-identical reports —
+// the *Identical fields record the cross-check, including a sharded sweep
+// at the configured worker count.
+type RuntimeBench struct {
+	Workers int `json:"workers"`
+	Reps    int `json:"reps"`
+
+	MatrixOld              RuntimePath `json:"matrix_old"`
+	MatrixNew              RuntimePath `json:"matrix_new"`
+	MatrixSpeedup          float64     `json:"matrix_speedup"` // runs/sec new ÷ old
+	MatrixIdentical        bool        `json:"matrix_identical"`
+	MatrixShardedIdentical bool        `json:"matrix_sharded_identical"`
+
+	SearchOld       RuntimePath `json:"search_old"`
+	SearchNew       RuntimePath `json:"search_new"`
+	SearchSpeedup   float64     `json:"search_speedup"`
+	SearchIdentical bool        `json:"search_identical"`
+
+	// Buggy-tokenring cost, one run per matrix fault kind: before = no
+	// early exit (saturates the step bound), after = SearchCheckEvery
+	// cadence. The medians close the ROADMAP "buggy tokenring cost" item.
+	TokenringBeforeMedianMs float64 `json:"tokenring_before_median_ms"`
+	TokenringAfterMedianMs  float64 `json:"tokenring_after_median_ms"`
+	TokenringKinds          int     `json:"tokenring_kinds"`
+}
+
+// JSON renders the benchmark result.
+func (b *RuntimeBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// runtimeSearchCfg is the search workload: the correct variants at a
+// reduced budget (the buggy variants would measure the apps' bugs, not the
+// run loop; tokenring's is only affordable with early exit, which the
+// old-vs-new comparison deliberately leaves off).
+func runtimeSearchCfg(baseline bool) chaos.SearchConfig {
+	return chaos.SearchConfig{Seed: 1, Budget: 48, ShrinkBudget: -1, Baseline: baseline}
+}
+
+// timeOnce times one collected-heap execution of fn.
+func timeOnce(fn func()) time.Duration {
+	runtime.GC()
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}
+
+// measurePair times the new and old paths over interleaved reps — the two
+// paths alternate, so machine-level drift (frequency scaling, noisy
+// neighbors) hits both equally — and returns best-rep stats for each, plus
+// one alloc-counted rep per path. Each rep starts from a collected heap so
+// one path's GC debt never bleeds into the other's measurement.
+func measurePair(runs, reps int, newFn, oldFn func()) (newPath, oldPath RuntimePath) {
+	var bestNew, bestOld time.Duration
+	for i := 0; i < reps; i++ {
+		if d := timeOnce(newFn); bestNew == 0 || d < bestNew {
+			bestNew = d
+		}
+		if d := timeOnce(oldFn); bestOld == 0 || d < bestOld {
+			bestOld = d
+		}
+	}
+	finish := func(best time.Duration, fn func()) RuntimePath {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		fn()
+		runtime.ReadMemStats(&after)
+		p := RuntimePath{
+			Runs:         runs,
+			Seconds:      best.Seconds(),
+			AllocsPerRun: float64(after.Mallocs-before.Mallocs) / float64(runs),
+		}
+		if p.Seconds > 0 {
+			p.RunsPerSec = float64(runs) / p.Seconds
+			p.NsPerRun = p.Seconds * 1e9 / float64(runs)
+		}
+		return p
+	}
+	return finish(bestNew, newFn), finish(bestOld, oldFn)
+}
+
+// medianMs returns the median of the given durations in milliseconds.
+func medianMs(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return float64(ds[len(ds)/2].Nanoseconds()) / 1e6
+}
+
+// RunRuntimeBench measures the chaos run loop old-vs-new at the given
+// worker count. quick trims the reps and skips all but one before-kind of
+// the tokenring measurement (each before-run saturates the 200k-step
+// bound, ~1s) so the smoke test stays fast; the committed
+// BENCH_runtime.json is generated with quick=false.
+func RunRuntimeBench(workers int, quick bool) *RuntimeBench {
+	reps := 5
+	if quick {
+		reps = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	b := &RuntimeBench{Workers: workers, Reps: reps}
+
+	// Matrix workload: the default sweep, 2 executions per cell (the
+	// second is the determinism re-run). Sequential timings keep the
+	// old/new comparison scheduling-free; the sharded sweep is only
+	// cross-checked for report identity.
+	matrixRuns := 0
+	{
+		probe := chaos.RunMatrix(chaos.MatrixConfig{})
+		matrixRuns = 2 * len(probe.Cells)
+	}
+	var newRep, oldRep *chaos.MatrixReport
+	b.MatrixNew, b.MatrixOld = measurePair(matrixRuns, reps,
+		func() { newRep = chaos.RunMatrix(chaos.MatrixConfig{}) },
+		func() { oldRep = chaos.RunMatrix(chaos.MatrixConfig{Baseline: true}) })
+	b.MatrixIdentical = reportsEqual(newRep, oldRep)
+	sharded := chaos.RunMatrix(chaos.MatrixConfig{Workers: workers})
+	b.MatrixShardedIdentical = reportsEqual(newRep, sharded)
+	if b.MatrixOld.RunsPerSec > 0 {
+		b.MatrixSpeedup = b.MatrixNew.RunsPerSec / b.MatrixOld.RunsPerSec
+	}
+
+	// Search workload: guided search over the correct variants.
+	searchRuns := len(apps.Registry()) * runtimeSearchCfg(false).Budget
+	var newSearch, oldSearch *chaos.SearchReport
+	b.SearchNew, b.SearchOld = measurePair(searchRuns, reps,
+		func() { newSearch = chaos.Search(runtimeSearchCfg(false)) },
+		func() { oldSearch = chaos.Search(runtimeSearchCfg(true)) })
+	b.SearchIdentical = reportsEqual(newSearch, oldSearch)
+	if b.SearchOld.RunsPerSec > 0 {
+		b.SearchSpeedup = b.SearchNew.RunsPerSec / b.SearchOld.RunsPerSec
+	}
+
+	// Buggy tokenring before/after early exit, one run per matrix kind.
+	kinds := chaos.MatrixKinds
+	if quick {
+		kinds = kinds[:1]
+	}
+	b.TokenringKinds = len(kinds)
+	runner, err := chaos.RunnerFor("tokenring", true, 1, true)
+	if err != nil {
+		panic(err) // registry always has tokenring
+	}
+	var beforeTimes, afterTimes []time.Duration
+	for _, kind := range kinds {
+		sched := chaos.Schedule{chaos.Generate(kind, runner.Procs(), runner.Crashable(), runner.Spec.Horizon, 1)}
+		t0 := time.Now()
+		runner.Run(sched)
+		beforeTimes = append(beforeTimes, time.Since(t0))
+		fast := runner
+		fast.CheckEvery = SearchCheckEvery
+		t1 := time.Now()
+		fast.Run(sched)
+		afterTimes = append(afterTimes, time.Since(t1))
+	}
+	b.TokenringBeforeMedianMs = medianMs(beforeTimes)
+	b.TokenringAfterMedianMs = medianMs(afterTimes)
+	return b
+}
+
+// reportsEqual compares two reports by their canonical JSON.
+func reportsEqual(a, b any) bool {
+	ja, err1 := json.Marshal(a)
+	jb, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && bytes.Equal(ja, jb)
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestRuntimeBenchQuick: the hot-path benchmark must report byte-identical
+// old/new reports (sequential and sharded), a pooled path at least as fast
+// as the baseline, and an early-exit tokenring orders of magnitude under
+// its pre-change cost. Quick mode: one rep, one tokenring before-kind.
+func TestRuntimeBenchQuick(t *testing.T) {
+	b := RunRuntimeBench(2, true)
+	if !b.MatrixIdentical || !b.MatrixShardedIdentical {
+		t.Fatal("matrix reports diverged between old/new paths or worker counts")
+	}
+	if !b.SearchIdentical {
+		t.Fatal("search reports diverged between old/new paths")
+	}
+	if b.MatrixSpeedup < 1 {
+		t.Errorf("pooled matrix path slower than baseline: %.2fx", b.MatrixSpeedup)
+	}
+	if b.TokenringAfterMedianMs >= 100 {
+		t.Errorf("early-exit tokenring median %.1fms; want < 100ms", b.TokenringAfterMedianMs)
+	}
+	if b.TokenringBeforeMedianMs < 10*b.TokenringAfterMedianMs {
+		t.Errorf("before/after tokenring cost %.1fms -> %.1fms: early exit bought < 10x",
+			b.TokenringBeforeMedianMs, b.TokenringAfterMedianMs)
+	}
+	if raw, err := b.JSON(); err != nil || len(raw) == 0 {
+		t.Fatalf("bench does not marshal: %v", err)
+	}
+}

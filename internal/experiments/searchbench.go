@@ -48,7 +48,7 @@ func (b *SearchBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", 
 // artifact doubles as a source of replayable counterexamples.
 func RunSearchBench(workers int) *SearchBench {
 	cfg := chaos.SearchConfig{Apps: searchApps(), Buggy: true, Seed: 1,
-		Budget: SearchBudget, Workers: workers}
+		Budget: SearchBudget, Workers: workers, CheckEvery: SearchCheckEvery}
 
 	t0 := time.Now()
 	guided := chaos.Search(cfg)

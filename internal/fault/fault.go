@@ -163,9 +163,14 @@ type StateSource interface {
 
 // Monitor evaluates global invariants against a substrate's current
 // machine states. It is the omniscient-observer counterpart to the local
-// Context.Fault mechanism; experiments use it as ground truth.
+// Context.Fault mechanism; experiments use it as ground truth. The state
+// map is reused across evaluations (monitors are checked on the chaos
+// runner's early-exit cadence, so per-check allocation matters); a Monitor
+// is therefore not safe for concurrent use, and invariants must not retain
+// the state map they are handed.
 type Monitor struct {
 	invariants []GlobalInvariant
+	states     map[string]json.RawMessage // reused across checks
 }
 
 // NewMonitor returns a monitor with the given invariants.
@@ -173,12 +178,22 @@ func NewMonitor(invs ...GlobalInvariant) *Monitor {
 	return &Monitor{invariants: invs}
 }
 
+// gather snapshots every process's machine state into the reused map.
+func (m *Monitor) gather(s StateSource) map[string]json.RawMessage {
+	if m.states == nil {
+		m.states = make(map[string]json.RawMessage)
+	} else {
+		clear(m.states)
+	}
+	for _, id := range s.Procs() {
+		m.states[id] = json.RawMessage(s.MachineState(id))
+	}
+	return m.states
+}
+
 // Check evaluates all invariants and returns the violations found.
 func (m *Monitor) Check(s StateSource) []Violation {
-	states := make(map[string]json.RawMessage)
-	for _, id := range s.Procs() {
-		states[id] = json.RawMessage(s.MachineState(id))
-	}
+	states := m.gather(s)
 	var out []Violation
 	for _, inv := range m.invariants {
 		if !inv.Holds(states) {
@@ -186,6 +201,19 @@ func (m *Monitor) Check(s StateSource) []Violation {
 		}
 	}
 	return out
+}
+
+// AnyViolated reports whether at least one invariant is currently violated,
+// stopping at the first hit and allocating no violation list — the fast
+// path the chaos runner polls on its early-exit cadence.
+func (m *Monitor) AnyViolated(s StateSource) bool {
+	states := m.gather(s)
+	for _, inv := range m.invariants {
+		if !inv.Holds(states) {
+			return true
+		}
+	}
+	return false
 }
 
 // heartbeatState is the serializable state of a HeartbeatMonitor.

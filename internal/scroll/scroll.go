@@ -10,13 +10,9 @@
 package scroll
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
-	"encoding/hex"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"math/bits"
 	"sort"
 	"sync"
 
@@ -82,7 +78,23 @@ type Record struct {
 // clock-entries, where each variable field is uvarint-length-prefixed and the
 // clock is a count followed by (id, value) pairs.
 func (r *Record) encode() []byte {
-	buf := make([]byte, 0, 64+len(r.Payload))
+	buf, _ := r.appendEncode(make([]byte, 0, 64+len(r.Payload)), nil)
+	return buf
+}
+
+// appendEncode appends the record's binary encoding to buf and returns the
+// extended buffer. ids is reusable scratch for sorting the clock entries;
+// pass the previous call's second return to amortize the allocation. The
+// produced bytes are identical to encode's for the same record — the
+// streaming Hasher depends on that.
+func (r *Record) appendEncode(buf []byte, ids []string) ([]byte, []string) {
+	buf = r.appendEncodePrefix(buf)
+	return appendEncodeClock(buf, r.Clock, ids)
+}
+
+// appendEncodePrefix appends everything up to (excluding) the clock
+// entries: kind, lamport, seq, the string fields and the payload.
+func (r *Record) appendEncodePrefix(buf []byte) []byte {
 	buf = append(buf, byte(r.Kind))
 	buf = binary.LittleEndian.AppendUint64(buf, r.Lamport)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
@@ -95,29 +107,37 @@ func (r *Record) encode() []byte {
 	appendStr(r.Peer)
 	buf = binary.AppendUvarint(buf, uint64(len(r.Payload)))
 	buf = append(buf, r.Payload...)
-	ids := make([]string, 0, len(r.Clock))
-	for id := range r.Clock {
+	return buf
+}
+
+// appendEncodeClock appends the clock-entry suffix of the encoding: the
+// entry count followed by sorted (id, value) pairs.
+func appendEncodeClock(buf []byte, clock vclock.VC, ids []string) ([]byte, []string) {
+	ids = ids[:0]
+	for id := range clock {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	buf = binary.AppendUvarint(buf, uint64(len(ids)))
 	for _, id := range ids {
-		appendStr(id)
-		buf = binary.AppendUvarint(buf, r.Clock[id])
+		buf = binary.AppendUvarint(buf, uint64(len(id)))
+		buf = append(buf, id...)
+		buf = binary.AppendUvarint(buf, clock[id])
 	}
-	return buf
+	return buf, ids
 }
 
 // Digest returns a hex SHA-256 over the binary encoding of the records.
 // Two runs with identical scrolls produce identical digests, so a digest
 // over a merged scroll is the replay-equality fingerprint the chaos
-// harness compares across runs.
+// harness compares across runs. It is a thin wrapper over the streaming
+// Hasher; feed records incrementally to avoid materializing the slice.
 func Digest(recs []Record) string {
-	h := sha256.New()
+	var h Hasher
 	for i := range recs {
-		h.Write(recs[i].encode())
+		h.Write(&recs[i])
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return h.Sum()
 }
 
 // Shape returns a coarse event-shape signature of a record stream: for
@@ -134,39 +154,15 @@ func Digest(recs []Record) string {
 // the exact Digest distinguishes almost every schedule, so on its own
 // every fingerprint is a singleton; Shape deliberately aliases nearby
 // interleavings so "new shape" means behaviorally new.
+// Shape is a thin wrapper over the streaming ShapeAccumulator; feed records
+// incrementally to avoid materializing the slice.
 func Shape(recs []Record, bucket uint64) string {
-	if bucket == 0 {
-		bucket = 1
-	}
-	type key struct {
-		proc string
-		kind Kind
-		win  uint64
-	}
-	counts := make(map[key]int)
+	var a ShapeAccumulator
+	a.Reset(bucket)
 	for i := range recs {
-		r := &recs[i]
-		counts[key{r.Proc, r.Kind, r.Lamport / bucket}]++
+		a.Add(&recs[i])
 	}
-	keys := make([]key, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.proc != b.proc {
-			return a.proc < b.proc
-		}
-		if a.kind != b.kind {
-			return a.kind < b.kind
-		}
-		return a.win < b.win
-	})
-	h := fnv.New64a()
-	for _, k := range keys {
-		fmt.Fprintf(h, "%s|%d|%d|%d;", k.proc, k.kind, k.win, bits.Len(uint(counts[k])))
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return a.Sum()
 }
 
 // decodeRecord parses a record produced by encode.
@@ -293,6 +289,16 @@ func (s *Scroll) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.recs)
+}
+
+// records returns the live record slice header under the scroll's lock —
+// the copy-free view the streaming Fingerprinter merges. Callers must treat
+// the slice as read-only and must not retain it across a later Append or
+// Truncate (truncation reuses the backing array).
+func (s *Scroll) records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recs
 }
 
 // Records returns a copy of all records in order.

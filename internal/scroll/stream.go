@@ -1,0 +1,320 @@
+package scroll
+
+// Streaming fingerprints: the chaos engine fingerprints every run by the
+// SHA-256 digest and the coarse event-shape signature of the merged scroll.
+// The batch path (Merge + Digest + Shape) materializes every record three
+// times and allocates an encode buffer per record; at matrix throughput
+// that is a double-digit percentage of the whole run. The types here
+// compute both signatures in one allocation-free pass, fed record by
+// record, and the Fingerprinter performs the global Lamport merge as a
+// k-way merge over the per-process scrolls without materializing the
+// merged slice. Output is byte-identical to the batch functions, which are
+// now thin wrappers (see TestStreamingMatchesBatch).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"math/bits"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// Hasher incrementally computes Digest over a record stream: Write each
+// record in merged order, then Sum. The encode buffer and clock-sort
+// scratch are reused across records, so a warm Hasher appends records
+// without allocating. The zero value is ready to use; Reset recycles it.
+type Hasher struct {
+	h   hash.Hash
+	buf []byte
+	ids []string
+	sum [sha256.Size]byte
+	hex [2 * sha256.Size]byte
+}
+
+// Reset discards accumulated state, keeping the scratch buffers.
+func (h *Hasher) Reset() {
+	if h.h != nil {
+		h.h.Reset()
+	}
+}
+
+// Write feeds one record to the digest.
+func (h *Hasher) Write(r *Record) {
+	if h.h == nil {
+		h.h = sha256.New()
+	}
+	h.buf, h.ids = r.appendEncode(h.buf[:0], h.ids)
+	h.h.Write(h.buf)
+}
+
+// writeCached feeds one record whose clock suffix was already encoded
+// (the Fingerprinter caches it per scroll: consecutive records of a
+// process share one immutable clock snapshot between Lamport ticks, so
+// re-encoding the map for every record is mostly redundant work).
+func (h *Hasher) writeCached(r *Record, clockSuffix []byte) {
+	if h.h == nil {
+		h.h = sha256.New()
+	}
+	h.buf = r.appendEncodePrefix(h.buf[:0])
+	h.buf = append(h.buf, clockSuffix...)
+	h.h.Write(h.buf)
+}
+
+// Sum returns the hex SHA-256 of the records written so far — identical to
+// Digest over the same record sequence.
+func (h *Hasher) Sum() string {
+	if h.h == nil {
+		h.h = sha256.New()
+	}
+	h.h.Sum(h.sum[:0])
+	hex.Encode(h.hex[:], h.sum[:])
+	return string(h.hex[:])
+}
+
+// shapeKey buckets a record for the event-shape signature.
+type shapeKey struct {
+	proc string
+	kind Kind
+	win  uint64
+}
+
+// ShapeAccumulator incrementally computes Shape over a record stream: Add
+// each record (any order — the signature is order-independent), then Sum.
+// Reset recycles the internal map and scratch for the next stream.
+type ShapeAccumulator struct {
+	bucket uint64
+	counts map[shapeKey]int
+	keys   []shapeKey
+	buf    []byte
+}
+
+// Reset prepares the accumulator for a new stream with the given Lamport
+// bucket width (0 means 1, as in Shape).
+func (a *ShapeAccumulator) Reset(bucket uint64) {
+	if bucket == 0 {
+		bucket = 1
+	}
+	a.bucket = bucket
+	if a.counts == nil {
+		a.counts = make(map[shapeKey]int)
+	} else {
+		clear(a.counts)
+	}
+}
+
+// Add feeds one record to the signature.
+func (a *ShapeAccumulator) Add(r *Record) {
+	if a.counts == nil {
+		a.Reset(a.bucket)
+	}
+	a.counts[shapeKey{r.Proc, r.Kind, r.Lamport / a.bucket}]++
+}
+
+// FNV-64a parameters (hash/fnv), applied inline so Sum hashes the canonical
+// rendering without an fmt round-trip or a hash.Hash allocation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvUpdate(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// Sum returns the shape signature of the records added so far — identical
+// to Shape over the same records. The canonical rendering hashed per bucket
+// is "proc|kind|window|log2count;", exactly the bytes the fmt-based
+// implementation produced.
+func (a *ShapeAccumulator) Sum() string {
+	if a.counts == nil {
+		a.Reset(a.bucket)
+	}
+	keys := a.keys[:0]
+	for k := range a.counts {
+		keys = append(keys, k)
+	}
+	sort.Sort(shapeKeys(keys))
+	a.keys = keys
+	h := uint64(fnvOffset64)
+	for _, k := range keys {
+		buf := append(a.buf[:0], k.proc...)
+		buf = append(buf, '|')
+		buf = strconv.AppendUint(buf, uint64(k.kind), 10)
+		buf = append(buf, '|')
+		buf = strconv.AppendUint(buf, k.win, 10)
+		buf = append(buf, '|')
+		buf = strconv.AppendUint(buf, uint64(bits.Len(uint(a.counts[k]))), 10)
+		buf = append(buf, ';')
+		a.buf = buf
+		h = fnvUpdate(h, buf)
+	}
+	var out [16]byte
+	var raw [8]byte
+	for i := 7; i >= 0; i-- { // big-endian, as hash.Hash64.Sum renders
+		raw[i] = byte(h)
+		h >>= 8
+	}
+	hex.Encode(out[:], raw[:])
+	return string(out[:])
+}
+
+// shapeKeys orders shape buckets by (proc, kind, window); a named sorter
+// avoids sort.Slice's per-call closure allocation on the hot path.
+type shapeKeys []shapeKey
+
+func (s shapeKeys) Len() int      { return len(s) }
+func (s shapeKeys) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s shapeKeys) Less(i, j int) bool {
+	x, y := s[i], s[j]
+	if x.proc != y.proc {
+		return x.proc < y.proc
+	}
+	if x.kind != y.kind {
+		return x.kind < y.kind
+	}
+	return x.win < y.win
+}
+
+// cursor is one scroll's read position during the k-way merge, plus its
+// clock-suffix cache: clockPtr identifies (by map identity) the clock whose
+// encoded suffix is in clockBytes. Record clocks are immutable by
+// convention and the simulator shares one snapshot across the records
+// between two ticks, so identity equality is both sound and frequent.
+type cursor struct {
+	recs       []Record
+	pos        int
+	clockPtr   uintptr
+	clockBytes []byte
+	ids        []string // clock-sort scratch
+}
+
+// Fingerprinter computes the digest and shape of the globally merged record
+// stream of several scrolls in one pass, without materializing the merged
+// slice. It is reusable — the chaos runner keeps one per worker — and not
+// safe for concurrent use.
+//
+// The merge assumes each scroll is Lamport-nondecreasing, which every
+// substrate recording guarantees (Lamport clocks only advance, and a
+// rollback truncates the scroll without rewinding the clock). Scrolls that
+// violate the assumption — e.g. hand-built test data — are detected by a
+// linear pre-scan and handled by sorting a materialized copy, so the result
+// always matches Digest/Shape over Merge.
+type Fingerprinter struct {
+	hasher  Hasher
+	shape   ShapeAccumulator
+	cursors []cursor
+	all     []Record // fallback scratch for unsorted scrolls
+}
+
+// Fingerprint merges the scrolls in global (Lamport, proc, seq) order —
+// exactly Merge's order — and returns the Digest and Shape (with the given
+// bucket width) of the merged stream.
+func (f *Fingerprinter) Fingerprint(scrolls []*Scroll, bucket uint64) (digest, shape string) {
+	f.cursors = f.cursors[:0]
+	sorted := true
+	for _, s := range scrolls {
+		recs := s.records()
+		if len(recs) == 0 {
+			continue
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Lamport < recs[i-1].Lamport {
+				sorted = false
+				break
+			}
+		}
+		// Grow in place so each slot keeps its clock-cache scratch from
+		// earlier passes; only the record view and positions are reset.
+		if n := len(f.cursors); n < cap(f.cursors) {
+			f.cursors = f.cursors[:n+1]
+		} else {
+			f.cursors = append(f.cursors, cursor{})
+		}
+		c := &f.cursors[len(f.cursors)-1]
+		c.recs, c.pos, c.clockPtr = recs, 0, 0
+	}
+	n := len(f.cursors)
+	f.hasher.Reset()
+	f.shape.Reset(bucket)
+	if sorted {
+		f.merge()
+	} else {
+		f.mergeUnsorted()
+	}
+	digest, shape = f.hasher.Sum(), f.shape.Sum()
+	for i := range f.cursors[:n] { // drop record references: scrolls are recycled
+		f.cursors[i].recs = nil
+	}
+	f.cursors = f.cursors[:0]
+	f.all = f.all[:0]
+	return digest, shape
+}
+
+// feed pushes one merged record through both signatures, reusing c's
+// encoded clock suffix when the record's clock is the cached snapshot.
+func (f *Fingerprinter) feed(r *Record, c *cursor) {
+	if c == nil {
+		f.hasher.Write(r)
+	} else {
+		if ptr := reflect.ValueOf(r.Clock).Pointer(); ptr == 0 || ptr != c.clockPtr {
+			c.clockBytes, c.ids = appendEncodeClock(c.clockBytes[:0], r.Clock, c.ids)
+			c.clockPtr = ptr
+		}
+		f.hasher.writeCached(r, c.clockBytes)
+	}
+	f.shape.Add(r)
+}
+
+// merge streams the cursors in (Lamport, proc, seq) order. The cursor count
+// is the process count — single digits — so a linear min scan beats a heap.
+func (f *Fingerprinter) merge() {
+	live := f.cursors
+	for len(live) > 0 {
+		minI := 0
+		minR := &live[0].recs[live[0].pos]
+		for i := 1; i < len(live); i++ {
+			r := &live[i].recs[live[i].pos]
+			if r.Lamport < minR.Lamport ||
+				(r.Lamport == minR.Lamport && (r.Proc < minR.Proc ||
+					(r.Proc == minR.Proc && r.Seq < minR.Seq))) {
+				minI, minR = i, r
+			}
+		}
+		f.feed(minR, &live[minI])
+		live[minI].pos++
+		if live[minI].pos == len(live[minI].recs) {
+			// Swap-remove: the exhausted cursor parks beyond len with its
+			// scratch intact for the next pass.
+			live[minI], live[len(live)-1] = live[len(live)-1], live[minI]
+			live = live[:len(live)-1]
+		}
+	}
+}
+
+// mergeUnsorted is the fallback for scrolls recorded out of Lamport order:
+// materialize, sort with Merge's comparator, and stream.
+func (f *Fingerprinter) mergeUnsorted() {
+	all := f.all[:0]
+	for _, c := range f.cursors {
+		all = append(all, c.recs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Lamport != b.Lamport {
+			return a.Lamport < b.Lamport
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	})
+	for i := range all {
+		f.feed(&all[i], nil)
+	}
+	f.all = all
+}

@@ -629,13 +629,20 @@ func (s *LiveSubstrate) Scroll(id string) *scroll.Scroll {
 
 // MergedScroll implements Substrate.
 func (s *LiveSubstrate) MergedScroll() []scroll.Record {
+	return scroll.Merge(s.Scrolls()...)
+}
+
+// Scrolls returns the live per-process scrolls in registration order — the
+// copy-free input to scroll.Fingerprinter. Pause the substrate (or wait
+// for quiescence) before fingerprinting: recording is concurrent.
+func (s *LiveSubstrate) Scrolls() []*scroll.Scroll {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	scrolls := make([]*scroll.Scroll, 0, len(s.order))
 	for _, id := range s.order {
 		scrolls = append(scrolls, s.procs[id].scroll)
 	}
-	s.mu.Unlock()
-	return scroll.Merge(scrolls...)
+	return scrolls
 }
 
 // MachineState implements Substrate.

@@ -8,6 +8,7 @@ package vclock
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 )
@@ -34,13 +35,15 @@ func (v VC) Get(id string) uint64 { return v[id] }
 // Set assigns the component for process id.
 func (v VC) Set(id string, n uint64) { v[id] = n }
 
-// Copy returns an independent copy of the clock.
+// Copy returns an independent copy of the clock. It uses the runtime's
+// bulk map clone: clocks are copied once per Lamport tick on the
+// simulator's hot path, and the bulk clone is markedly cheaper than an
+// element-wise rebuild for the small maps clocks are.
 func (v VC) Copy() VC {
-	c := make(VC, len(v))
-	for k, n := range v {
-		c[k] = n
+	if v == nil {
+		return make(VC)
 	}
-	return c
+	return maps.Clone(v)
 }
 
 // Merge sets v to the component-wise maximum of v and o and returns v.
