@@ -11,8 +11,13 @@
 // Investigator, Healer, ModelD, distributed speculations, chaos engine
 // (a seeded matrix sweep plus coverage-guided schedule search over scroll
 // fingerprints) — live under repro/internal and target narrow substrate
-// interfaces rather than a concrete runtime. See README.md for the
-// layout, the capability matrix, and the experiment index.
+// interfaces rather than a concrete runtime. Stable storage
+// (Context.Durable…) models each process's disk on both backends —
+// surviving crash-restart and rollback, WAL-backed on the live backend —
+// which is what makes classically unrecoverable processes like the 2PC
+// coordinator and the KV primary genuinely crash-restartable under chaos.
+// See README.md for the layout, the capability matrix, and the experiment
+// index.
 //
 // # Performance
 //

@@ -35,12 +35,22 @@
 // value compiles onto either backend, so a scenario found in the
 // simulator can be replayed against real goroutines unchanged.
 //
+// Stable storage (Context.DurablePut/DurableGet/DurableKeys) models each
+// process's disk: cells survive crash-restart and rollback — they are
+// never rewound by a checkpoint restore — which is what makes classically
+// unrecoverable processes (a 2PC coordinator whose broadcast decision
+// would otherwise be forgotten, a primary whose version assignments
+// replicas already applied) genuinely crash-restartable. On the live
+// backend, LiveConfig.DurableDir write-ahead logs the cells onto a
+// segmented checksummed WAL so they also survive real process crashes.
+//
 // Capability matrix: replay determinism (byte-identical repeated runs) and
 // distributed speculations are sim-only — real goroutine scheduling is
 // outside the seed's control, and aborting a speculation requires
 // recalling messages from the network. Per-process scroll replay,
-// invariant monitoring, fault response, chaos injection and best-effort
-// checkpoint/rollback work on both. See Substrate.Capabilities.
+// invariant monitoring, fault response, chaos injection, stable storage
+// and best-effort checkpoint/rollback work on both. See
+// Substrate.Capabilities.
 //
 // Quickstart:
 //
@@ -346,6 +356,11 @@ func (s *System) Heal(prog Program, mapper StateMapper) (*heal.Report, error) {
 // MergedScroll returns the global, Lamport-ordered record of every
 // nondeterministic action in the run.
 func (s *System) MergedScroll() []scroll.Record { return s.sub.MergedScroll() }
+
+// DurableSnapshot returns a deep copy of every process's stable-storage
+// cells (proc -> key -> value; nil when nothing was written). Stable
+// storage survives crash-restart and rollback on both backends.
+func (s *System) DurableSnapshot() map[string]map[string][]byte { return s.sub.DurableSnapshot() }
 
 // Fingerprint returns the run's behavioral fingerprint — the SHA-256
 // digest and the coarse event-shape signature (bucket is the Lamport

@@ -136,6 +136,76 @@ func TestSameScheduleBothSubstrates(t *testing.T) {
 	}
 }
 
+// durSink deduplicates like sink but keeps a durable packet count, the
+// crash-safe-counter pattern stable storage exists for.
+type durSink struct {
+	st struct{ Count int }
+}
+
+func (s *durSink) State() any            { return &s.st }
+func (s *durSink) Init(ctx fixd.Context) {}
+func (s *durSink) OnMessage(ctx fixd.Context, from string, payload []byte) {
+	s.st.Count++
+	ctx.DurablePut("count", []byte{byte(s.st.Count)})
+	ctx.Send(from, payload)
+}
+func (s *durSink) OnTimer(fixd.Context, string) {}
+func (s *durSink) OnRollback(ctx fixd.Context, info fixd.RollbackInfo) {
+	if !info.CrashRestart {
+		return
+	}
+	if v, ok := ctx.DurableGet("count"); ok && len(v) == 1 {
+		s.st.Count = int(v[0])
+	}
+}
+
+// TestStableStorageBothSubstrates: the public Context.Durable… seam works
+// on both backends — the capability row is advertised, a crash-restart
+// does not rewind the cells, and System.DurableSnapshot agrees with the
+// recovered machine state.
+func TestStableStorageBothSubstrates(t *testing.T) {
+	for _, backend := range []string{"sim", "live"} {
+		t.Run(backend, func(t *testing.T) {
+			var sys *fixd.System
+			if backend == "sim" {
+				sys = fixd.New(fixd.Config{Seed: 11, MinLatency: 1, MaxLatency: 3,
+					InitCheckpoint: true, CheckpointEvery: 4, MaxSteps: 50_000})
+			} else {
+				var err error
+				sys, err = fixd.NewLive(fixd.LiveConfig{Seed: 11,
+					InitCheckpoint: true, CheckpointEvery: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			defer sys.Close()
+			sys.Add("sink", func() fixd.Machine { return &durSink{} })
+			sys.Add("source", func() fixd.Machine { return &source{n: 20} })
+			if !sys.Substrate().Capabilities().StableStorage {
+				t.Fatal("backend does not advertise StableStorage")
+			}
+			sys.InjectChaos(fixd.ChaosSchedule{{Kind: fixd.FaultCrash,
+				Targets: []int{0}, Window: fixd.ChaosWindow{From: 8, To: 20}}})
+			stats := sys.Run()
+			if stats.Crashes != 1 || stats.Restarts != 1 {
+				t.Fatalf("crashes=%d restarts=%d, want 1/1", stats.Crashes, stats.Restarts)
+			}
+			snap := sys.DurableSnapshot()
+			cell := snap["sink"]["count"]
+			if len(cell) != 1 || cell[0] == 0 {
+				t.Fatalf("durable snapshot missing sink count: %v", snap)
+			}
+			var st struct{ Count int }
+			if err := json.Unmarshal(sys.Substrate().MachineState("sink"), &st); err != nil {
+				t.Fatal(err)
+			}
+			if int(cell[0]) != st.Count {
+				t.Fatalf("durable count %d != recovered state count %d", cell[0], st.Count)
+			}
+		})
+	}
+}
+
 // TestSimAccessorCompat pins the deprecated escape hatch: sim-backed
 // systems still expose the simulator, live-backed systems return nil.
 func TestSimAccessorCompat(t *testing.T) {

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -260,5 +261,44 @@ func TestBankDeterministicAcrossRuns(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("nondeterministic bank: %d vs %d", a, b)
+	}
+}
+
+// TestTwoPCCoordinatorCheckpointlessRestart: with no checkpoint on file a
+// crash-restart re-Inits the same Coordinator instance, so Init must zero
+// the stale pre-crash tallies — regression for double-counted re-collected
+// votes reaching quorum (Yes:3 from two yes-voters) and committing against
+// a binding abort.
+func TestTwoPCCoordinatorCheckpointlessRestart(t *testing.T) {
+	cfg := TwoPCConfig{Participants: 3, NoVoters: []int{1}, SlowVoters: []int{1},
+		Timeout: 20, VoteDelay: 60}
+	ms := NewTwoPC(cfg)
+	// Jitter-free latency pins the interleaving: both fast yes-votes are
+	// counted by t=2, the crash hits at t=4 with the slow no-vote still
+	// pending, and the restart at t=8 finds no checkpoint.
+	s := dsim.New(dsim.Config{Seed: 2, MinLatency: 1, MaxLatency: 1, MaxSteps: 50_000})
+	ids := make([]string, 0, len(ms))
+	for id := range ms {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s.AddProcess(id, ms[id])
+	}
+	s.CrashAt(CoordName, 4)
+	s.RestartAt(CoordName, 8)
+	stats := s.Run()
+	if stats.Crashes != 1 || stats.Restarts != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1/1", stats.Crashes, stats.Restarts)
+	}
+	coord := ms[CoordName].(*Coordinator)
+	if total := coord.st.Yes + coord.st.No; total > cfg.Participants {
+		t.Fatalf("coordinator counted %d votes from %d participants", total, cfg.Participants)
+	}
+	if v := fault.NewMonitor(TwoPCAtomicity()).Check(s); len(v) > 0 {
+		t.Fatalf("atomicity violated after checkpoint-less coordinator restart: %v", v)
+	}
+	if coord.st.Decision != "abort" {
+		t.Fatalf("coordinator decided %q with a binding no-vote outstanding, want abort", coord.st.Decision)
 	}
 }

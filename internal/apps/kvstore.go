@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -28,6 +29,14 @@ const KVClientName = "kvclient"
 
 // KVReplicaName returns the process ID of replica i.
 func KVReplicaName(i int) string { return fmt.Sprintf("kvrep%02d", i) }
+
+// kvDurablePrefix prefixes the primary's per-key stable-storage cells.
+// Each cell holds the key's latest version assignment — 8-byte LE version
+// followed by the value bytes — written before the assignment is
+// replicated, so a crash-restarted primary never forgets a version a
+// replica may already have applied (the hazard that kept the primary out
+// of crash-restart chaos before stable storage existed).
+const kvDurablePrefix = "kv:"
 
 // kvState is the serializable state of a store node: the visible key
 // versions and values (bulk values also mirrored into the heap for
@@ -75,20 +84,70 @@ func NewKVStore(cfg KVConfig) map[string]dsim.Machine {
 // State implements dsim.Machine.
 func (n *KVNode) State() any { return &n.st }
 
-// Init allocates the maps.
+// Init allocates the maps. A primary restarted without any checkpoint
+// recovers its durable version assignments before serving writes.
 func (n *KVNode) Init(ctx dsim.Context) {
 	n.st.Values = map[string]string{}
 	n.st.Versions = map[string]uint64{}
+	if n.primary {
+		n.recoverAssignments(ctx)
+	}
 }
 
-// apply installs key=value@ver and mirrors it into the heap.
-func (n *KVNode) apply(ctx dsim.Context, key, val string, ver uint64) {
+// install sets key=value@ver in state and mirrors it into the heap — the
+// shared tail of the normal apply path and crash recovery, so the two
+// cannot drift.
+func (n *KVNode) install(ctx dsim.Context, key, val string, ver uint64) {
 	n.st.Values[key] = val
 	n.st.Versions[key] = ver
-	n.st.Applied++
 	// One heap page region per key index keeps writes page-local.
 	if idx, err := strconv.Atoi(strings.TrimPrefix(key, "k")); err == nil {
 		ctx.Heap().WriteUint64(idx*512, ver)
+	}
+}
+
+// replicate broadcasts an assignment to every replica.
+func (n *KVNode) replicate(ctx dsim.Context, key, val string, ver uint64) {
+	for i := 0; i < n.cfg.Replicas; i++ {
+		ctx.Send(KVReplicaName(i), []byte(fmt.Sprintf("repl|%s|%s|%d", key, val, ver)))
+	}
+}
+
+// apply installs key=value@ver. The primary additionally forces the
+// assignment to stable storage — before any replica can observe it, since
+// apply precedes the replication broadcast.
+func (n *KVNode) apply(ctx dsim.Context, key, val string, ver uint64) {
+	if n.primary {
+		cell := binary.LittleEndian.AppendUint64(make([]byte, 0, 8+len(val)), ver)
+		ctx.DurablePut(kvDurablePrefix+key, append(cell, val...))
+	}
+	n.install(ctx, key, val, ver)
+	n.st.Applied++
+}
+
+// recoverAssignments re-installs durably recorded version assignments that
+// are ahead of the restored state — a crash restart rewinds the primary to
+// a checkpoint that may predate assignments replicas already applied,
+// which would otherwise leave replicas "ahead" of the version authority
+// forever. Recovered assignments are re-replicated: the restart purged any
+// replication of them still in flight.
+func (n *KVNode) recoverAssignments(ctx dsim.Context) {
+	for _, dk := range ctx.DurableKeys() {
+		key, ok := strings.CutPrefix(dk, kvDurablePrefix)
+		if !ok {
+			continue
+		}
+		cell, ok := ctx.DurableGet(dk)
+		if !ok || len(cell) < 8 {
+			continue
+		}
+		ver := binary.LittleEndian.Uint64(cell[:8])
+		val := string(cell[8:])
+		if ver <= n.st.Versions[key] {
+			continue
+		}
+		n.install(ctx, key, val, ver)
+		n.replicate(ctx, key, val, ver)
 	}
 }
 
@@ -103,9 +162,7 @@ func (n *KVNode) OnMessage(ctx dsim.Context, from string, payload []byte) {
 		key, val := parts[1], parts[2]
 		ver := n.st.Versions[key] + 1
 		n.apply(ctx, key, val, ver)
-		for i := 0; i < n.cfg.Replicas; i++ {
-			ctx.Send(KVReplicaName(i), []byte(fmt.Sprintf("repl|%s|%s|%d", key, val, ver)))
-		}
+		n.replicate(ctx, key, val, ver)
 	case "repl": // repl|key|value|version — replication to a replica
 		if n.primary || len(parts) != 4 {
 			return
@@ -133,9 +190,15 @@ func (n *KVNode) OnMessage(ctx dsim.Context, from string, payload []byte) {
 // OnTimer is unused.
 func (n *KVNode) OnTimer(dsim.Context, string) {}
 
-// OnRollback enables the version check — the healed code path.
+// OnRollback enables the version check — the healed code path — and, on a
+// crash restart of the primary, recovers the durable version assignments
+// (deliberate Time-Machine rollbacks rewind replicas consistently, so the
+// checkpoint state is already the intended authority there).
 func (n *KVNode) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {
 	n.st.Fixed = true
+	if n.primary && info.CrashRestart {
+		n.recoverAssignments(ctx)
+	}
 }
 
 // State implements dsim.Machine.

@@ -23,10 +23,14 @@ type AppSpec struct {
 	// violation on the correct variant is always a real bug.
 	Invariants func(buggy bool) []fault.GlobalInvariant
 	// CrashOK reports whether proc may be crash-restarted from a local
-	// checkpoint without breaking the invariants by construction. A 2PC
-	// coordinator, for example, may not: rolling back a broadcast decision
-	// is the classic unrecoverable coordinator failure, not the scheduling
-	// bug class the matrix probes.
+	// checkpoint without breaking the invariants by construction. Since the
+	// stable-storage layer (dsim.Context.Durable…) landed, every registered
+	// workload process qualifies: the 2PC coordinator and the KV primary —
+	// the two historical exclusions, for which a local rollback would
+	// forget a broadcast decision or a replicated version assignment —
+	// write those records to stable storage before broadcasting and recover
+	// them on restart. The hook remains for future workloads with genuinely
+	// unrecoverable processes.
 	CrashOK func(proc string) bool
 	// Config is the simulation profile (latency band, checkpoint policy).
 	// The caller fills in Seed.
@@ -65,9 +69,11 @@ func chaosConfig(minLat, maxLat uint64) dsim.Config {
 	}
 }
 
-// RegistryExcept returns the registry minus the named applications.
-// Guided search uses it to exclude tokenring, whose seeded-bug variant
-// saturates the simulation step bound under chaos (~1s per execution).
+// RegistryExcept returns the registry minus the named applications —
+// used to focus an experiment or keep a test fast (tokenring's seeded-bug
+// variant costs ~1s/run without early-exit monitoring). Guided search
+// itself sweeps the full registry: the tokenring exclusion was lifted when
+// early-exit invariant monitoring (Runner.CheckEvery) made it affordable.
 func RegistryExcept(names ...string) []AppSpec {
 	skip := make(map[string]bool, len(names))
 	for _, n := range names {
@@ -173,10 +179,10 @@ func Registry() []AppSpec {
 			Invariants: func(bool) []fault.GlobalInvariant {
 				return []fault.GlobalInvariant{KVSafety()}
 			},
-			// The primary is the version authority: locally rolling it back
-			// forgets version assignments replicas already applied, which is
-			// a genuine (known) hazard, not the one this matrix probes.
-			CrashOK: func(proc string) bool { return proc != KVPrimaryName },
+			// The primary durably logs every version assignment before
+			// replicating it and recovers the log on restart, so even the
+			// version authority is crash-restartable.
+			CrashOK: func(string) bool { return true },
 			Config: func(buggy bool) dsim.Config {
 				return pick(buggy, chaosConfig(1, 30), chaosConfig(1, 8))
 			},
@@ -220,7 +226,10 @@ func Registry() []AppSpec {
 			Invariants: func(bool) []fault.GlobalInvariant {
 				return []fault.GlobalInvariant{TwoPCAtomicity()}
 			},
-			CrashOK: func(proc string) bool { return proc != CoordName },
+			// The coordinator durably logs its decision before broadcasting
+			// and re-installs it on restart, so the classic unrecoverable-
+			// coordinator failure cannot occur.
+			CrashOK: func(string) bool { return true },
 			Config: func(buggy bool) dsim.Config {
 				return pick(buggy, chaosConfig(1, 2), chaosConfig(1, 6))
 			},

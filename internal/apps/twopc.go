@@ -30,6 +30,14 @@ type TwoPCConfig struct {
 // CoordName is the coordinator's process ID.
 const CoordName = "coord"
 
+// decisionKey is the coordinator's stable-storage cell. The decision is
+// forced to stable storage before the first participant can observe it, so
+// a crash-restarted coordinator re-installs and re-broadcasts it instead
+// of re-deciding from a pre-decision checkpoint — the classic
+// unrecoverable-coordinator failure that kept this workload out of
+// crash-restart chaos until the Context.Durable… layer landed.
+const decisionKey = "2pc:decision"
+
 // PartName returns the process ID of participant i.
 func PartName(i int) string { return fmt.Sprintf("part%02d", i) }
 
@@ -79,8 +87,17 @@ func NewTwoPC(cfg TwoPCConfig) map[string]dsim.Machine {
 // State implements dsim.Machine.
 func (c *Coordinator) State() any { return &c.st }
 
-// Init broadcasts PREPARE and arms the vote timeout.
+// Init broadcasts PREPARE and arms the vote timeout. Init also serves a
+// coordinator restarted without any checkpoint (dsim re-Inits the same
+// machine instance), so it must zero the tallies — stale pre-crash
+// Yes/No counts would double-count re-collected votes — and consult
+// stable storage first: with a decision already on disk the round is
+// over, and re-running the prepare phase could contradict it.
 func (c *Coordinator) Init(ctx dsim.Context) {
+	c.st = coordState{}
+	if c.recoverDecision(ctx) {
+		return
+	}
 	c.st.Phase = "prepare"
 	c.st.Voted = map[string]bool{}
 	for i := 0; i < c.cfg.Participants; i++ {
@@ -89,13 +106,35 @@ func (c *Coordinator) Init(ctx dsim.Context) {
 	ctx.SetTimer("vote-timeout", c.cfg.Timeout)
 }
 
-// decide broadcasts the decision.
+// decide broadcasts the decision. The durable write comes first: once any
+// participant can observe the decision it must survive a coordinator
+// crash, or a restart from a pre-decision checkpoint would re-decide —
+// possibly differently — against participants that already applied it.
 func (c *Coordinator) decide(ctx dsim.Context, d string) {
+	ctx.DurablePut(decisionKey, []byte(d))
 	c.st.Decision = d
 	c.st.Phase = "done"
 	for i := 0; i < c.cfg.Participants; i++ {
 		ctx.Send(PartName(i), []byte(d))
 	}
+}
+
+// recoverDecision re-installs a durably recorded decision, reporting
+// whether one existed. The crash may have rewound the coordinator to a
+// checkpoint taken before the decision (purging the still-in-flight
+// broadcast with it), so the decision is re-broadcast; participants absorb
+// duplicates idempotently.
+func (c *Coordinator) recoverDecision(ctx dsim.Context) bool {
+	d, ok := ctx.DurableGet(decisionKey)
+	if !ok {
+		return false
+	}
+	c.st.Decision = string(d)
+	c.st.Phase = "done"
+	for i := 0; i < c.cfg.Participants; i++ {
+		ctx.Send(PartName(i), []byte(c.st.Decision))
+	}
+	return true
 }
 
 // OnMessage tallies votes. Each participant's vote counts once: a
@@ -141,8 +180,15 @@ func (c *Coordinator) OnTimer(ctx dsim.Context, name string) {
 	c.decide(ctx, "abort")
 }
 
-// OnRollback resets the round so the fixed protocol can re-run.
-func (c *Coordinator) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {}
+// OnRollback recovers the durable decision after a crash restart. A
+// Time-Machine/heal rollback deliberately rewinds a consistent line so an
+// alternate path can re-execute (and re-decide, overwriting the cell), so
+// recovery is scoped to involuntary crash-restarts.
+func (c *Coordinator) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {
+	if info.CrashRestart {
+		c.recoverDecision(ctx)
+	}
+}
 
 // State implements dsim.Machine.
 func (p *Participant) State() any { return &p.st }

@@ -21,6 +21,14 @@ type RunResult struct {
 	ProbeFaults int      // clock-probe regressions among them
 	Stats       dsim.Stats
 	Procs       []string
+	// Durable is the stable-storage snapshot at end of run (proc -> cell ->
+	// value), captured only for failing runs — its sole consumers are
+	// artifact capture and replay verification, and snapshotting every
+	// passing run would put a per-run allocation back on the pooled hot
+	// path. Deterministic given the cell identity, it pins
+	// recovery-dependent outcomes — a crash-restarted coordinator
+	// re-installing its logged decision — alongside the scroll digest.
+	Durable map[string]map[string][]byte `json:",omitempty"`
 }
 
 // ShapeBucket is the Lamport window width RunResult.Shape buckets events
@@ -152,6 +160,9 @@ func (r Runner) finish(sched Schedule, s *dsim.Sim, a *runArena) *RunResult {
 	res := &RunResult{Stats: stats, Procs: s.Procs()}
 	for _, v := range mon.Check(s) {
 		res.Violations = append(res.Violations, v.Invariant)
+	}
+	if len(res.Violations) > 0 {
+		res.Durable = s.DurableSnapshot()
 	}
 	for _, f := range s.Faults() {
 		res.LocalFaults++

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"reflect"
+	"sort"
 
 	"repro/internal/fault"
 )
@@ -169,6 +170,12 @@ type Artifact struct {
 	// restores it. Omitted (0) for classic run-to-quiescence artifacts, so
 	// pre-existing artifacts decode unchanged.
 	CheckEvery uint64 `json:",omitempty"`
+	// Durable is the failing run's stable-storage snapshot (proc -> cell ->
+	// value). Stable storage feeds crash-restart recovery, so a replay that
+	// reproduces the digest must also reproduce these contents exactly —
+	// check enforces it. Omitted when the run wrote none, so pre-existing
+	// artifacts decode unchanged.
+	Durable map[string]map[string][]byte `json:",omitempty"`
 }
 
 // NewArtifact captures a failing run as a replayable artifact.
@@ -176,7 +183,7 @@ func NewArtifact(r Runner, sched Schedule, res *RunResult) *Artifact {
 	return &Artifact{
 		App: r.Spec.Name, Buggy: r.Buggy, Probe: r.Probe, Seed: r.Seed,
 		Schedule: sched, Violations: res.Violations, Digest: res.Digest,
-		CheckEvery: r.CheckEvery,
+		CheckEvery: r.CheckEvery, Durable: res.Durable,
 	}
 }
 
@@ -235,5 +242,47 @@ func (a *Artifact) check(res *RunResult) error {
 	if !reflect.DeepEqual(res.Violations, a.Violations) {
 		return fmt.Errorf("chaos: replay violations %v != recorded %v", res.Violations, a.Violations)
 	}
+	if !reflect.DeepEqual(res.Durable, a.Durable) {
+		return fmt.Errorf("chaos: replay stable-storage contents differ from recorded: %s",
+			durableDiff(res.Durable, a.Durable))
+	}
 	return nil
+}
+
+// durableDiff names the first differing proc/cell between two snapshots,
+// in sorted order so the message is deterministic.
+func durableDiff(got, want map[string]map[string][]byte) string {
+	procs := map[string]bool{}
+	for p := range got {
+		procs[p] = true
+	}
+	for p := range want {
+		procs[p] = true
+	}
+	sorted := make([]string, 0, len(procs))
+	for p := range procs {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	for _, p := range sorted {
+		g, w := got[p], want[p]
+		cells := map[string]bool{}
+		for k := range g {
+			cells[k] = true
+		}
+		for k := range w {
+			cells[k] = true
+		}
+		ck := make([]string, 0, len(cells))
+		for k := range cells {
+			ck = append(ck, k)
+		}
+		sort.Strings(ck)
+		for _, k := range ck {
+			if string(g[k]) != string(w[k]) {
+				return fmt.Sprintf("proc %s cell %q: replay %q, recorded %q", p, k, g[k], w[k])
+			}
+		}
+	}
+	return "snapshots differ only in cell presence shape"
 }

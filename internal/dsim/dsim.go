@@ -68,6 +68,19 @@ type Context interface {
 	SetTimer(name string, delay uint64)
 	// Heap is the process's checkpointable bulk store.
 	Heap() *checkpoint.Heap
+	// DurablePut writes key = value to the process's stable storage — the
+	// per-process cell store that models a disk (liblog/Flashback-style
+	// durable logging, paper §3.1). Unlike the heap and machine state it is
+	// deliberately NOT rewound by crash-restart or rollback: a write, once
+	// made, survives every checkpoint restore for the rest of the run. The
+	// write is recorded in the scroll, so replays observe it.
+	DurablePut(key string, value []byte)
+	// DurableGet reads a stable-storage cell. The outcome is recorded in
+	// the scroll (KindEnv), so per-process replay feeds the same value back.
+	DurableGet(key string) ([]byte, bool)
+	// DurableKeys returns the sorted keys present in stable storage
+	// (recorded, like DurableGet).
+	DurableKeys() []string
 	// Log records an informational note.
 	Log(format string, args ...any)
 	// Fault reports a locally detected invariant violation.
@@ -88,6 +101,13 @@ type RollbackInfo struct {
 	Assumption string // the invalidated assumption
 	Reason     string // how it was invalidated
 	Manual     bool   // true for Time-Machine/crash-restart rollbacks
+	// CrashRestart is true only for crash-restart recovery, where the
+	// process alone was involuntarily rewound and stable storage
+	// (Context.Durable…) is its authoritative recovery source. It is false
+	// for Time-Machine/speculation/heal rollbacks, which rewind a
+	// consistent line across processes on purpose so an alternate path can
+	// re-execute — machines should not re-install durable decisions there.
+	CrashRestart bool
 }
 
 // FaultRecord is a locally detected fault reported through Context.Fault.
@@ -198,6 +218,12 @@ type proc struct {
 	halted    bool
 	delivered uint64 // events delivered (for periodic checkpoints)
 	ckptSkew  uint64 // stagger offset for periodic checkpoints
+
+	// durable is the process's stable storage (Context.Durable…): written
+	// through the context, never rewound by restoreProc — modeling a disk
+	// that survives crash-restart and rollback. Sim.Reset clears it so
+	// pooled arenas start every run empty, like a fresh simulation.
+	durable map[string][]byte
 }
 
 // clockSnap returns a copy of the process's vector clock that is shared by
@@ -386,6 +412,10 @@ func (s *Sim) Reset(cfg Config) {
 	s.queue.reset()
 	for id, p := range s.procs {
 		p.machine = nil
+		// Stable storage survives everything within a run; between runs it
+		// must vanish, or pooled and fresh simulations would diverge (see
+		// TestDurableResetEquivalence).
+		clear(p.durable)
 		s.spare[id] = p
 		delete(s.procs, id)
 	}
@@ -849,7 +879,7 @@ func (s *Sim) restart(id string) {
 	s.stats.Restarts++
 	if ck := s.store.Latest(id); ck != nil {
 		s.restoreProc(p, ck)
-		p.machine.OnRollback(p.ctx, RollbackInfo{Manual: true, Reason: "crash restart"})
+		p.machine.OnRollback(p.ctx, RollbackInfo{Manual: true, CrashRestart: true, Reason: "crash restart"})
 	} else {
 		p.machine.Init(p.ctx)
 	}
@@ -893,7 +923,8 @@ func (s *Sim) takeCheckpoint(p *proc, specID, label string) *checkpoint.Checkpoi
 
 // restoreProc rewinds a process to a checkpoint: heap, machine state,
 // vector clock and scroll position. Events the process created after the
-// checkpoint are purged from the queue.
+// checkpoint are purged from the queue. Stable storage (proc.durable) is
+// deliberately untouched: disk writes cannot be unwritten by a restore.
 func (s *Sim) restoreProc(p *proc, ck *checkpoint.Checkpoint) {
 	p.heap.Restore(ck.Snap)
 	if err := json.Unmarshal(ck.Extra, p.machine.State()); err != nil {

@@ -1,0 +1,155 @@
+package dsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/scroll"
+)
+
+// Stable storage (Context.DurablePut/DurableGet/DurableKeys) models the
+// one resource a crash cannot take away from a process: its disk. Each
+// process owns a flat cell store that is written through the context and
+// deliberately NOT rewound by crash-restart, Time-Machine rollback or
+// speculation aborts — which is what makes classically unrecoverable
+// processes (a 2PC coordinator whose broadcast decision would otherwise be
+// forgotten, a KV primary whose version assignments replicas already
+// applied) genuinely crash-restartable (paper §3.1: liblog/Flashback-style
+// durable logging). Between runs the store vanishes: Sim.Reset clears it
+// along with the rest of the arena, so a pooled simulation starts every
+// run exactly like a fresh one.
+//
+// Every durable operation is recorded in the process's scroll as a
+// KindEnv record under the MsgIDs below, with the same payload encodings
+// on both backends, so per-process replay (Replay) feeds the recorded
+// outcomes back without the store being present.
+
+// Scroll MsgIDs for stable-storage records. The live substrate records
+// the identical identities, so replay treats both backends' scrolls
+// uniformly.
+const (
+	DurablePutMsgID  = "durable:put"
+	DurableGetMsgID  = "durable:get"
+	DurableKeysMsgID = "durable:keys"
+)
+
+// EncodeDurableGet renders a DurableGet outcome as a scroll payload: a
+// found byte (0/1) followed by the value when found.
+func EncodeDurableGet(v []byte, ok bool) []byte {
+	if !ok {
+		return []byte{0}
+	}
+	out := make([]byte, 1+len(v))
+	out[0] = 1
+	copy(out[1:], v)
+	return out
+}
+
+// DecodeDurableGet parses an EncodeDurableGet payload.
+func DecodeDurableGet(b []byte) ([]byte, bool, error) {
+	if len(b) == 0 {
+		return nil, false, fmt.Errorf("dsim: empty durable-get record")
+	}
+	if b[0] == 0 {
+		return nil, false, nil
+	}
+	return append([]byte(nil), b[1:]...), true, nil
+}
+
+// EncodeDurableKeys renders a DurableKeys outcome as a scroll payload:
+// uvarint-length-prefixed keys, concatenated.
+func EncodeDurableKeys(keys []string) []byte {
+	var out []byte
+	for _, k := range keys {
+		out = binary.AppendUvarint(out, uint64(len(k)))
+		out = append(out, k...)
+	}
+	return out
+}
+
+// DecodeDurableKeys parses an EncodeDurableKeys payload.
+func DecodeDurableKeys(b []byte) ([]string, error) {
+	var keys []string
+	for len(b) > 0 {
+		n, w := binary.Uvarint(b)
+		if w <= 0 || uint64(len(b)-w) < n {
+			return nil, fmt.Errorf("dsim: malformed durable-keys record")
+		}
+		keys = append(keys, string(b[w:w+int(n)]))
+		b = b[w+int(n):]
+	}
+	return keys, nil
+}
+
+// DurablePut implements Context: the cell is written to the process's
+// stable store and the write is recorded in the scroll. Writes survive
+// crash-restart and every rollback for the rest of the run.
+func (c *simContext) DurablePut(key string, value []byte) {
+	p := c.proc
+	if p.durable == nil {
+		p.durable = make(map[string][]byte)
+	}
+	body := append([]byte(nil), value...)
+	p.durable[key] = body
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindEnv, MsgID: DurablePutMsgID, Peer: key, Payload: body,
+		Lamport: p.lamport.Now(), Clock: p.clockSnap(),
+	})
+}
+
+// DurableGet implements Context, recording the outcome so replays observe
+// the same value.
+func (c *simContext) DurableGet(key string) ([]byte, bool) {
+	p := c.proc
+	v, ok := p.durable[key]
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindEnv, MsgID: DurableGetMsgID, Peer: key,
+		Payload: EncodeDurableGet(v, ok),
+		Lamport: p.lamport.Now(), Clock: p.clockSnap(),
+	})
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// DurableKeys implements Context, recording the (sorted) key list.
+func (c *simContext) DurableKeys() []string {
+	p := c.proc
+	keys := make([]string, 0, len(p.durable))
+	for k := range p.durable {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindEnv, MsgID: DurableKeysMsgID,
+		Payload: EncodeDurableKeys(keys),
+		Lamport: p.lamport.Now(), Clock: p.clockSnap(),
+	})
+	return keys
+}
+
+// DurableSnapshot returns a deep copy of every process's stable-storage
+// cells, keyed proc -> key -> value. Processes with no durable cells are
+// omitted; a run in which nothing was written returns nil. The snapshot is
+// deterministic given the run, which is how chaos artifacts pin
+// recovery-dependent outcomes in addition to the scroll digest.
+func (s *Sim) DurableSnapshot() map[string]map[string][]byte {
+	var out map[string]map[string][]byte
+	for _, id := range s.order {
+		p := s.procs[id]
+		if len(p.durable) == 0 {
+			continue
+		}
+		cells := make(map[string][]byte, len(p.durable))
+		for k, v := range p.durable {
+			cells[k] = append([]byte(nil), v...)
+		}
+		if out == nil {
+			out = make(map[string]map[string][]byte, len(s.order))
+		}
+		out[id] = cells
+	}
+	return out
+}

@@ -72,6 +72,61 @@ func (c *replayCtx) SetTimer(string, uint64) {} // timer fires come from the scr
 
 func (c *replayCtx) Heap() *checkpoint.Heap { return c.heap }
 
+// DurablePut verifies the re-executed write against the recorded one —
+// like ExpectSend, a differing durable write means the replay took a
+// different path than the original run.
+func (c *replayCtx) DurablePut(key string, value []byte) {
+	rec, err := c.rp.Next(scroll.KindEnv)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	if rec.MsgID != DurablePutMsgID || rec.Peer != key || string(rec.Payload) != string(value) {
+		c.fail(fmt.Errorf("%w: durable put %q differs from recorded %s %q at seq %d",
+			scroll.ErrReplayDiverged, key, rec.MsgID, rec.Peer, rec.Seq))
+	}
+}
+
+// DurableGet feeds the recorded read outcome back.
+func (c *replayCtx) DurableGet(key string) ([]byte, bool) {
+	rec, err := c.rp.Next(scroll.KindEnv)
+	if err != nil {
+		c.fail(err)
+		return nil, false
+	}
+	if rec.MsgID != DurableGetMsgID || rec.Peer != key {
+		c.fail(fmt.Errorf("%w: durable get %q differs from recorded %s %q at seq %d",
+			scroll.ErrReplayDiverged, key, rec.MsgID, rec.Peer, rec.Seq))
+		return nil, false
+	}
+	v, ok, err := DecodeDurableGet(rec.Payload)
+	if err != nil {
+		c.fail(err)
+		return nil, false
+	}
+	return v, ok
+}
+
+// DurableKeys feeds the recorded key list back.
+func (c *replayCtx) DurableKeys() []string {
+	rec, err := c.rp.Next(scroll.KindEnv)
+	if err != nil {
+		c.fail(err)
+		return nil
+	}
+	if rec.MsgID != DurableKeysMsgID {
+		c.fail(fmt.Errorf("%w: durable keys read differs from recorded %s at seq %d",
+			scroll.ErrReplayDiverged, rec.MsgID, rec.Seq))
+		return nil
+	}
+	keys, err := DecodeDurableKeys(rec.Payload)
+	if err != nil {
+		c.fail(err)
+		return nil
+	}
+	return keys
+}
+
 func (c *replayCtx) Log(string, ...any) {}
 
 func (c *replayCtx) Fault(desc string) { c.faults = append(c.faults, desc) }

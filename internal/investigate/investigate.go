@@ -153,6 +153,7 @@ type sandboxCtx struct {
 	sends   []Msg
 	timers  []Timer
 	faults  []string
+	durable map[string][]byte
 	halted  bool
 	randSeq uint64
 	step    uint64
@@ -180,6 +181,34 @@ func (c *sandboxCtx) SetTimer(name string, delay uint64) {
 }
 
 func (c *sandboxCtx) Heap() *checkpoint.Heap { return c.heap }
+
+// Stable storage during investigation is scratch local to the explored
+// handler: puts are captured, gets observe them. The pre-existing on-disk
+// state is outside the environment model — the investigator explores
+// message/timer interleavings, not crash-recovery paths.
+func (c *sandboxCtx) DurablePut(key string, value []byte) {
+	if c.durable == nil {
+		c.durable = make(map[string][]byte)
+	}
+	c.durable[key] = append([]byte(nil), value...)
+}
+
+func (c *sandboxCtx) DurableGet(key string) ([]byte, bool) {
+	v, ok := c.durable[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+func (c *sandboxCtx) DurableKeys() []string {
+	keys := make([]string, 0, len(c.durable))
+	for k := range c.durable {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 func (c *sandboxCtx) Log(string, ...any) {}
 

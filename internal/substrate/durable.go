@@ -1,0 +1,129 @@
+package substrate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/wal"
+)
+
+// durableStore is one live process's stable storage — the backend half of
+// the Context.Durable… seam (see internal/dsim/durable.go for the model).
+// The cell map always lives in memory; with a backing directory every put
+// is additionally write-ahead logged onto internal/wal (segmented,
+// checksummed, fsync'd appends), so the cells survive real process
+// crashes: reopening the store replays the log, last record per key wins.
+// A torn final record — the crash landed mid-append — is silently dropped
+// by the WAL's recovery scan, losing at most the newest put; corruption
+// anywhere earlier surfaces wal.ErrCorrupt instead of silently serving
+// bad state.
+//
+// Synchronization is the caller's: LiveSubstrate accesses a process's
+// store under that process's mutex, like the scroll and heap.
+type durableStore struct {
+	cells map[string][]byte
+	log   *wal.Log // nil = in-memory only (still survives in-substrate crash-restart)
+}
+
+// openDurableStore opens proc's stable storage. An empty dir selects the
+// in-memory store; otherwise the WAL directory dir/proc is created or
+// recovered.
+func openDurableStore(dir, proc string) (*durableStore, error) {
+	ds := &durableStore{cells: make(map[string][]byte)}
+	if dir == "" {
+		return ds, nil
+	}
+	path := filepath.Join(dir, proc)
+	log, err := wal.Open(path, wal.Options{Sync: true})
+	if err != nil {
+		return nil, err
+	}
+	recs, err := wal.ReadAll(path)
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("substrate: recover durable store %s: %w", path, err)
+	}
+	for i, rec := range recs {
+		k, v, err := decodeDurableRecord(rec)
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("substrate: recover durable store %s record %d: %w", path, i, err)
+		}
+		ds.cells[k] = v
+	}
+	ds.log = log
+	return ds, nil
+}
+
+// put installs key = value and, when backed, appends it to the WAL.
+func (ds *durableStore) put(key string, value []byte) error {
+	v := append([]byte(nil), value...)
+	ds.cells[key] = v
+	if ds.log != nil {
+		if _, err := ds.log.Append(encodeDurableRecord(key, v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// get reads a cell.
+func (ds *durableStore) get(key string) ([]byte, bool) {
+	v, ok := ds.cells[key]
+	return v, ok
+}
+
+// keys returns the sorted cell keys.
+func (ds *durableStore) keys() []string {
+	out := make([]string, 0, len(ds.cells))
+	for k := range ds.cells {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot deep-copies the cells (nil when empty).
+func (ds *durableStore) snapshot() map[string][]byte {
+	if len(ds.cells) == 0 {
+		return nil
+	}
+	out := make(map[string][]byte, len(ds.cells))
+	for k, v := range ds.cells {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// close releases the WAL (no-op for the in-memory store).
+func (ds *durableStore) close() error {
+	if ds.log == nil {
+		return nil
+	}
+	return ds.log.Close()
+}
+
+// encodeDurableRecord renders one WAL payload: uvarint key length, key
+// bytes, value bytes.
+func encodeDurableRecord(key string, value []byte) []byte {
+	out := make([]byte, 0, binary.MaxVarintLen64+len(key)+len(value))
+	out = binary.AppendUvarint(out, uint64(len(key)))
+	out = append(out, key...)
+	out = append(out, value...)
+	return out
+}
+
+// decodeDurableRecord parses an encodeDurableRecord payload — the
+// recovery decode path, hardened against arbitrary bytes (fuzzed by
+// FuzzDurableRecordDecode).
+func decodeDurableRecord(b []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || uint64(len(b)-w) < n {
+		return "", nil, fmt.Errorf("substrate: malformed durable record (key length %d, %d bytes)", n, len(b))
+	}
+	key := string(b[w : w+int(n)])
+	value := append([]byte(nil), b[w+int(n):]...)
+	return key, value, nil
+}

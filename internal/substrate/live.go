@@ -48,6 +48,14 @@ type LiveConfig struct {
 	// HeapSize / HeapPageSize mirror dsim.Config (defaults 64KiB / 4096).
 	HeapSize     int
 	HeapPageSize int
+	// DurableDir, when set, backs each process's stable storage
+	// (Context.Durable…) with a write-ahead log under DurableDir/<proc>
+	// (internal/wal: segmented, checksummed, fsync'd), so durable cells
+	// survive real process crashes: a new substrate opened on the same
+	// directory recovers them at AddProcess. Empty keeps stable storage in
+	// memory — it still survives in-substrate crash-restart and rollback,
+	// matching the simulator's model.
+	DurableDir string
 }
 
 func (cfg LiveConfig) withDefaults() LiveConfig {
@@ -218,6 +226,7 @@ type liveProc struct {
 	scroll  *scroll.Scroll
 	clock   vclock.VC
 	lamport vclock.Lamport
+	durable *durableStore // stable storage: survives crash-restart and rollback
 	tr      transport.Transport
 	inbox   <-chan transport.Message
 	events  chan liveEvent
@@ -249,6 +258,10 @@ func (s *LiveSubstrate) AddProcess(id string, m dsim.Machine) {
 	if err != nil {
 		panic(fmt.Sprintf("substrate: register live process %q: %v", id, err))
 	}
+	durable, err := openDurableStore(s.cfg.DurableDir, id)
+	if err != nil {
+		panic(fmt.Sprintf("substrate: durable store for %q: %v", id, err))
+	}
 	p := &liveProc{
 		sub:     s,
 		id:      id,
@@ -256,6 +269,7 @@ func (s *LiveSubstrate) AddProcess(id string, m dsim.Machine) {
 		heap:    checkpoint.NewHeapPages(s.cfg.HeapSize, s.cfg.HeapPageSize),
 		scroll:  scroll.NewMemory(id),
 		clock:   vclock.New(),
+		durable: durable,
 		tr:      tr,
 		inbox:   inbox,
 		events:  make(chan liveEvent, 1024),
@@ -373,7 +387,7 @@ func (p *liveProc) handle(ev liveEvent) {
 		s.restarts.Add(1)
 		if ck := s.store.Latest(p.id); ck != nil {
 			p.restoreLocked(ck)
-			p.machine.OnRollback(ctx, dsim.RollbackInfo{Manual: true, Reason: "crash restart"})
+			p.machine.OnRollback(ctx, dsim.RollbackInfo{Manual: true, CrashRestart: true, Reason: "crash restart"})
 		} else {
 			p.machine.Init(ctx)
 		}
@@ -418,8 +432,10 @@ func (p *liveProc) takeCheckpointLocked(label string) *checkpoint.Checkpoint {
 
 // restoreLocked rewinds the process to a checkpoint: heap, machine state,
 // vector clock, scroll position, and the timers pending at the checkpoint.
-// Messages already in flight cannot be recalled — redelivery is
-// at-least-once, the documented fidelity gap of the live backend.
+// Stable storage (p.durable) is deliberately untouched: disk writes cannot
+// be unwritten by a restore. Messages already in flight cannot be recalled
+// — redelivery is at-least-once, the documented fidelity gap of the live
+// backend.
 func (p *liveProc) restoreLocked(ck *checkpoint.Checkpoint) {
 	p.heap.Restore(ck.Snap)
 	if err := json.Unmarshal(ck.Extra, p.machine.State()); err != nil {
@@ -691,6 +707,34 @@ func (s *LiveSubstrate) SetFaultHandler(h func(dsim.FaultRecord) bool) {
 	s.handler = h
 }
 
+// --- Substrate: stable storage ---
+
+// DurableSnapshot implements Substrate: a deep copy of every process's
+// stable-storage cells. Pause the substrate (or wait for quiescence)
+// before relying on a snapshot — recording is concurrent.
+func (s *LiveSubstrate) DurableSnapshot() map[string]map[string][]byte {
+	s.mu.Lock()
+	procs := make([]*liveProc, 0, len(s.order))
+	for _, id := range s.order {
+		procs = append(procs, s.procs[id])
+	}
+	s.mu.Unlock()
+	var out map[string]map[string][]byte
+	for _, p := range procs {
+		p.mu.Lock()
+		cells := p.durable.snapshot()
+		p.mu.Unlock()
+		if cells == nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]map[string][]byte, len(procs))
+		}
+		out[p.id] = cells
+	}
+	return out
+}
+
 // --- Substrate: checkpoint / rollback ---
 
 // Store implements Substrate.
@@ -863,6 +907,7 @@ func (s *LiveSubstrate) Capabilities() Capabilities {
 		ProcessReplay: true,
 		Checkpoints:   true,
 		Speculation:   false,
+		StableStorage: true,
 	}
 }
 
@@ -893,6 +938,13 @@ func (s *LiveSubstrate) Close() error {
 	// Cancel delayed chaos deliveries before the inner transports close so
 	// none of them lands on a closed transport.
 	s.net.Close()
+	// Flush and release the durable WALs: event loops have exited, so no
+	// further puts race the close.
+	for _, p := range procs {
+		p.mu.Lock()
+		p.durable.close()
+		p.mu.Unlock()
+	}
 	if s.hub != nil {
 		for _, p := range procs {
 			p.tr.Close()
@@ -968,6 +1020,55 @@ func (c *liveCtx) SetTimer(name string, delay uint64) {
 
 // Heap implements dsim.Context.
 func (c *liveCtx) Heap() *checkpoint.Heap { return c.p.heap }
+
+// DurablePut implements dsim.Context: the cell is written to the
+// process's stable store (WAL-backed when LiveConfig.DurableDir is set)
+// and recorded in the scroll under the same identity the simulator uses,
+// so live recordings replay uniformly.
+func (c *liveCtx) DurablePut(key string, value []byte) {
+	p := c.p
+	if err := p.durable.put(key, value); err != nil {
+		select {
+		case <-p.sub.shutdown:
+			// Closing: the cell map still took the write; losing the WAL
+			// append mirrors the transport's drop-on-close behavior.
+		default:
+			panic(fmt.Sprintf("substrate: durable put for %s: %v", p.id, err))
+		}
+	}
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindEnv, MsgID: dsim.DurablePutMsgID, Peer: key,
+		Payload: append([]byte(nil), value...),
+		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+	})
+}
+
+// DurableGet implements dsim.Context, recording the outcome.
+func (c *liveCtx) DurableGet(key string) ([]byte, bool) {
+	p := c.p
+	v, ok := p.durable.get(key)
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindEnv, MsgID: dsim.DurableGetMsgID, Peer: key,
+		Payload: dsim.EncodeDurableGet(v, ok),
+		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+	})
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// DurableKeys implements dsim.Context, recording the key list.
+func (c *liveCtx) DurableKeys() []string {
+	p := c.p
+	keys := p.durable.keys()
+	p.scroll.Append(scroll.Record{
+		Kind: scroll.KindEnv, MsgID: dsim.DurableKeysMsgID,
+		Payload: dsim.EncodeDurableKeys(keys),
+		Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+	})
+	return keys
+}
 
 // Log appends an informational record to the scroll.
 func (c *liveCtx) Log(format string, args ...any) {

@@ -30,6 +30,7 @@ func (s *SimSubstrate) Capabilities() Capabilities {
 		ProcessReplay: true,
 		Checkpoints:   true,
 		Speculation:   true,
+		StableStorage: true,
 	}
 }
 

@@ -88,6 +88,15 @@ type Substrate interface {
 	// primitive the Healer builds on.
 	ReplaceMachine(procID string, m dsim.Machine, state []byte) error
 
+	// --- stable storage ---
+
+	// DurableSnapshot returns a deep copy of every process's
+	// stable-storage cells (proc -> key -> value; nil when nothing was
+	// written). Stable storage — the Context.Durable… seam — survives
+	// crash-restart and rollback on both backends; see
+	// Capabilities.StableStorage.
+	DurableSnapshot() map[string]map[string][]byte
+
 	// --- chaos capability ---
 
 	// Injector returns the fault-injection surface chaos schedules arm.
@@ -122,4 +131,11 @@ type Capabilities struct {
 	// Sim-only: aborting requires recalling messages from the network,
 	// which only a simulated network can do.
 	Speculation bool
+	// StableStorage: per-process Context.Durable… cells survive
+	// crash-restart and rollback (they are never rewound by a checkpoint
+	// restore). True on both backends: in-memory on the simulator, and on
+	// the live backend optionally write-ahead logged onto internal/wal
+	// (LiveConfig.DurableDir) so the cells also survive real process
+	// crashes across substrate instances.
+	StableStorage bool
 }
