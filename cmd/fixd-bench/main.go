@@ -60,6 +60,7 @@ func main() {
 	searchJSON := flag.String("search.json", "BENCH_search.json", "guided-search benchmark output path")
 	runtimeBench := flag.Bool("runtime", false, "run the hot-path runtime benchmark and write its JSON artifact")
 	runtimeJSON := flag.String("runtime.json", "BENCH_runtime.json", "runtime benchmark output path")
+	runtimeReps := flag.Int("runtime.reps", 0, "timing reps per path for -runtime (0 = default: 5, or 1 with -quick)")
 	flag.Parse()
 
 	experiments.MatrixWorkers = *workers
@@ -79,7 +80,7 @@ func main() {
 			emitSearchBench(*workers, *searchJSON)
 		}
 		if *runtimeBench {
-			emitRuntimeBench(*workers, *quick, *runtimeJSON)
+			emitRuntimeBench(*workers, *runtimeReps, *quick, *runtimeJSON)
 		}
 		return
 	}
@@ -92,17 +93,17 @@ func main() {
 		emitSearchBench(*workers, *searchJSON)
 	}
 	if *runtimeBench {
-		emitRuntimeBench(*workers, *quick, *runtimeJSON)
+		emitRuntimeBench(*workers, *runtimeReps, *quick, *runtimeJSON)
 	}
 }
 
 // emitRuntimeBench runs the hot-path benchmark (old vs new run-loop path,
 // early-exit tokenring cost) and writes the JSON artifact.
-func emitRuntimeBench(workers int, quick bool, path string) {
+func emitRuntimeBench(workers, reps int, quick bool, path string) {
 	if path == "" {
 		return
 	}
-	b := experiments.RunRuntimeBench(workers, quick)
+	b := experiments.RunRuntimeBench(workers, reps, quick)
 	out, err := b.JSON()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fixd-bench: runtime bench:", err)

@@ -16,8 +16,14 @@
 // surviving crash-restart and rollback, WAL-backed on the live backend —
 // which is what makes classically unrecoverable processes like the 2PC
 // coordinator and the KV primary genuinely crash-restartable under chaos.
-// See README.md for the layout, the capability matrix, and the experiment
-// index.
+// Rollbacks are fenced by a per-run timeline epoch: every deliberate
+// rollback advances it, sends stamp it onto each message, receivers drop
+// stale-epoch frames at delivery (recording the fence in the Scroll), and
+// durable cells written by the abandoned timeline are invalidated so a
+// later crash-restart cannot re-install them — delivery is
+// exactly-once-per-timeline on both backends, not at-least-once across
+// timelines. See README.md for the layout, the capability matrix
+// ("Timeline epochs"), and the experiment index.
 //
 // # Performance
 //

@@ -192,8 +192,9 @@ func (n *KVNode) OnTimer(dsim.Context, string) {}
 
 // OnRollback enables the version check — the healed code path — and, on a
 // crash restart of the primary, recovers the durable version assignments
-// (deliberate Time-Machine rollbacks rewind replicas consistently, so the
-// checkpoint state is already the intended authority there).
+// (deliberate Time-Machine rollbacks rewind replicas consistently and
+// fence the abandoned timeline's durable writes, so the checkpoint state
+// is already the intended authority there).
 func (n *KVNode) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {
 	n.st.Fixed = true
 	if n.primary && info.CrashRestart {

@@ -182,8 +182,10 @@ func (c *Coordinator) OnTimer(ctx dsim.Context, name string) {
 
 // OnRollback recovers the durable decision after a crash restart. A
 // Time-Machine/heal rollback deliberately rewinds a consistent line so an
-// alternate path can re-execute (and re-decide, overwriting the cell), so
-// recovery is scoped to involuntary crash-restarts.
+// alternate path can re-execute and re-decide; the substrate fences the
+// abandoned timeline's cell at rollback (timeline epochs), so a
+// crash-restart racing into the pre-re-decision window finds nothing to
+// re-install. Recovery is therefore scoped to involuntary crash-restarts.
 func (c *Coordinator) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {
 	if info.CrashRestart {
 		c.recoverDecision(ctx)

@@ -164,6 +164,12 @@ func (s Schedule) Compile(procs []string) *fault.Plan {
 				add(fault.Injection{Kind: fault.ClockSkew, Proc: p,
 					At: sc.Window.From, Until: sc.Window.To, Skew: sc.Intensity.Skew})
 			}
+		case fault.Rollback:
+			// A deliberate rollback is a point event: the window's From is
+			// when the target rewinds to its latest checkpoint (new epoch).
+			for _, p := range targets {
+				add(fault.Injection{Kind: fault.Rollback, Proc: p, At: sc.Window.From})
+			}
 		}
 	}
 	return plan
@@ -198,7 +204,7 @@ func Generate(kind fault.Kind, procs []string, crashable []int, horizon uint64, 
 	}
 	sc := Scenario{Kind: kind}
 	switch kind {
-	case fault.Crash, fault.Partition, fault.Delay:
+	case fault.Crash, fault.Partition, fault.Delay, fault.Rollback:
 		sc.Window = window(horizon / 4)
 	case fault.Reorder, fault.Duplicate, fault.Drop:
 		sc.Window = window(horizon / 3)

@@ -26,7 +26,13 @@ const (
 
 // validScenarioKind reports whether k is a scenario kind (Restart is not:
 // it exists only as the compiled second half of a Crash scenario).
+// Rollback is a valid scenario kind without being matrix-swept: the heal ×
+// crash storms compose it explicitly, and mutation must not normalize it
+// away when it splices such a schedule.
 func validScenarioKind(k fault.Kind) bool {
+	if k == fault.Rollback {
+		return true
+	}
 	for _, mk := range MatrixKinds {
 		if k == mk {
 			return true
@@ -356,7 +362,7 @@ func pickTargets(rng *rand.Rand, kind fault.Kind, procs []string, crashable []in
 		return perm
 	}
 	switch kind {
-	case fault.Crash:
+	case fault.Crash, fault.Rollback:
 		if len(crashable) == 0 {
 			return nil
 		}

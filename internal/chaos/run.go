@@ -29,6 +29,12 @@ type RunResult struct {
 	// recovery-dependent outcomes — a crash-restarted coordinator
 	// re-installing its logged decision — alongside the scroll digest.
 	Durable map[string]map[string][]byte `json:",omitempty"`
+	// Epoch is the timeline epoch at end of run: how many deliberate
+	// rollbacks (injected Rollback scenarios, heal restores) the run
+	// performed. Zero — and omitted from artifacts — for schedules that
+	// never roll back, keeping their reports byte-identical to pre-epoch
+	// output.
+	Epoch uint64 `json:",omitempty"`
 }
 
 // ShapeBucket is the Lamport window width RunResult.Shape buckets events
@@ -72,6 +78,13 @@ type Runner struct {
 	// and TestRunnerPathEquivalence depend on that); it exists only to
 	// measure what pooling buys and as an executable specification.
 	Baseline bool
+
+	// Legacy disables timeline-epoch fencing (dsim.Config.LegacyTimelines),
+	// restoring the pre-fix rollback semantics. Like Baseline it is an
+	// in-binary executable record: the heal × crash storm regression flips
+	// it to reproduce the stale-durable re-installation bug the timeline
+	// epoch fixed, and to prove the fenced path eliminates it.
+	Legacy bool
 }
 
 // Procs returns the sorted process list a run will have, for target
@@ -120,6 +133,7 @@ var arenaPool = sync.Pool{}
 func (r Runner) Run(sched Schedule) *RunResult {
 	cfg := r.Spec.Config(r.Buggy)
 	cfg.Seed = r.Seed
+	cfg.LegacyTimelines = r.Legacy
 	if r.Baseline {
 		return r.finish(sched, dsim.New(cfg), nil)
 	}
@@ -157,7 +171,7 @@ func (r Runner) finish(sched Schedule, s *dsim.Sim, a *runArena) *RunResult {
 	}
 	stats := s.Run()
 
-	res := &RunResult{Stats: stats, Procs: s.Procs()}
+	res := &RunResult{Stats: stats, Procs: s.Procs(), Epoch: s.Epoch()}
 	for _, v := range mon.Check(s) {
 		res.Violations = append(res.Violations, v.Invariant)
 	}

@@ -187,6 +187,18 @@ func (c *Coordinator) Respond(f dsim.FaultRecord) (*Response, error) {
 	if len(resp.Line) == 0 {
 		resp.FellBackToNow = true
 	}
+	// Substrates with stable storage ship each process's cells alongside
+	// its (checkpoint, model) reply — restricted to writes before that
+	// process's line position, so the sandbox disk matches the line's
+	// timeline and never holds a later (or fenced) decision.
+	if src, ok := c.sim.(interface {
+		DurableSnapshotAt(map[string]uint64) map[string]map[string][]byte
+	}); ok {
+		durable := src.DurableSnapshotAt(lineSeq)
+		for i := range models {
+			models[i].Durable = durable[models[i].Proc]
+		}
+	}
 	inTransit := c.inTransitAt(lineSeq)
 
 	rep, err := investigate.Run(models, inTransit, timers, investigate.Config{

@@ -25,6 +25,7 @@ import (
 	"strconv"
 
 	"repro/internal/checkpoint"
+	"repro/internal/recovery"
 	"repro/internal/scroll"
 	"repro/internal/speculation"
 	"repro/internal/trace"
@@ -71,9 +72,13 @@ type Context interface {
 	// DurablePut writes key = value to the process's stable storage — the
 	// per-process cell store that models a disk (liblog/Flashback-style
 	// durable logging, paper §3.1). Unlike the heap and machine state it is
-	// deliberately NOT rewound by crash-restart or rollback: a write, once
-	// made, survives every checkpoint restore for the rest of the run. The
-	// write is recorded in the scroll, so replays observe it.
+	// NOT rewound by crash-restart: a write survives every involuntary
+	// restore for the rest of the run. Deliberate rollbacks (Time Machine,
+	// heal, speculation aborts) are different — they abandon the timeline
+	// the write happened on, so cells written after the restored checkpoint
+	// are fenced (invisible to later reads) rather than re-installed. The
+	// write is stamped with the current timeline epoch and recorded in the
+	// scroll, so replays observe it.
 	DurablePut(key string, value []byte)
 	// DurableGet reads a stable-storage cell. The outcome is recorded in
 	// the scroll (KindEnv), so per-process replay feeds the same value back.
@@ -149,6 +154,13 @@ type Config struct {
 	HeapSize int
 	// HeapPageSize overrides the checkpoint page size (default 4096).
 	HeapPageSize int
+	// LegacyTimelines restores the pre-epoch recovery semantics: deliberate
+	// rollbacks neither invalidate durable cells written on the abandoned
+	// timeline nor prune its checkpoints, so a later crash-restart can
+	// re-install rolled-back state. It exists, Baseline-style, as an
+	// executable record of the bug the timeline epoch fixed — regression
+	// tests flip it to prove the failure still reproduces.
+	LegacyTimelines bool
 }
 
 // Stats are cumulative simulation counters.
@@ -202,6 +214,7 @@ const (
 	evTimer
 	evCrash
 	evRestart
+	evRollback
 )
 
 // proc is the simulator's bookkeeping for one process.
@@ -221,9 +234,26 @@ type proc struct {
 
 	// durable is the process's stable storage (Context.Durable…): written
 	// through the context, never rewound by restoreProc — modeling a disk
-	// that survives crash-restart and rollback. Sim.Reset clears it so
-	// pooled arenas start every run empty, like a fresh simulation.
-	durable map[string][]byte
+	// that survives crash-restart. Deliberate rollbacks (Time Machine, heal,
+	// speculation aborts) mark cells written on the abandoned timeline stale
+	// instead — see durableCell. Sim.Reset clears the map so pooled arenas
+	// start every run empty, like a fresh simulation.
+	durable map[string]durableCell
+}
+
+// durableCell is one stable-storage cell plus the timeline metadata that
+// fences it. epoch is the timeline epoch (Sim.Epoch) at the write; writeSeq
+// is the writer's scroll position, which orders the write against
+// checkpoints (Checkpoint.ScrollSeq uses the same coordinate). A deliberate
+// rollback to checkpoint ck marks cells with writeSeq >= ck.ScrollSeq stale:
+// they belong to the abandoned timeline and must not be re-installed by a
+// later crash-restart. Reads and snapshots skip stale cells; a fresh
+// DurablePut revives the key on the new timeline.
+type durableCell struct {
+	value    []byte
+	epoch    uint64
+	writeSeq uint64
+	stale    bool
 }
 
 // clockSnap returns a copy of the process's vector clock that is shared by
@@ -288,22 +318,23 @@ type Sim struct {
 	cfg    Config
 	rng    *rand.Rand
 	rngSrc *gfsrSource // rng's source, reseeded (from cache) on Reset
-	now   uint64
-	seq   uint64
-	queue eventQueue
-	procs map[string]*proc
-	order []string
-	spare map[string]*proc // retired procs whose arenas Reset recycles
+	now    uint64
+	seq    uint64
+	queue  eventQueue
+	procs  map[string]*proc
+	order  []string
+	spare  map[string]*proc // retired procs whose arenas Reset recycles
 
 	specs    *speculation.Manager
 	store    *checkpoint.Store
 	faults   []FaultRecord
 	stats    Stats
+	epoch    uint64 // timeline epoch: bumped by every deliberate rollback
 	parts    []partition
 	rules    []netRule
 	skews    []skewRule
 	msgN     uint64
-	msgIDBuf []byte // scratch for message-ID rendering
+	msgIDBuf []byte                   // scratch for message-ID rendering
 	timerRec map[string]timerRecParts // cached timer-record strings/payloads
 	payBuf   []byte                   // bump arena for 8-byte record payloads
 	stop     bool
@@ -424,6 +455,7 @@ func (s *Sim) Reset(cfg Config) {
 	s.store.Reset()
 	s.faults = s.faults[:0]
 	s.stats = Stats{}
+	s.epoch = 0
 	s.parts = s.parts[:0]
 	s.rules = s.rules[:0]
 	s.skews = s.skews[:0]
@@ -508,6 +540,13 @@ func (s *Sim) Speculations() *speculation.Manager { return s.specs }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() uint64 { return s.now }
+
+// Epoch returns the current timeline epoch. It starts at 0 and is
+// incremented by every deliberate rollback — Time-Machine restore
+// (RollbackTo), speculation abort, dynamic update (ReplaceMachine) — but
+// NOT by crash-restart, which recovers the same timeline. Runs that never
+// roll back therefore report epoch 0, keeping their artifacts byte-stable.
+func (s *Sim) Epoch() uint64 { return s.epoch }
 
 // Stats returns the cumulative counters.
 func (s *Sim) Stats() Stats { return s.stats }
@@ -594,6 +633,17 @@ func (s *Sim) CrashAt(procID string, t uint64) {
 // restored from its most recent checkpoint (or reinitialized if none).
 func (s *Sim) RestartAt(procID string, t uint64) {
 	s.push(event{time: t, kind: evRestart, proc: procID})
+}
+
+// RollbackAt schedules a deliberate timeline rollback anchored at proc at
+// virtual time t: the whole system is restored to its latest globally
+// consistent recovery line through the Time-Machine path (epoch bump,
+// durable-cell invalidation, checkpoint pruning, OnRollback with
+// CrashRestart=false) — the injection primitive chaos schedules use to
+// race heal-style rollbacks against crash-restarts. A crashed anchor, or
+// one with no checkpoint yet, makes the injection a no-op.
+func (s *Sim) RollbackAt(procID string, t uint64) {
+	s.push(event{time: t, kind: evRollback, proc: procID})
 }
 
 // Partition splits the network into groupA vs everyone else during the
@@ -773,6 +823,8 @@ func (s *Sim) Resume() Stats {
 			s.crash(ev.proc)
 		case evRestart:
 			s.restart(ev.proc)
+		case evRollback:
+			s.rollbackLatest(ev.proc)
 		}
 		if s.monFn != nil && s.stats.Steps%s.monEvery == 0 && s.monFn() {
 			s.stats.EarlyExit = true
@@ -869,6 +921,107 @@ func (s *Sim) crash(id string) {
 	s.stats.Crashes++
 }
 
+// rollbackLatest performs an injected deliberate rollback (RollbackAt)
+// anchored at one process: the Time Machine computes the latest globally
+// consistent recovery line over every process's checkpoints
+// (recovery.MaxConsistentSet, so no member's state reflects a message
+// chain another member rolled back past) and restores it through
+// RollbackTo, applying the full timeline-fencing semantics. Crashed
+// processes are not resurrected — they stay down, but their abandoned
+// durable cells are fenced and their post-line checkpoints pruned, so a
+// later restart joins the restored timeline instead of the abandoned one.
+// A crashed anchor, or one with no checkpoint yet, makes the injection a
+// no-op.
+func (s *Sim) rollbackLatest(id string) {
+	p, ok := s.procs[id]
+	if !ok || p.crashed || s.store.Latest(id) == nil {
+		return
+	}
+	metas := make(map[string][]recovery.CkptMeta, len(s.order))
+	byID := make(map[string]*checkpoint.Checkpoint)
+	for _, pid := range s.order {
+		cks := s.store.List(pid)
+		if len(cks) == 0 {
+			continue
+		}
+		ms := make([]recovery.CkptMeta, len(cks))
+		for i, ck := range cks {
+			ms[i] = recovery.CkptMeta{ID: ck.ID, Proc: pid, Index: i, Clock: ck.Clock}
+			byID[ck.ID] = ck
+		}
+		metas[pid] = ms
+	}
+	set := recovery.MaxConsistentSet(metas)
+	if set == nil {
+		return
+	}
+	line := make(map[string]string, len(set))
+	var downed []recovery.CkptMeta
+	for _, m := range set {
+		if s.procs[m.Proc].crashed {
+			downed = append(downed, m)
+			continue
+		}
+		line[m.Proc] = m.ID
+	}
+	// Fence the downed members first: truncate their scrolls to the line
+	// and recall their still-queued post-line sends, so RollbackTo's
+	// in-transit re-delivery cannot resurrect the abandoned timeline's
+	// traffic out of a crashed process's recording.
+	for _, m := range downed {
+		p, ck := s.procs[m.Proc], byID[m.ID]
+		p.scroll.Truncate(ck.ScrollSeq)
+		for i := 0; i < s.queue.len(); i++ {
+			ev := s.queue.at(i)
+			if ev.kind == evMessage && ev.from == p.id && ev.creatorSeq >= ck.ScrollSeq {
+				ev.dead = true
+			}
+		}
+		s.invalidateDurable(p, ck.ScrollSeq)
+		s.pruneAbandoned(m.Proc, ck)
+	}
+	if err := s.RollbackTo(line); err != nil {
+		panic(fmt.Sprintf("dsim: injected rollback anchored at %s: %v", id, err))
+	}
+}
+
+// bumpEpoch advances the timeline epoch: the pre-rollback timeline is being
+// abandoned, so everything stamped with the old epoch becomes fenceable.
+func (s *Sim) bumpEpoch() { s.epoch++ }
+
+// invalidateDurable marks stale every durable cell the process wrote at or
+// after the restored checkpoint's scroll position: those writes happened on
+// the timeline a deliberate rollback just abandoned, and a later
+// crash-restart must not re-install them (the pre-epoch bug this fences).
+// Crash-restart recovery never calls this — there the disk is the
+// authoritative recovery source and nothing is abandoned.
+func (s *Sim) invalidateDurable(p *proc, scrollSeq uint64) {
+	if s.cfg.LegacyTimelines {
+		return
+	}
+	for k, c := range p.durable {
+		if !c.stale && c.writeSeq >= scrollSeq {
+			c.stale = true
+			p.durable[k] = c
+		}
+	}
+}
+
+// pruneAbandoned removes the process's checkpoints taken strictly after the
+// restored one (same ScrollSeq coordinate as durable invalidation): they
+// snapshot states of the abandoned timeline, and store.Latest must not hand
+// them to a subsequent crash-restart.
+func (s *Sim) pruneAbandoned(id string, ck *checkpoint.Checkpoint) {
+	if s.cfg.LegacyTimelines {
+		return
+	}
+	for _, old := range s.store.List(id) {
+		if old.ScrollSeq > ck.ScrollSeq {
+			s.store.Remove(old.ID)
+		}
+	}
+}
+
 // restart revives a crashed process from its latest checkpoint.
 func (s *Sim) restart(id string) {
 	p, ok := s.procs[id]
@@ -924,7 +1077,10 @@ func (s *Sim) takeCheckpoint(p *proc, specID, label string) *checkpoint.Checkpoi
 // restoreProc rewinds a process to a checkpoint: heap, machine state,
 // vector clock and scroll position. Events the process created after the
 // checkpoint are purged from the queue. Stable storage (proc.durable) is
-// deliberately untouched: disk writes cannot be unwritten by a restore.
+// deliberately untouched here: disk writes cannot be unwritten by a
+// restore. Deliberate-rollback callers additionally fence the cells written
+// after the checkpoint (invalidateDurable); the crash-restart caller must
+// not — the disk is its authoritative recovery source.
 func (s *Sim) restoreProc(p *proc, ck *checkpoint.Checkpoint) {
 	p.heap.Restore(ck.Snap)
 	if err := json.Unmarshal(ck.Extra, p.machine.State()); err != nil {
@@ -1000,9 +1156,15 @@ func (s *Sim) RollbackTo(line map[string]string) error {
 			}
 		}
 	}
+	// The pre-rollback timeline is abandoned: advance the epoch, fence the
+	// durable cells it wrote, and drop its checkpoints so a later
+	// crash-restart recovers the restored timeline, not the abandoned one.
+	s.bumpEpoch()
 	for _, id := range procIDs {
 		p := s.procs[id]
 		s.restoreProc(p, cks[id])
+		s.invalidateDurable(p, cks[id].ScrollSeq)
+		s.pruneAbandoned(id, cks[id])
 	}
 	// Re-deliver in-transit messages addressed to rolled-back processes:
 	// sends preserved in *any* process's scroll (rolled scrolls are already
@@ -1052,6 +1214,10 @@ func (s *Sim) ReplaceMachine(procID string, m Machine, state []byte) error {
 		}
 	}
 	p.machine = m
+	// A dynamic update starts a new timeline too: the healer pairs it with a
+	// rollback, and messages produced by the replaced implementation must be
+	// fenceable on the live backend.
+	s.bumpEpoch()
 	return nil
 }
 
@@ -1083,7 +1249,12 @@ func (c specCtl) Rollback(procID, ckptID string, aborted *speculation.Speculatio
 	if ck == nil {
 		return fmt.Errorf("dsim: unknown checkpoint %q", ckptID)
 	}
+	// A speculation abort deliberately abandons the speculative timeline:
+	// bump the epoch and fence the durable writes made under it. Checkpoints
+	// are left to the speculation manager, which owns their lifecycle.
+	c.s.bumpEpoch()
 	c.s.restoreProc(p, ck)
+	c.s.invalidateDurable(p, ck.ScrollSeq)
 	p.machine.OnRollback(p.ctx, RollbackInfo{
 		SpecID: aborted.ID, Assumption: aborted.Assumption, Reason: aborted.Reason,
 	})

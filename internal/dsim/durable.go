@@ -11,14 +11,18 @@ import (
 // Stable storage (Context.DurablePut/DurableGet/DurableKeys) models the
 // one resource a crash cannot take away from a process: its disk. Each
 // process owns a flat cell store that is written through the context and
-// deliberately NOT rewound by crash-restart, Time-Machine rollback or
-// speculation aborts — which is what makes classically unrecoverable
-// processes (a 2PC coordinator whose broadcast decision would otherwise be
-// forgotten, a KV primary whose version assignments replicas already
-// applied) genuinely crash-restartable (paper §3.1: liblog/Flashback-style
-// durable logging). Between runs the store vanishes: Sim.Reset clears it
-// along with the rest of the arena, so a pooled simulation starts every
-// run exactly like a fresh one.
+// deliberately NOT rewound by crash-restart — which is what makes
+// classically unrecoverable processes (a 2PC coordinator whose broadcast
+// decision would otherwise be forgotten, a KV primary whose version
+// assignments replicas already applied) genuinely crash-restartable (paper
+// §3.1: liblog/Flashback-style durable logging). Deliberate rollbacks are
+// fenced by the timeline epoch instead: a Time-Machine/heal restore or
+// speculation abort abandons the timeline it rewinds, so cells written
+// after the restored checkpoint are marked stale and stay invisible — a
+// crash-restart that fires later recovers the restored timeline's cells,
+// never the abandoned one's (see durableCell in dsim.go). Between runs the
+// store vanishes: Sim.Reset clears it along with the rest of the arena, so
+// a pooled simulation starts every run exactly like a fresh one.
 //
 // Every durable operation is recorded in the process's scroll as a
 // KindEnv record under the MsgIDs below, with the same payload encodings
@@ -83,15 +87,21 @@ func DecodeDurableKeys(b []byte) ([]string, error) {
 }
 
 // DurablePut implements Context: the cell is written to the process's
-// stable store and the write is recorded in the scroll. Writes survive
-// crash-restart and every rollback for the rest of the run.
+// stable store, stamped with the current timeline epoch and scroll
+// position, and the write is recorded in the scroll. Writes survive
+// crash-restart; a deliberate rollback fences writes made after the
+// restored checkpoint (a put on the new timeline revives the key).
 func (c *simContext) DurablePut(key string, value []byte) {
 	p := c.proc
 	if p.durable == nil {
-		p.durable = make(map[string][]byte)
+		p.durable = make(map[string]durableCell)
 	}
 	body := append([]byte(nil), value...)
-	p.durable[key] = body
+	p.durable[key] = durableCell{
+		value:    body,
+		epoch:    c.sim.epoch,
+		writeSeq: uint64(p.scroll.Len()),
+	}
 	p.scroll.Append(scroll.Record{
 		Kind: scroll.KindEnv, MsgID: DurablePutMsgID, Peer: key, Payload: body,
 		Lamport: p.lamport.Now(), Clock: p.clockSnap(),
@@ -99,26 +109,33 @@ func (c *simContext) DurablePut(key string, value []byte) {
 }
 
 // DurableGet implements Context, recording the outcome so replays observe
-// the same value.
+// the same value. Cells fenced by a deliberate rollback read as absent.
 func (c *simContext) DurableGet(key string) ([]byte, bool) {
 	p := c.proc
-	v, ok := p.durable[key]
+	cell, ok := p.durable[key]
+	if cell.stale {
+		cell, ok = durableCell{}, false
+	}
 	p.scroll.Append(scroll.Record{
 		Kind: scroll.KindEnv, MsgID: DurableGetMsgID, Peer: key,
-		Payload: EncodeDurableGet(v, ok),
+		Payload: EncodeDurableGet(cell.value, ok),
 		Lamport: p.lamport.Now(), Clock: p.clockSnap(),
 	})
 	if !ok {
 		return nil, false
 	}
-	return append([]byte(nil), v...), true
+	return append([]byte(nil), cell.value...), true
 }
 
-// DurableKeys implements Context, recording the (sorted) key list.
+// DurableKeys implements Context, recording the (sorted) key list of the
+// live (non-fenced) cells.
 func (c *simContext) DurableKeys() []string {
 	p := c.proc
 	keys := make([]string, 0, len(p.durable))
-	for k := range p.durable {
+	for k, cell := range p.durable {
+		if cell.stale {
+			continue
+		}
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -130,21 +147,64 @@ func (c *simContext) DurableKeys() []string {
 	return keys
 }
 
-// DurableSnapshot returns a deep copy of every process's stable-storage
-// cells, keyed proc -> key -> value. Processes with no durable cells are
-// omitted; a run in which nothing was written returns nil. The snapshot is
-// deterministic given the run, which is how chaos artifacts pin
+// DurableSnapshotAt returns the live cells as of a recovery line: for
+// each process present in lineSeq, only cells written strictly before
+// that process's line scroll position (the same writeSeq >= seq boundary
+// a rollback fences). Processes absent from the line — no checkpoint, so
+// an investigation starts them from initial state — are omitted: a fresh
+// timeline has written nothing. This is what the Investigator seeds its
+// sandbox disks from, so exploration from a recovery line never observes
+// cells the line's timeline had not yet written.
+func (s *Sim) DurableSnapshotAt(lineSeq map[string]uint64) map[string]map[string][]byte {
+	var out map[string]map[string][]byte
+	for _, id := range s.order {
+		seq, ok := lineSeq[id]
+		if !ok {
+			continue
+		}
+		p := s.procs[id]
+		var cells map[string][]byte
+		for k, cell := range p.durable {
+			if cell.stale || cell.writeSeq >= seq {
+				continue
+			}
+			if cells == nil {
+				cells = make(map[string][]byte, len(p.durable))
+			}
+			cells[k] = append([]byte(nil), cell.value...)
+		}
+		if cells == nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]map[string][]byte, len(s.order))
+		}
+		out[id] = cells
+	}
+	return out
+}
+
+// DurableSnapshot returns a deep copy of every process's live (non-fenced)
+// stable-storage cells, keyed proc -> key -> value. Processes with no live
+// cells are omitted; a run in which nothing was written returns nil. The
+// snapshot is deterministic given the run, which is how chaos artifacts pin
 // recovery-dependent outcomes in addition to the scroll digest.
 func (s *Sim) DurableSnapshot() map[string]map[string][]byte {
 	var out map[string]map[string][]byte
 	for _, id := range s.order {
 		p := s.procs[id]
-		if len(p.durable) == 0 {
-			continue
+		var cells map[string][]byte
+		for k, cell := range p.durable {
+			if cell.stale {
+				continue
+			}
+			if cells == nil {
+				cells = make(map[string][]byte, len(p.durable))
+			}
+			cells[k] = append([]byte(nil), cell.value...)
 		}
-		cells := make(map[string][]byte, len(p.durable))
-		for k, v := range p.durable {
-			cells[k] = append([]byte(nil), v...)
+		if cells == nil {
+			continue
 		}
 		if out == nil {
 			out = make(map[string]map[string][]byte, len(s.order))

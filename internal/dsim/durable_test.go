@@ -73,9 +73,12 @@ func TestDurableSurvivesCrashRestart(t *testing.T) {
 	}
 }
 
-// TestDurableSurvivesRollbackTo: a Time-Machine rollback rewinds heap,
-// state and scroll — but not stable storage.
-func TestDurableSurvivesRollbackTo(t *testing.T) {
+// TestDurableFencedByRollbackTo: a Time-Machine rollback abandons the
+// timeline it rewinds, so durable cells written after the restored
+// checkpoint are fenced — invisible to reads and snapshots — and a
+// crash-restart arriving later recovers the restored timeline, not the
+// abandoned one. Re-execution on the new timeline revives the cells.
+func TestDurableFencedByRollbackTo(t *testing.T) {
 	s := New(Config{Seed: 2, InitCheckpoint: true})
 	m := &durMachine{ticks: 6}
 	s.AddProcess("p", m)
@@ -83,16 +86,21 @@ func TestDurableSurvivesRollbackTo(t *testing.T) {
 	if m.st.Seen != 6 {
 		t.Fatalf("ticks ran %d times, want 6", m.st.Seen)
 	}
-	ck := s.Store().Latest("p")
+	if s.Epoch() != 0 {
+		t.Fatalf("epoch = %d before any rollback, want 0", s.Epoch())
+	}
+	ck := s.Store().Latest("p") // the init checkpoint: every put came after
 	if ck == nil {
 		t.Fatal("no checkpoint")
 	}
 	if err := s.RollbackTo(map[string]string{"p": ck.ID}); err != nil {
 		t.Fatal(err)
 	}
-	snap := s.DurableSnapshot()
-	if v := snap["p"]["n"]; len(v) != 8 || binary.LittleEndian.Uint64(v) != 6 {
-		t.Fatalf("durable counter = %v after rollback, want 6 (stable storage must not rewind)", v)
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch = %d after rollback, want 1", s.Epoch())
+	}
+	if snap := s.DurableSnapshot(); snap["p"] != nil {
+		t.Fatalf("durable cells %v visible after deliberate rollback, want all fenced", snap["p"])
 	}
 	// The rollback was deliberate (not a crash restart), so the machine
 	// must hold the checkpoint's state, not the durable cell's.
@@ -102,6 +110,50 @@ func TestDurableSurvivesRollbackTo(t *testing.T) {
 	}
 	if m.st.Seen != ckSt.Seen {
 		t.Fatalf("state Seen=%d after time-machine rollback, want checkpoint's %d", m.st.Seen, ckSt.Seen)
+	}
+	// A crash-restart firing right after the rollback must recover the
+	// restored timeline (counter absent), not re-install the abandoned
+	// timeline's cell — the pre-epoch bug.
+	s.CrashAt("p", s.Now()+1)
+	s.RestartAt("p", s.Now()+2)
+	s.Resume()
+	if m.st.Seen < 6 {
+		t.Fatalf("new timeline reached %d ticks, want the re-run to complete 6", m.st.Seen)
+	}
+	snap := s.DurableSnapshot()
+	if v := snap["p"]["n"]; len(v) != 8 || binary.LittleEndian.Uint64(v) != m.st.Seen {
+		t.Fatalf("durable counter = %v after re-execution, want %d (revived on the new timeline)", v, m.st.Seen)
+	}
+}
+
+// TestDurableLegacyTimelines pins the pre-fix semantics behind the
+// Config.LegacyTimelines toggle: with fencing disabled, the abandoned
+// timeline's cell survives the rollback and a crash-restart re-installs it
+// — the re-installation bug the timeline epoch fixed.
+func TestDurableLegacyTimelines(t *testing.T) {
+	s := New(Config{Seed: 2, InitCheckpoint: true, LegacyTimelines: true})
+	m := &durMachine{ticks: 6}
+	s.AddProcess("p", m)
+	s.Run()
+	ck := s.Store().Latest("p")
+	if ck == nil {
+		t.Fatal("no checkpoint")
+	}
+	if err := s.RollbackTo(map[string]string{"p": ck.ID}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.DurableSnapshot()
+	if v := snap["p"]["n"]; len(v) != 8 || binary.LittleEndian.Uint64(v) != 6 {
+		t.Fatalf("legacy durable counter = %v after rollback, want 6 (pre-fix cells never rewind)", v)
+	}
+	s.CrashAt("p", s.Now()+1)
+	s.RestartAt("p", s.Now()+2)
+	s.Resume()
+	// The restart re-installed the abandoned counter (6) instead of
+	// re-executing from the init checkpoint, then ticked once more: the
+	// timeline inconsistency the fenced path prevents.
+	if m.st.Seen != 7 {
+		t.Fatalf("legacy restart recovered Seen=%d, want 7 (stale counter re-installed)", m.st.Seen)
 	}
 }
 

@@ -116,14 +116,19 @@ func medianMs(ds []time.Duration) float64 {
 }
 
 // RunRuntimeBench measures the chaos run loop old-vs-new at the given
-// worker count. quick trims the reps and skips all but one before-kind of
-// the tokenring measurement (each before-run saturates the 200k-step
-// bound, ~1s) so the smoke test stays fast; the committed
-// BENCH_runtime.json is generated with quick=false.
-func RunRuntimeBench(workers int, quick bool) *RuntimeBench {
-	reps := 5
-	if quick {
-		reps = 1
+// worker count and timing reps per path (reps <= 0 selects the default: 5,
+// or 1 under quick). quick also skips all but one before-kind of the
+// tokenring measurement (each before-run saturates the 200k-step bound,
+// ~1s) so the smoke test stays fast; the committed BENCH_runtime.json is
+// generated with quick=false. The artifact records the workers and reps
+// actually used, so a JSON produced under non-default flags is
+// self-describing.
+func RunRuntimeBench(workers, reps int, quick bool) *RuntimeBench {
+	if reps <= 0 {
+		reps = 5
+		if quick {
+			reps = 1
+		}
 	}
 	if workers < 1 {
 		workers = 1

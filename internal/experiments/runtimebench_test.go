@@ -7,7 +7,10 @@ import "testing"
 // as the baseline, and an early-exit tokenring orders of magnitude under
 // its pre-change cost. Quick mode: one rep, one tokenring before-kind.
 func TestRuntimeBenchQuick(t *testing.T) {
-	b := RunRuntimeBench(2, true)
+	b := RunRuntimeBench(2, 0, true)
+	if b.Workers != 2 || b.Reps != 1 {
+		t.Fatalf("artifact records workers=%d reps=%d, want the actual config 2/1", b.Workers, b.Reps)
+	}
 	if !b.MatrixIdentical || !b.MatrixShardedIdentical {
 		t.Fatal("matrix reports diverged between old/new paths or worker counts")
 	}

@@ -28,6 +28,7 @@ const (
 	Duplicate             // probabilistic message duplication in a window
 	Drop                  // probabilistic message loss in a window
 	ClockSkew             // offset applied to one process's observed clock
+	Rollback              // deliberate rollback to the latest checkpoint (new timeline epoch)
 )
 
 // String returns the kind name.
@@ -49,6 +50,8 @@ func (k Kind) String() string {
 		return "drop"
 	case ClockSkew:
 		return "clock-skew"
+	case Rollback:
+		return "rollback"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -82,6 +85,11 @@ type Injector interface {
 	CrashAt(proc string, t uint64)
 	// RestartAt revives a crashed proc at t from its latest checkpoint.
 	RestartAt(proc string, t uint64)
+	// RollbackAt deliberately rolls a running proc back to its latest
+	// checkpoint at t, starting a new timeline epoch — the injection that
+	// races Time-Machine/heal rollbacks against in-flight traffic and
+	// crash-restarts.
+	RollbackAt(proc string, t uint64)
 	// Partition splits groupA from everyone else during [from, to).
 	Partition(groupA []string, from, to uint64)
 	// InjectDelay adds extra latency plus jitter in [0, jitter] to
@@ -104,6 +112,8 @@ func (p *Plan) Apply(s Injector) {
 			s.CrashAt(inj.Proc, inj.At)
 		case Restart:
 			s.RestartAt(inj.Proc, inj.At)
+		case Rollback:
+			s.RollbackAt(inj.Proc, inj.At)
 		case Partition:
 			s.Partition(inj.Group, inj.At, inj.Until)
 		case Delay:

@@ -51,6 +51,11 @@ type ProcModel struct {
 	State []byte
 	// Heap is the checkpointed heap contents; nil means an empty heap.
 	Heap *checkpoint.Snapshot
+	// Durable is the process's stable-storage cells at the investigated
+	// cut (as the substrate snapshots them — post timeline fencing, so an
+	// abandoned timeline's cells never leak into exploration); nil means
+	// empty storage. Read-only: sandbox puts overlay it per handler.
+	Durable map[string][]byte
 }
 
 // Config bounds and directs an investigation.
@@ -153,7 +158,8 @@ type sandboxCtx struct {
 	sends   []Msg
 	timers  []Timer
 	faults  []string
-	durable map[string][]byte
+	durable map[string][]byte // handler-local overlay of puts
+	base    map[string][]byte // ProcModel.Durable: the investigated cut's cells (read-only)
 	halted  bool
 	randSeq uint64
 	step    uint64
@@ -182,10 +188,13 @@ func (c *sandboxCtx) SetTimer(name string, delay uint64) {
 
 func (c *sandboxCtx) Heap() *checkpoint.Heap { return c.heap }
 
-// Stable storage during investigation is scratch local to the explored
-// handler: puts are captured, gets observe them. The pre-existing on-disk
-// state is outside the environment model — the investigator explores
-// message/timer interleavings, not crash-recovery paths.
+// Stable storage during investigation reads through to the investigated
+// cut's cells (ProcModel.Durable — the substrate's snapshot, which already
+// omits cells fenced by a timeline rollback, so exploration can never
+// observe an abandoned timeline's durable decision), with puts captured
+// in a handler-local overlay. The overlay is not part of the explored
+// state space — the investigator explores message/timer interleavings,
+// not crash-recovery paths.
 func (c *sandboxCtx) DurablePut(key string, value []byte) {
 	if c.durable == nil {
 		c.durable = make(map[string][]byte)
@@ -196,15 +205,28 @@ func (c *sandboxCtx) DurablePut(key string, value []byte) {
 func (c *sandboxCtx) DurableGet(key string) ([]byte, bool) {
 	v, ok := c.durable[key]
 	if !ok {
+		v, ok = c.base[key]
+	}
+	if !ok {
 		return nil, false
 	}
 	return append([]byte(nil), v...), true
 }
 
 func (c *sandboxCtx) DurableKeys() []string {
-	keys := make([]string, 0, len(c.durable))
+	seen := make(map[string]bool, len(c.durable)+len(c.base))
+	keys := make([]string, 0, len(c.durable)+len(c.base))
+	for k := range c.base {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
 	for k := range c.durable {
-		keys = append(keys, k)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	return keys
@@ -261,7 +283,8 @@ func (inv *investigation) step(g *global, id string, fn func(m dsim.Machine, ctx
 	if err != nil {
 		panic(err) // models are validated at Run entry
 	}
-	ctx := &sandboxCtx{self: id, heap: heap, step: uint64(len(ng.net) + len(ng.timers))}
+	ctx := &sandboxCtx{self: id, heap: heap, base: inv.models[id].Durable,
+		step: uint64(len(ng.net) + len(ng.timers))}
 	fn(m, ctx)
 	stateJSON, err := json.Marshal(m.State())
 	if err != nil {
@@ -530,9 +553,21 @@ func crashAction() modeld.Action {
 
 // FromSim gathers the Fig. 4 response from a live simulation: for each
 // process, its latest checkpoint not causally after the fault (or current
-// state if it has none), plus the implementation factory as its model.
+// state if it has none), plus the implementation factory as its model and
+// its stable-storage cells (the fenced snapshot) as the sandbox's disk.
 // It returns the models and the messages in flight at that cut.
 func FromSim(s *dsim.Sim, factories map[string]func() dsim.Machine) ([]ProcModel, []Msg) {
+	lineSeq := make(map[string]uint64)
+	for _, id := range s.Procs() {
+		if ck := s.Store().Latest(id); ck != nil {
+			lineSeq[id] = ck.ScrollSeq
+		}
+	}
+	// Checkpointed procs get the disk as of their checkpoint; procs shipped
+	// at current state get the current (fenced) disk — either way the
+	// sandbox disk matches the machine state it accompanies.
+	atLine := s.DurableSnapshotAt(lineSeq)
+	atNow := s.DurableSnapshot()
 	var models []ProcModel
 	for _, id := range s.Procs() {
 		f, ok := factories[id]
@@ -543,10 +578,12 @@ func FromSim(s *dsim.Sim, factories map[string]func() dsim.Machine) ([]ProcModel
 		if ck := s.Store().Latest(id); ck != nil {
 			pm.State = append([]byte(nil), ck.Extra...)
 			pm.Heap = ck.Snap
+			pm.Durable = atLine[id]
 		} else {
 			pm.State = s.MachineState(id)
 			snap := s.Heap(id).Snapshot()
 			pm.Heap = snap
+			pm.Durable = atNow[id]
 		}
 		models = append(models, pm)
 	}

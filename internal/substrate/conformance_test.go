@@ -407,6 +407,43 @@ func TestLiveDurableWALRecovery(t *testing.T) {
 	}
 }
 
+// TestLiveScrollDirPersistence: with LiveConfig.ScrollDir set, each
+// process records onto a segmented durable scroll, so a second substrate
+// opened on the same directory starts with the first run's recording
+// already loaded — the Scroll survives real process crashes, not just
+// in-substrate restarts.
+func TestLiveScrollDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	live, err := substrate.NewLive(substrate.LiveConfig{Seed: 7, ScrollDir: dir,
+		InitCheckpoint: true, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.AddProcess("worker", &confWorker{})
+	live.AddProcess("producer", &confProducer{n: confJobs, every: 3})
+	live.Run()
+	recs := live.Scroll("worker").Records()
+	if len(recs) == 0 {
+		t.Fatal("first run recorded nothing for worker")
+	}
+	digest := scroll.Digest(recs)
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reborn, err := substrate.NewLive(substrate.LiveConfig{Seed: 8, ScrollDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	reborn.AddProcess("worker", &confWorker{})
+	got := reborn.Scroll("worker").Records()
+	if len(got) != len(recs) || scroll.Digest(got) != digest {
+		t.Fatalf("reborn worker scroll has %d records (digest %s), want %d (digest %s)",
+			len(got), scroll.Digest(got), len(recs), digest)
+	}
+}
+
 // TestLiveClockSkew verifies Context.Now observations shift inside the
 // injected window.
 func TestLiveClockSkew(t *testing.T) {

@@ -1,6 +1,7 @@
 package substrate
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"path/filepath"
@@ -20,18 +21,37 @@ import (
 // anywhere earlier surfaces wal.ErrCorrupt instead of silently serving
 // bad state.
 //
+// Each cell carries the timeline epoch and scroll position of its write,
+// and a deliberate rollback invalidates cells written at or after the
+// restored checkpoint's scroll position (durable tombstones when backed),
+// so a crash-restart that recovers this store cannot re-install an
+// abandoned timeline's decision — the re-installation bug the timeline
+// epoch fixed. In-memory stores still survive in-substrate crash-restart,
+// matching the simulator's model.
+//
 // Synchronization is the caller's: LiveSubstrate accesses a process's
 // store under that process's mutex, like the scroll and heap.
 type durableStore struct {
-	cells map[string][]byte
+	cells map[string]liveCell
 	log   *wal.Log // nil = in-memory only (still survives in-substrate crash-restart)
+}
+
+// liveCell is one stable-storage cell with its timeline coordinates:
+// the epoch it was written in and the writer's scroll position — the
+// same coordinate checkpoints pin (Checkpoint.ScrollSeq), which is what
+// lets a rollback decide staleness without a clock.
+type liveCell struct {
+	value    []byte
+	epoch    uint64
+	writeSeq uint64
 }
 
 // openDurableStore opens proc's stable storage. An empty dir selects the
 // in-memory store; otherwise the WAL directory dir/proc is created or
-// recovered.
+// recovered: puts (either record format) install cells, tombstones delete
+// them, in log order.
 func openDurableStore(dir, proc string) (*durableStore, error) {
-	ds := &durableStore{cells: make(map[string][]byte)}
+	ds := &durableStore{cells: make(map[string]liveCell)}
 	if dir == "" {
 		return ds, nil
 	}
@@ -46,24 +66,54 @@ func openDurableStore(dir, proc string) (*durableStore, error) {
 		return nil, fmt.Errorf("substrate: recover durable store %s: %w", path, err)
 	}
 	for i, rec := range recs {
-		k, v, err := decodeDurableRecord(rec)
+		r, err := decodeDurableRecord(rec)
 		if err != nil {
 			log.Close()
 			return nil, fmt.Errorf("substrate: recover durable store %s record %d: %w", path, i, err)
 		}
-		ds.cells[k] = v
+		if r.tombstone {
+			delete(ds.cells, r.key)
+			continue
+		}
+		ds.cells[r.key] = liveCell{value: r.value, epoch: r.epoch, writeSeq: r.writeSeq}
 	}
 	ds.log = log
 	return ds, nil
 }
 
-// put installs key = value and, when backed, appends it to the WAL.
-func (ds *durableStore) put(key string, value []byte) error {
+// put installs key = value stamped with the writer's timeline epoch and
+// scroll position and, when backed, appends it to the WAL.
+func (ds *durableStore) put(key string, value []byte, epoch, writeSeq uint64) error {
 	v := append([]byte(nil), value...)
-	ds.cells[key] = v
+	ds.cells[key] = liveCell{value: v, epoch: epoch, writeSeq: writeSeq}
 	if ds.log != nil {
-		if _, err := ds.log.Append(encodeDurableRecord(key, v)); err != nil {
+		if _, err := ds.log.Append(encodeDurablePut(key, v, epoch, writeSeq)); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// invalidate fences the abandoned timeline after a deliberate rollback:
+// cells written at or after the restored checkpoint's scroll position are
+// deleted, with a tombstone appended per key when backed so the fence
+// itself survives a crash (deletion is equivalent to the simulator's
+// stale mark — reads treat both as absent, and a put on the new timeline
+// revives the key either way).
+func (ds *durableStore) invalidate(scrollSeq uint64) error {
+	stale := make([]string, 0, len(ds.cells))
+	for k, c := range ds.cells {
+		if c.writeSeq >= scrollSeq {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale) // deterministic tombstone order
+	for _, k := range stale {
+		delete(ds.cells, k)
+		if ds.log != nil {
+			if _, err := ds.log.Append(encodeDurableTombstone(k)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -71,8 +121,8 @@ func (ds *durableStore) put(key string, value []byte) error {
 
 // get reads a cell.
 func (ds *durableStore) get(key string) ([]byte, bool) {
-	v, ok := ds.cells[key]
-	return v, ok
+	c, ok := ds.cells[key]
+	return c.value, ok
 }
 
 // keys returns the sorted cell keys.
@@ -85,14 +135,32 @@ func (ds *durableStore) keys() []string {
 	return out
 }
 
-// snapshot deep-copies the cells (nil when empty).
+// snapshot deep-copies the cell values (nil when empty).
 func (ds *durableStore) snapshot() map[string][]byte {
 	if len(ds.cells) == 0 {
 		return nil
 	}
 	out := make(map[string][]byte, len(ds.cells))
-	for k, v := range ds.cells {
-		out[k] = append([]byte(nil), v...)
+	for k, c := range ds.cells {
+		out[k] = append([]byte(nil), c.value...)
+	}
+	return out
+}
+
+// snapshotAt deep-copies the cells written strictly before the given
+// scroll position (nil when none) — the writeSeq >= seq boundary
+// invalidate fences, so "as of this checkpoint" means the same thing to
+// a rollback and to an investigation seeded from one.
+func (ds *durableStore) snapshotAt(seq uint64) map[string][]byte {
+	var out map[string][]byte
+	for k, c := range ds.cells {
+		if c.writeSeq >= seq {
+			continue
+		}
+		if out == nil {
+			out = make(map[string][]byte, len(ds.cells))
+		}
+		out[k] = append([]byte(nil), c.value...)
 	}
 	return out
 }
@@ -105,25 +173,109 @@ func (ds *durableStore) close() error {
 	return ds.log.Close()
 }
 
-// encodeDurableRecord renders one WAL payload: uvarint key length, key
-// bytes, value bytes.
-func encodeDurableRecord(key string, value []byte) []byte {
-	out := make([]byte, 0, binary.MaxVarintLen64+len(key)+len(value))
+// Durable WAL record format. The original (legacy) format was
+// uvarint-keylen | key | value, with no room for a version: any byte
+// string is a plausible legacy record. Versioned records therefore open
+// with a magic prefix no legacy record can start with — nine 0xFF bytes
+// overflow binary.Uvarint, so a legacy decoder always rejected it — then
+// a kind byte:
+//
+//	magic | 0 (put)       | uvarint epoch | uvarint writeSeq | uvarint keylen | key | value
+//	magic | 1 (tombstone) | uvarint keylen | key
+//
+// Decode falls back to the legacy layout (a put with epoch 0, writeSeq 0
+// — exactly what a pre-epoch run would have written), so stores recorded
+// before the timeline fence recover unchanged.
+var durableMagic = []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
+
+const (
+	durKindPut       = 0
+	durKindTombstone = 1
+)
+
+// durableRecord is one decoded WAL entry.
+type durableRecord struct {
+	tombstone bool
+	key       string
+	value     []byte
+	epoch     uint64
+	writeSeq  uint64
+}
+
+// encodeDurablePut renders a versioned put record.
+func encodeDurablePut(key string, value []byte, epoch, writeSeq uint64) []byte {
+	out := make([]byte, 0, len(durableMagic)+1+3*binary.MaxVarintLen64+len(key)+len(value))
+	out = append(out, durableMagic...)
+	out = append(out, durKindPut)
+	out = binary.AppendUvarint(out, epoch)
+	out = binary.AppendUvarint(out, writeSeq)
 	out = binary.AppendUvarint(out, uint64(len(key)))
 	out = append(out, key...)
 	out = append(out, value...)
 	return out
 }
 
-// decodeDurableRecord parses an encodeDurableRecord payload — the
+// encodeDurableTombstone renders a versioned tombstone record.
+func encodeDurableTombstone(key string) []byte {
+	out := make([]byte, 0, len(durableMagic)+1+binary.MaxVarintLen64+len(key))
+	out = append(out, durableMagic...)
+	out = append(out, durKindTombstone)
+	out = binary.AppendUvarint(out, uint64(len(key)))
+	out = append(out, key...)
+	return out
+}
+
+// decodeDurableRecord parses one WAL payload in either format — the
 // recovery decode path, hardened against arbitrary bytes (fuzzed by
 // FuzzDurableRecordDecode).
-func decodeDurableRecord(b []byte) (string, []byte, error) {
-	n, w := binary.Uvarint(b)
-	if w <= 0 || uint64(len(b)-w) < n {
-		return "", nil, fmt.Errorf("substrate: malformed durable record (key length %d, %d bytes)", n, len(b))
+func decodeDurableRecord(b []byte) (durableRecord, error) {
+	if !bytes.HasPrefix(b, durableMagic) {
+		// Legacy layout: uvarint keylen | key | value, a put from before
+		// cells carried timeline coordinates.
+		n, w := binary.Uvarint(b)
+		if w <= 0 || uint64(len(b)-w) < n {
+			return durableRecord{}, fmt.Errorf("substrate: malformed durable record (key length %d, %d bytes)", n, len(b))
+		}
+		return durableRecord{
+			key:   string(b[w : w+int(n)]),
+			value: append([]byte(nil), b[w+int(n):]...),
+		}, nil
 	}
-	key := string(b[w : w+int(n)])
-	value := append([]byte(nil), b[w+int(n):]...)
-	return key, value, nil
+	b = b[len(durableMagic):]
+	if len(b) == 0 {
+		return durableRecord{}, fmt.Errorf("substrate: truncated durable record (no kind)")
+	}
+	kind := b[0]
+	b = b[1:]
+	switch kind {
+	case durKindPut:
+		epoch, w := binary.Uvarint(b)
+		if w <= 0 {
+			return durableRecord{}, fmt.Errorf("substrate: malformed durable put (epoch)")
+		}
+		b = b[w:]
+		writeSeq, w := binary.Uvarint(b)
+		if w <= 0 {
+			return durableRecord{}, fmt.Errorf("substrate: malformed durable put (write seq)")
+		}
+		b = b[w:]
+		n, w := binary.Uvarint(b)
+		if w <= 0 || uint64(len(b)-w) < n {
+			return durableRecord{}, fmt.Errorf("substrate: malformed durable put (key length %d, %d bytes)", n, len(b))
+		}
+		return durableRecord{
+			key:      string(b[w : w+int(n)]),
+			value:    append([]byte(nil), b[w+int(n):]...),
+			epoch:    epoch,
+			writeSeq: writeSeq,
+		}, nil
+	case durKindTombstone:
+		n, w := binary.Uvarint(b)
+		if w <= 0 || uint64(len(b)-w) != n {
+			return durableRecord{}, fmt.Errorf("substrate: malformed durable tombstone (key length %d, %d bytes)", n, len(b))
+		}
+		return durableRecord{tombstone: true, key: string(b[w : w+int(n)])}, nil
+	default:
+		return durableRecord{}, fmt.Errorf("substrate: unknown durable record kind %d", kind)
+	}
 }

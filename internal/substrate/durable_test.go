@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -15,15 +16,24 @@ import (
 )
 
 // TestDurableStoreRecovery: reopening a WAL-backed store replays the log,
-// last record per key winning.
+// last record per key winning, with each cell's timeline coordinates
+// (epoch, writeSeq) recovered alongside its value.
 func TestDurableStoreRecovery(t *testing.T) {
 	dir := t.TempDir()
 	ds, err := openDurableStore(dir, "coord")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, put := range [][2]string{{"k1", "v1"}, {"k2", "v2"}, {"k1", "v3"}} {
-		if err := ds.put(put[0], []byte(put[1])); err != nil {
+	puts := []struct {
+		k, v            string
+		epoch, writeSeq uint64
+	}{
+		{"k1", "v1", 0, 3},
+		{"k2", "v2", 1, 7},
+		{"k1", "v3", 2, 11},
+	}
+	for _, p := range puts {
+		if err := ds.put(p.k, []byte(p.v), p.epoch, p.writeSeq); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -43,6 +53,12 @@ func TestDurableStoreRecovery(t *testing.T) {
 	if keys := re.keys(); !reflect.DeepEqual(keys, []string{"k1", "k2"}) {
 		t.Fatalf("keys %v", keys)
 	}
+	if c := re.cells["k1"]; c.epoch != 2 || c.writeSeq != 11 {
+		t.Fatalf("k1 coordinates (%d,%d), want (2,11)", c.epoch, c.writeSeq)
+	}
+	if c := re.cells["k2"]; c.epoch != 1 || c.writeSeq != 7 {
+		t.Fatalf("k2 coordinates (%d,%d), want (1,7)", c.epoch, c.writeSeq)
+	}
 }
 
 // TestDurableStoreInMemory: an empty dir selects the in-memory store,
@@ -52,7 +68,7 @@ func TestDurableStoreInMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ds.put("a", []byte("1")); err != nil {
+	if err := ds.put("a", []byte("1"), 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if v, ok := ds.get("a"); !ok || string(v) != "1" {
@@ -60,6 +76,55 @@ func TestDurableStoreInMemory(t *testing.T) {
 	}
 	if err := ds.close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDurableStoreInvalidate: a deliberate-rollback fence deletes cells
+// written at or after the restored checkpoint's scroll position, the
+// fence survives reopening (tombstones are logged), and a put on the new
+// timeline revives the key.
+func TestDurableStoreInvalidate(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := openDurableStore(dir, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct {
+		k, v     string
+		writeSeq uint64
+	}{
+		{"early", "keep", 5},
+		{"boundary", "fence", 10},
+		{"late", "fence", 15},
+	} {
+		if err := ds.put(p.k, []byte(p.v), 0, p.writeSeq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.invalidate(10); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{"early": []byte("keep")}
+	if got := ds.snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after invalidate: %v, want %v", got, want)
+	}
+	// The new timeline revives a fenced key by writing it again.
+	if err := ds.put("late", []byte("revived"), 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fence must hold across a crash: recovery replays the tombstones.
+	re, err := openDurableStore(dir, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.close()
+	want = map[string][]byte{"early": []byte("keep"), "late": []byte("revived")}
+	if got := re.snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %v, want %v (tombstones must survive reopen)", got, want)
 	}
 }
 
@@ -118,8 +183,8 @@ func TestDurableStoreTornWriteProperty(t *testing.T) {
 	const header = 8 // wal record header: uint32 length + uint32 crc
 	offsets := []int64{0}
 	var off int64
-	for _, r := range recs {
-		off += header + int64(len(encodeDurableRecord(string(r[0]), r[1])))
+	for i, r := range recs {
+		off += header + int64(len(encodeDurablePut(string(r[0]), r[1], 1, uint64(i))))
 		offsets = append(offsets, off)
 	}
 
@@ -128,8 +193,8 @@ func TestDurableStoreTornWriteProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, r := range recs {
-			if err := ds.put(string(r[0]), r[1]); err != nil {
+		for i, r := range recs {
+			if err := ds.put(string(r[0]), r[1], 1, uint64(i)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -161,8 +226,8 @@ func TestDurableStoreTornWriteProperty(t *testing.T) {
 		n := sort.Search(len(offsets), func(i int) bool { return offsets[i] > cut }) - 1
 		want := prefixState(n)
 		got := map[string][]byte{}
-		for k, v := range re.cells {
-			got[k] = v
+		for k, c := range re.cells {
+			got[k] = c.value
 		}
 		re.close()
 		if !reflect.DeepEqual(got, want) {
@@ -180,8 +245,8 @@ func TestDurableStoreMidSegmentCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range durTestRecords(7) {
-		if err := ds.put(string(r[0]), r[1]); err != nil {
+	for i, r := range durTestRecords(7) {
+		if err := ds.put(string(r[0]), r[1], 1, uint64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -202,48 +267,162 @@ func TestDurableStoreMidSegmentCorruption(t *testing.T) {
 	}
 }
 
-// TestDurableRecordRoundTrip pins the WAL payload encoding.
-func TestDurableRecordRoundTrip(t *testing.T) {
-	for _, tc := range [][2][]byte{
-		{[]byte(""), []byte("")},
-		{[]byte("2pc:decision"), []byte("commit")},
-		{[]byte("kv:k1"), append(binary.LittleEndian.AppendUint64(nil, 7), 'v', '7')},
-	} {
-		k, v, err := decodeDurableRecord(encodeDurableRecord(string(tc[0]), tc[1]))
+// encodeLegacyDurableRecord renders the pre-epoch WAL payload layout —
+// uvarint keylen | key | value — which today's decoder must still accept
+// (as a put with zero timeline coordinates).
+func encodeLegacyDurableRecord(key string, value []byte) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(key)))
+	out = append(out, key...)
+	out = append(out, value...)
+	return out
+}
+
+// TestDurableStoreLegacyFixture: a WAL segment written by the pre-epoch
+// store (committed under testdata, byte-for-byte) recovers on today's
+// decoder — legacy records read as puts with zero coordinates — and new
+// versioned appends and tombstones coexist with it in the same log.
+func TestDurableStoreLegacyFixture(t *testing.T) {
+	// wal.Open appends a fresh segment, so work on a copy of the fixture.
+	dir := t.TempDir()
+	src := filepath.Join("testdata", "legacy-durable", "coord")
+	dst := filepath.Join(dir, "coord")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("missing legacy fixture (regenerate with encodeLegacyDurableRecord): %v", err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if k != string(tc[0]) || !bytes.Equal(v, tc[1]) {
-			t.Fatalf("round trip (%q,%q) -> (%q,%q)", tc[0], tc[1], k, v)
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, fs.FileMode(0o644)); err != nil {
+			t.Fatal(err)
 		}
 	}
-	for _, bad := range [][]byte{{}, {0xFF}, {200, 1}} {
-		if _, _, err := decodeDurableRecord(bad); err == nil {
+
+	ds, err := openDurableStore(dir, "coord")
+	if err != nil {
+		t.Fatalf("legacy segment rejected: %v", err)
+	}
+	want := map[string][]byte{
+		"2pc:decision": []byte("commit"),
+		"kv:k1":        append(binary.LittleEndian.AppendUint64(nil, 2), 'v', '2'),
+	}
+	if got := ds.snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy recovery %v, want %v", got, want)
+	}
+	for k, c := range ds.cells {
+		if c.epoch != 0 || c.writeSeq != 0 {
+			t.Fatalf("legacy cell %q recovered coordinates (%d,%d), want (0,0)", k, c.epoch, c.writeSeq)
+		}
+	}
+	// Mixed log: a versioned put and a fence append after the legacy prefix
+	// and recover together with it.
+	if err := ds.put("kv:k9", []byte("new"), 3, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.invalidate(42); err != nil { // fences only kv:k9 (legacy cells are writeSeq 0)
+		t.Fatal(err)
+	}
+	if err := ds.put("kv:k9", []byte("revived"), 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := openDurableStore(dir, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.close()
+	want["kv:k9"] = []byte("revived")
+	if got := re.snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("mixed-format recovery %v, want %v", got, want)
+	}
+}
+
+// TestDurableRecordRoundTrip pins the WAL payload encodings: versioned
+// puts, tombstones, and the legacy layout.
+func TestDurableRecordRoundTrip(t *testing.T) {
+	for _, tc := range []durableRecord{
+		{key: "", value: nil},
+		{key: "2pc:decision", value: []byte("commit"), epoch: 1, writeSeq: 17},
+		{key: "kv:k1", value: append(binary.LittleEndian.AppendUint64(nil, 7), 'v', '7'), epoch: 1 << 40, writeSeq: 1 << 50},
+	} {
+		r, err := decodeDurableRecord(encodeDurablePut(tc.key, tc.value, tc.epoch, tc.writeSeq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.tombstone || r.key != tc.key || !bytes.Equal(r.value, tc.value) || r.epoch != tc.epoch || r.writeSeq != tc.writeSeq {
+			t.Fatalf("put round trip %+v -> %+v", tc, r)
+		}
+	}
+	for _, key := range []string{"", "2pc:decision"} {
+		r, err := decodeDurableRecord(encodeDurableTombstone(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.tombstone || r.key != key || r.value != nil {
+			t.Fatalf("tombstone round trip %q -> %+v", key, r)
+		}
+	}
+	// Legacy layout decodes as a put with zero coordinates.
+	r, err := decodeDurableRecord(encodeLegacyDurableRecord("kv:k1", []byte("old")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.tombstone || r.key != "kv:k1" || string(r.value) != "old" || r.epoch != 0 || r.writeSeq != 0 {
+		t.Fatalf("legacy round trip -> %+v", r)
+	}
+	for _, bad := range [][]byte{
+		{},
+		{0xFF},
+		{200, 1},
+		durableMagic,                            // versioned record with no kind byte
+		append(durableMagic[:10:10], 7),         // unknown kind
+		append(durableMagic[:10:10], 0),         // put with no epoch
+		append(durableMagic[:10:10], 1),         // tombstone with no key length
+		append(durableMagic[:10:10], 1, 5, 'a'), // tombstone key shorter than declared
+	} {
+		if _, err := decodeDurableRecord(bad); err == nil {
 			t.Fatalf("decoded malformed record %v", bad)
 		}
 	}
 }
 
 // FuzzDurableRecordDecode hardens the recovery decode path: arbitrary
-// bytes never panic, and anything that decodes re-encodes to a record that
-// decodes identically.
+// bytes never panic, and anything that decodes re-encodes (in the
+// versioned format) to a record that decodes identically — which also
+// proves every legacy record has a versioned equivalent.
 func FuzzDurableRecordDecode(f *testing.F) {
-	f.Add(encodeDurableRecord("2pc:decision", []byte("commit")))
-	f.Add(encodeDurableRecord("kv:k1", append(binary.LittleEndian.AppendUint64(nil, 3), 'v')))
-	f.Add(encodeDurableRecord("", nil))
+	f.Add(encodeDurablePut("2pc:decision", []byte("commit"), 1, 9))
+	f.Add(encodeDurablePut("kv:k1", append(binary.LittleEndian.AppendUint64(nil, 3), 'v'), 0, 0))
+	f.Add(encodeDurableTombstone("2pc:decision"))
+	f.Add(encodeLegacyDurableRecord("kv:k1", []byte("old")))
+	f.Add(encodeLegacyDurableRecord("", nil))
 	f.Add([]byte{})
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add(append([]byte(nil), durableMagic...))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		k, v, err := decodeDurableRecord(data)
+		r, err := decodeDurableRecord(data)
 		if err != nil {
 			return
 		}
-		k2, v2, err := decodeDurableRecord(encodeDurableRecord(k, v))
+		var enc []byte
+		if r.tombstone {
+			enc = encodeDurableTombstone(r.key)
+		} else {
+			enc = encodeDurablePut(r.key, r.value, r.epoch, r.writeSeq)
+		}
+		r2, err := decodeDurableRecord(enc)
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if k2 != k || !bytes.Equal(v2, v) {
-			t.Fatalf("round trip (%q,%q) -> (%q,%q)", k, v, k2, v2)
+		if r2.tombstone != r.tombstone || r2.key != r.key || !bytes.Equal(r2.value, r.value) ||
+			r2.epoch != r.epoch || r2.writeSeq != r.writeSeq {
+			t.Fatalf("round trip %+v -> %+v", r, r2)
 		}
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/dsim"
 	"repro/internal/fault"
+	"repro/internal/recovery"
 	"repro/internal/scroll"
 	"repro/internal/transport"
 	"repro/internal/vclock"
@@ -53,9 +55,23 @@ type LiveConfig struct {
 	// (internal/wal: segmented, checksummed, fsync'd), so durable cells
 	// survive real process crashes: a new substrate opened on the same
 	// directory recovers them at AddProcess. Empty keeps stable storage in
-	// memory — it still survives in-substrate crash-restart and rollback,
-	// matching the simulator's model.
+	// memory — it still survives in-substrate crash-restart, matching the
+	// simulator's model.
 	DurableDir string
+	// ScrollDir, when set, persists each process's scroll (its recording)
+	// under ScrollDir/<proc> via scroll.OpenDurable, so live recordings
+	// survive real process crashes alongside the DurableDir WAL state: a new
+	// substrate opened on the same directory resumes each scroll where the
+	// crash left it, keeping post-mortem replay possible. Empty keeps
+	// scrolls in memory.
+	ScrollDir string
+	// LegacyTimelines disables timeline-epoch fencing — stale-epoch message
+	// drops, stale-incarnation timer fences, durable-cell invalidation and
+	// checkpoint pruning on deliberate rollback — restoring the pre-fix
+	// at-least-once redelivery and durable re-installation hazards.
+	// Regression tests flip it to reproduce the old bugs; mirrors
+	// dsim.Config.LegacyTimelines.
+	LegacyTimelines bool
 }
 
 func (cfg LiveConfig) withDefaults() LiveConfig {
@@ -82,9 +98,15 @@ func (cfg LiveConfig) withDefaults() LiveConfig {
 
 // liveEvent is one unit of work for a process's event loop.
 type liveEvent struct {
-	kind  int // levInit, levMsg, levTimer, levCrash, levRestart
+	kind  int // levInit, levMsg, levTimer, levCrash, levRestart, levRollback
 	msg   transport.Message
 	timer string
+	// gen is the process incarnation that armed a timer event. A restore
+	// (crash-restart or rollback) bumps the incarnation and re-arms the
+	// checkpointed timers itself; a time.AfterFunc from the previous
+	// incarnation cannot be recalled, so its fire arrives with a stale gen
+	// and is fenced.
+	gen uint64
 }
 
 const (
@@ -93,7 +115,14 @@ const (
 	levTimer
 	levCrash
 	levRestart
+	levRollback
 )
+
+// EpochFenceMsgID is the scroll MsgID under which a fenced stale-epoch
+// delivery is recorded (KindCustom, so dsim.Replay treats it as a no-op).
+// Recording the fence keeps replay and divergence checking aligned with
+// the live history: the drop is part of the timeline, not an omission.
+const EpochFenceMsgID = "fence:epoch"
 
 // LiveSubstrate runs dsim.Machine implementations as real goroutines
 // exchanging messages over internal/transport, with the Scroll interposed
@@ -145,6 +174,14 @@ type LiveSubstrate struct {
 
 	auditMu sync.Mutex
 	audit   []string // hub-tap record of chaos verdicts (drop/partition/dup)
+
+	// epoch is the timeline epoch: bumped by every deliberate rollback
+	// (RollbackTo, injected RollbackAt, ReplaceMachine), never by
+	// crash-restart. Sends stamp it onto transport.Message; receivers fence
+	// deliveries from an older epoch — in-flight frames of an abandoned
+	// timeline that the real network cannot recall.
+	epoch       atomic.Uint64
+	epochFences atomic.Uint64 // stale-epoch messages + stale-incarnation timers fenced
 
 	delivered  atomic.Uint64
 	crashDrops atomic.Uint64
@@ -232,6 +269,12 @@ type liveProc struct {
 	events  chan liveEvent
 	crashed bool
 	halted  bool
+	// incarnation is bumped by every restore (crash-restart AND rollback):
+	// pending time.AfterFunc timers of the pre-restore incarnation cannot be
+	// recalled, so their fires are fenced by generation instead. The global
+	// epoch cannot serve here — crash-restart re-arms checkpointed timers
+	// without advancing the timeline.
+	incarnation uint64
 
 	delivered     uint64
 	ckptSkew      uint64
@@ -262,12 +305,22 @@ func (s *LiveSubstrate) AddProcess(id string, m dsim.Machine) {
 	if err != nil {
 		panic(fmt.Sprintf("substrate: durable store for %q: %v", id, err))
 	}
+	sc := scroll.NewMemory(id)
+	if s.cfg.ScrollDir != "" {
+		// Durable recordings: the scroll survives real process crashes like
+		// the WAL-backed cells, so post-mortem replay works across substrate
+		// instances, not just within one.
+		sc, err = scroll.OpenDurable(id, filepath.Join(s.cfg.ScrollDir, id))
+		if err != nil {
+			panic(fmt.Sprintf("substrate: durable scroll for %q: %v", id, err))
+		}
+	}
 	p := &liveProc{
 		sub:     s,
 		id:      id,
 		machine: m,
 		heap:    checkpoint.NewHeapPages(s.cfg.HeapSize, s.cfg.HeapPageSize),
-		scroll:  scroll.NewMemory(id),
+		scroll:  sc,
 		clock:   vclock.New(),
 		durable: durable,
 		tr:      tr,
@@ -323,6 +376,13 @@ func (p *liveProc) loop() {
 
 // handle executes one event under the process mutex.
 func (p *liveProc) handle(ev liveEvent) {
+	if ev.kind == levRollback {
+		// Injected deliberate rollback (fault.Injector.RollbackAt): a
+		// whole-substrate restore that locks every process in sorted order,
+		// so it must run before this process's own mutex is taken.
+		p.sub.rollbackLatest(p)
+		return
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := p.sub
@@ -336,6 +396,21 @@ func (p *liveProc) handle(ev liveEvent) {
 	case levMsg:
 		if p.crashed || p.halted {
 			s.crashDrops.Add(1)
+			return
+		}
+		if !s.cfg.LegacyTimelines && ev.msg.Epoch < s.epoch.Load() {
+			// The message was sent on a timeline a rollback has since
+			// abandoned; the real network could not recall it, so fence it
+			// here — turning redelivery from at-least-once into
+			// exactly-once-per-timeline. The fence is recorded in the scroll
+			// (a KindCustom record, a no-op under dsim.Replay) so per-process
+			// replay and divergence checking see the same history.
+			p.scroll.Append(scroll.Record{
+				Kind: scroll.KindCustom, MsgID: EpochFenceMsgID, Peer: ev.msg.From,
+				Payload: []byte(fmt.Sprintf("%s epoch %d < %d", ev.msg.ID, ev.msg.Epoch, s.epoch.Load())),
+				Lamport: p.lamport.Now(), Clock: p.clock.Copy(),
+			})
+			s.epochFences.Add(1)
 			return
 		}
 		if s.cfg.CICheckpoint {
@@ -356,12 +431,17 @@ func (p *liveProc) handle(ev liveEvent) {
 			p.takeCheckpointLocked("periodic")
 		}
 	case levTimer:
-		if !p.removeTimerLocked(ev.timer) {
-			// Stale fire: the timer was invalidated by a rollback or
-			// crash-restart (dsim purges such events from its queue; a
-			// time.AfterFunc cannot be recalled, so it is skipped here).
+		if ev.gen != p.incarnation {
+			// The timer was armed by a previous incarnation of this process:
+			// a restore (crash-restart or rollback) re-arms the checkpointed
+			// timers itself, and the orphaned time.AfterFunc cannot be
+			// recalled — the same epoch-style fence that drops stale
+			// messages, applied per-process (dsim purges these events from
+			// its queue deterministically).
+			s.epochFences.Add(1)
 			return
 		}
+		p.removeTimerLocked(ev.timer)
 		if p.crashed || p.halted {
 			return
 		}
@@ -394,16 +474,109 @@ func (p *liveProc) handle(ev liveEvent) {
 	}
 }
 
-// removeTimerLocked drops one pending entry for name, reporting whether
-// the timer was still armed (false = a stale fire to be ignored).
-func (p *liveProc) removeTimerLocked(name string) bool {
+// rollbackLatest performs an injected deliberate rollback anchored at one
+// process (fault.Injector.RollbackAt): the Time Machine computes the
+// latest globally consistent recovery line over every process's
+// checkpoints (recovery.MaxConsistentSet) and restores it through the
+// timeline-fencing path, exactly as a heal-driven RollbackTo would.
+// Crashed processes stay down, but their abandoned durable cells are
+// fenced and post-line checkpoints pruned so a later restart joins the
+// restored timeline. A crashed anchor, or one with no checkpoint yet,
+// makes the injection a no-op. Processes are locked one at a time (the
+// caller holds no process mutex), so concurrent rollbacks serialize on
+// each mutex instead of deadlocking.
+func (s *LiveSubstrate) rollbackLatest(anchor *liveProc) {
+	anchor.mu.Lock()
+	skip := anchor.crashed || s.store.Latest(anchor.id) == nil
+	anchor.mu.Unlock()
+	if skip {
+		return
+	}
+	s.mu.Lock()
+	procs := make([]*liveProc, 0, len(s.order))
+	for _, id := range s.order {
+		procs = append(procs, s.procs[id])
+	}
+	s.mu.Unlock()
+	metas := make(map[string][]recovery.CkptMeta, len(procs))
+	byID := make(map[string]*checkpoint.Checkpoint)
+	for _, q := range procs {
+		cks := s.store.List(q.id)
+		if len(cks) == 0 {
+			continue
+		}
+		ms := make([]recovery.CkptMeta, len(cks))
+		for i, ck := range cks {
+			ms[i] = recovery.CkptMeta{ID: ck.ID, Proc: q.id, Index: i, Clock: ck.Clock}
+			byID[ck.ID] = ck
+		}
+		metas[q.id] = ms
+	}
+	set := recovery.MaxConsistentSet(metas)
+	if set == nil {
+		return
+	}
+	line := make(map[string]*checkpoint.Checkpoint, len(set))
+	for _, m := range set {
+		line[m.Proc] = byID[m.ID]
+	}
+	// One epoch bump per rollback, before any restore: every send from the
+	// abandoned timeline carries a smaller epoch and will be fenced.
+	s.epoch.Add(1)
+	for _, q := range procs {
+		ck, ok := line[q.id]
+		if !ok {
+			continue
+		}
+		q.mu.Lock()
+		switch {
+		case q.crashed:
+			// Not resurrected here; fence its disk and prune so the restart
+			// path recovers the restored timeline, not the abandoned one.
+			if !s.cfg.LegacyTimelines {
+				q.fenceAbandonedLocked(ck)
+			}
+		default:
+			q.restoreLocked(ck)
+			if !s.cfg.LegacyTimelines {
+				q.fenceAbandonedLocked(ck)
+			}
+			q.machine.OnRollback(&liveCtx{p: q}, dsim.RollbackInfo{Manual: true, Reason: "time machine rollback"})
+		}
+		q.mu.Unlock()
+	}
+}
+
+// fenceAbandonedLocked applies the durable half of timeline fencing after a
+// deliberate rollback restored ck (caller holds p.mu): stable-storage cells
+// written at or after the checkpoint's scroll position are invalidated
+// (with WAL tombstones when backed), and strictly-later checkpoints are
+// pruned so a subsequent crash-restart cannot re-install abandoned state.
+func (p *liveProc) fenceAbandonedLocked(ck *checkpoint.Checkpoint) {
+	if err := p.durable.invalidate(ck.ScrollSeq); err != nil {
+		select {
+		case <-p.sub.shutdown:
+		default:
+			panic(fmt.Sprintf("substrate: durable invalidation for %s: %v", p.id, err))
+		}
+	}
+	for _, old := range p.sub.store.List(p.id) {
+		if old.ScrollSeq > ck.ScrollSeq {
+			p.sub.store.Remove(old.ID)
+		}
+	}
+}
+
+// removeTimerLocked drops one pending entry for name — plain bookkeeping:
+// stale fires never reach it, the incarnation fence in handle drops them
+// first.
+func (p *liveProc) removeTimerLocked(name string) {
 	for i, n := range p.pendingTimers {
 		if n == name {
 			p.pendingTimers = append(p.pendingTimers[:i], p.pendingTimers[i+1:]...)
-			return true
+			return
 		}
 	}
-	return false
 }
 
 // takeCheckpointLocked snapshots the process (caller holds p.mu).
@@ -432,11 +605,17 @@ func (p *liveProc) takeCheckpointLocked(label string) *checkpoint.Checkpoint {
 
 // restoreLocked rewinds the process to a checkpoint: heap, machine state,
 // vector clock, scroll position, and the timers pending at the checkpoint.
-// Stable storage (p.durable) is deliberately untouched: disk writes cannot
-// be unwritten by a restore. Messages already in flight cannot be recalled
-// — redelivery is at-least-once, the documented fidelity gap of the live
-// backend.
+// Stable storage (p.durable) is deliberately untouched here: disk writes
+// cannot be unwritten by a restore, and for crash-restart the disk is the
+// authoritative recovery source (deliberate-rollback callers fence the
+// abandoned cells separately — fenceAbandonedLocked). Messages already in
+// flight cannot be recalled either; they are fenced at delivery by the
+// timeline epoch stamped on every transport.Message, so redelivery is
+// exactly-once-per-timeline rather than the historical at-least-once.
+// Orphaned time.AfterFunc timers are fenced the same way via the process
+// incarnation bumped below.
 func (p *liveProc) restoreLocked(ck *checkpoint.Checkpoint) {
+	p.incarnation++
 	p.heap.Restore(ck.Snap)
 	if err := json.Unmarshal(ck.Extra, p.machine.State()); err != nil {
 		panic(fmt.Sprintf("substrate: restore state of %s: %v", p.id, err))
@@ -598,6 +777,16 @@ func (s *LiveSubstrate) waitQuiesce() dsim.Stats {
 	}
 }
 
+// Epoch returns the current timeline epoch: 0 until the first deliberate
+// rollback (runs that never roll back report 0, keeping artifacts
+// byte-stable against pre-epoch output).
+func (s *LiveSubstrate) Epoch() uint64 { return s.epoch.Load() }
+
+// EpochFences returns how many stale-epoch messages and stale-incarnation
+// timer fires were fenced — the deliveries the pre-epoch substrate would
+// have handed to a machine from an abandoned timeline.
+func (s *LiveSubstrate) EpochFences() uint64 { return s.epochFences.Load() }
+
 // Now returns the current virtual tick: monotonic time since Run divided
 // by the tick duration (0 before the run starts).
 func (s *LiveSubstrate) Now() uint64 {
@@ -735,15 +924,50 @@ func (s *LiveSubstrate) DurableSnapshot() map[string]map[string][]byte {
 	return out
 }
 
+// DurableSnapshotAt mirrors dsim.Sim.DurableSnapshotAt for the live
+// backend: the cells as of a recovery line (proc -> line scroll position),
+// restricted to writes strictly before each process's line — what an
+// investigation seeded from that line is allowed to observe. Processes
+// absent from lineSeq are omitted.
+func (s *LiveSubstrate) DurableSnapshotAt(lineSeq map[string]uint64) map[string]map[string][]byte {
+	s.mu.Lock()
+	procs := make([]*liveProc, 0, len(s.order))
+	for _, id := range s.order {
+		procs = append(procs, s.procs[id])
+	}
+	s.mu.Unlock()
+	var out map[string]map[string][]byte
+	for _, p := range procs {
+		seq, ok := lineSeq[p.id]
+		if !ok {
+			continue
+		}
+		p.mu.Lock()
+		cells := p.durable.snapshotAt(seq)
+		p.mu.Unlock()
+		if cells == nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]map[string][]byte, len(procs))
+		}
+		out[p.id] = cells
+	}
+	return out
+}
+
 // --- Substrate: checkpoint / rollback ---
 
 // Store implements Substrate.
 func (s *LiveSubstrate) Store() *checkpoint.Store { return s.store }
 
-// RollbackTo restores the given recovery line. Live rollback is
-// best-effort: state, heap, clock and scroll rewind, but messages already
-// in flight are redelivered (at-least-once), so machines should tolerate
-// duplicate delivery after a rollback.
+// RollbackTo restores the given recovery line and advances the timeline
+// epoch. State, heap, clock and scroll rewind; messages already in flight
+// cannot be recalled, but they carry the pre-rollback epoch and are fenced
+// at delivery, so processes observe exactly-once-per-timeline delivery.
+// Durable cells written after the restored checkpoints are invalidated and
+// the abandoned timeline's checkpoints pruned, so a crash-restart that
+// fires after the rollback recovers the restored timeline.
 func (s *LiveSubstrate) RollbackTo(line map[string]string) error {
 	ids := make([]string, 0, len(line))
 	for id := range line {
@@ -761,6 +985,10 @@ func (s *LiveSubstrate) RollbackTo(line map[string]string) error {
 		}
 		cks[id] = ck
 	}
+	// One epoch bump per rollback, before any process restores: every send
+	// from the abandoned timeline — including ones racing this rollback —
+	// carries a smaller epoch and will be fenced.
+	s.epoch.Add(1)
 	for _, id := range ids {
 		s.mu.Lock()
 		p, ok := s.procs[id]
@@ -770,6 +998,9 @@ func (s *LiveSubstrate) RollbackTo(line map[string]string) error {
 		}
 		p.mu.Lock()
 		p.restoreLocked(cks[id])
+		if !s.cfg.LegacyTimelines {
+			p.fenceAbandonedLocked(cks[id])
+		}
 		p.machine.OnRollback(&liveCtx{p: p}, dsim.RollbackInfo{Manual: true, Reason: "time machine rollback"})
 		p.mu.Unlock()
 	}
@@ -792,6 +1023,9 @@ func (s *LiveSubstrate) ReplaceMachine(procID string, m dsim.Machine, state []by
 		}
 	}
 	p.machine = m
+	// A dynamic update starts a new timeline: in-flight output of the
+	// replaced implementation becomes fenceable, mirroring the simulator.
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -810,6 +1044,14 @@ func (s *LiveSubstrate) CrashAt(proc string, t uint64) {
 // its latest checkpoint (or re-initializes).
 func (s *LiveSubstrate) RestartAt(proc string, t uint64) {
 	s.ctlAt(proc, t, levRestart)
+}
+
+// RollbackAt implements fault.Injector: at tick t the (running) process is
+// deliberately rolled back to its latest checkpoint, advancing the
+// timeline epoch — the chaos primitive for racing heal-style rollbacks
+// against in-flight traffic and crash-restarts.
+func (s *LiveSubstrate) RollbackAt(proc string, t uint64) {
+	s.ctlAt(proc, t, levRollback)
 }
 
 func (s *LiveSubstrate) ctlAt(proc string, tick uint64, kind int) {
@@ -938,11 +1180,12 @@ func (s *LiveSubstrate) Close() error {
 	// Cancel delayed chaos deliveries before the inner transports close so
 	// none of them lands on a closed transport.
 	s.net.Close()
-	// Flush and release the durable WALs: event loops have exited, so no
-	// further puts race the close.
+	// Flush and release the durable WALs and scrolls: event loops have
+	// exited, so no further puts or appends race the close.
 	for _, p := range procs {
 		p.mu.Lock()
 		p.durable.close()
+		p.scroll.Close() //nolint:errcheck // memory scrolls are no-ops; WAL errors mirror durable close
 		p.mu.Unlock()
 	}
 	if s.hub != nil {
@@ -1005,16 +1248,20 @@ func (c *liveCtx) Send(to string, payload []byte) {
 	})
 	p.tr.Send(transport.Message{ //nolint:errcheck // loss is within the model
 		ID: id, From: p.id, To: to, Payload: body, Lamport: lam, Clock: p.clock.Copy(),
+		Epoch: p.sub.epoch.Load(),
 	})
 }
 
-// SetTimer schedules OnTimer(name) after delay ticks of wall time.
+// SetTimer schedules OnTimer(name) after delay ticks of wall time. The
+// arming incarnation rides along so a fire from before a restore is fenced
+// (callers hold p.mu, so the read is stable).
 func (c *liveCtx) SetTimer(name string, delay uint64) {
 	p := c.p
+	gen := p.incarnation
 	p.pendingTimers = append(p.pendingTimers, name)
 	p.sub.activity.Add(1) // held until the timer event is handled
 	time.AfterFunc(time.Duration(delay)*p.sub.cfg.Tick, func() {
-		p.post(liveEvent{kind: levTimer, timer: name}, false)
+		p.post(liveEvent{kind: levTimer, timer: name, gen: gen}, false)
 	})
 }
 
@@ -1024,10 +1271,12 @@ func (c *liveCtx) Heap() *checkpoint.Heap { return c.p.heap }
 // DurablePut implements dsim.Context: the cell is written to the
 // process's stable store (WAL-backed when LiveConfig.DurableDir is set)
 // and recorded in the scroll under the same identity the simulator uses,
-// so live recordings replay uniformly.
+// so live recordings replay uniformly. The write is stamped with the
+// current timeline epoch and scroll position — the coordinates a
+// deliberate rollback fences against (see durableStore.invalidate).
 func (c *liveCtx) DurablePut(key string, value []byte) {
 	p := c.p
-	if err := p.durable.put(key, value); err != nil {
+	if err := p.durable.put(key, value, p.sub.epoch.Load(), uint64(p.scroll.Len())); err != nil {
 		select {
 		case <-p.sub.shutdown:
 			// Closing: the cell map still took the write; losing the WAL

@@ -93,8 +93,9 @@ type Substrate interface {
 	// DurableSnapshot returns a deep copy of every process's
 	// stable-storage cells (proc -> key -> value; nil when nothing was
 	// written). Stable storage — the Context.Durable… seam — survives
-	// crash-restart and rollback on both backends; see
-	// Capabilities.StableStorage.
+	// crash-restart on both backends; a deliberate rollback fences cells
+	// written after the restored checkpoint (the abandoned timeline's
+	// writes), which the snapshot omits. See Capabilities.StableStorage.
 	DurableSnapshot() map[string]map[string][]byte
 
 	// --- chaos capability ---
@@ -124,18 +125,23 @@ type Capabilities struct {
 	// scroll. True on both backends — it needs only the per-process log.
 	ProcessReplay bool
 	// Checkpoints: the checkpoint store is populated and RollbackTo works.
-	// On the live backend rollback is best-effort: messages already in
-	// flight cannot be recalled, so at-least-once redelivery may occur.
+	// On the live backend messages already in flight cannot be recalled,
+	// but every rollback advances a timeline epoch that sends stamp onto
+	// their frames and receivers fence at delivery, so processes observe
+	// exactly-once-per-timeline delivery rather than at-least-once
+	// redelivery of the abandoned timeline's traffic.
 	Checkpoints bool
 	// Speculation: distributed speculations with absorb/commit/abort.
 	// Sim-only: aborting requires recalling messages from the network,
 	// which only a simulated network can do.
 	Speculation bool
 	// StableStorage: per-process Context.Durable… cells survive
-	// crash-restart and rollback (they are never rewound by a checkpoint
-	// restore). True on both backends: in-memory on the simulator, and on
-	// the live backend optionally write-ahead logged onto internal/wal
-	// (LiveConfig.DurableDir) so the cells also survive real process
+	// crash-restart (a checkpoint restore never rewinds the disk), while a
+	// deliberate rollback fences the abandoned timeline's writes so a later
+	// crash-restart cannot re-install them. True on both backends:
+	// in-memory on the simulator, and on the live backend optionally
+	// write-ahead logged onto internal/wal (LiveConfig.DurableDir) so the
+	// cells — and the fences, as tombstones — also survive real process
 	// crashes across substrate instances.
 	StableStorage bool
 }

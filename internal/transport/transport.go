@@ -34,6 +34,12 @@ type Message struct {
 	Payload []byte    `json:"payload"`
 	Lamport uint64    `json:"lamport"`
 	Clock   vclock.VC `json:"clock,omitempty"` // sender's vector time, for recovery-line analysis
+	// Epoch is the sender's timeline epoch. A rollback (checkpoint restore,
+	// heal, dynamic update) advances the runtime's epoch, so receivers can
+	// fence messages sent on an abandoned timeline — in-flight frames that a
+	// real network cannot recall. Zero until the first rollback, so frames
+	// from rollback-free runs are byte-identical to the pre-epoch format.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Transport delivers messages between named endpoints.
