@@ -17,6 +17,7 @@
 //	fixd-bench -chaos.json out.json
 //	fixd-bench -search          # guided-search bench -> BENCH_search.json
 //	fixd-bench -runtime         # hot-path bench -> BENCH_runtime.json
+//	fixd-bench -fleet           # distributed-fleet bench -> BENCH_fleet.json
 //
 // -runtime measures the chaos run loop end to end — runs/sec, ns/run and
 // allocs/run on the matrix and search workloads — on the pooled/streaming
@@ -61,6 +62,8 @@ func main() {
 	runtimeBench := flag.Bool("runtime", false, "run the hot-path runtime benchmark and write its JSON artifact")
 	runtimeJSON := flag.String("runtime.json", "BENCH_runtime.json", "runtime benchmark output path")
 	runtimeReps := flag.Int("runtime.reps", 0, "timing reps per path for -runtime (0 = default: 5, or 1 with -quick)")
+	fleetBench := flag.Bool("fleet", false, "run the distributed-fleet benchmark and write its JSON artifact")
+	fleetJSON := flag.String("fleet.json", "BENCH_fleet.json", "fleet benchmark output path")
 	flag.Parse()
 
 	experiments.MatrixWorkers = *workers
@@ -82,6 +85,9 @@ func main() {
 		if *runtimeBench {
 			emitRuntimeBench(*workers, *runtimeReps, *quick, *runtimeJSON)
 		}
+		if *fleetBench {
+			emitFleetBench(*workers, *quick, *fleetJSON)
+		}
 		return
 	}
 	for _, tbl := range experiments.Suite(*quick) {
@@ -94,6 +100,46 @@ func main() {
 	}
 	if *runtimeBench {
 		emitRuntimeBench(*workers, *runtimeReps, *quick, *runtimeJSON)
+	}
+	if *fleetBench {
+		emitFleetBench(*workers, *quick, *fleetJSON)
+	}
+}
+
+// emitFleetBench runs the distributed-fleet benchmark — coordinator plus
+// 1/2/4 loopback-TCP workers against the in-process sharded search — and
+// writes the JSON artifact. Report divergence between the fleet and the
+// baseline fails the run: distribution must never change the search.
+func emitFleetBench(workers int, quick bool, path string) {
+	if path == "" {
+		return
+	}
+	b, err := experiments.RunFleetBench(workers, quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: fleet bench:", err)
+		os.Exit(1)
+	}
+	out, err := b.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: fleet bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: fleet bench:", err)
+		os.Exit(1)
+	}
+	verdict := "identical reports"
+	if !b.AllIdentical {
+		verdict = "REPORTS DIVERGED"
+	}
+	fmt.Printf("fleet bench: baseline %.1f runs/s (%d in-process workers)", b.BaselineRunsSec, b.BaselineWorkers)
+	for _, p := range b.Points {
+		fmt.Printf(", fleet@%d %.1f runs/s", p.Workers, p.RunsPerSec)
+	}
+	fmt.Printf(", %s -> %s\n", verdict, path)
+	if !b.AllIdentical {
+		fmt.Fprintln(os.Stderr, "fixd-bench: fleet bench: fleet/baseline report divergence")
+		os.Exit(1)
 	}
 }
 

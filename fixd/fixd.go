@@ -70,6 +70,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsim"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/heal"
 	"repro/internal/scroll"
 	"repro/internal/substrate"
@@ -140,6 +141,11 @@ type (
 	// ChaosFingerprint is one run's behavioral coverage signature: exact
 	// merged-scroll digest plus coarse event-shape signature.
 	ChaosFingerprint = chaos.Fingerprint
+
+	// FleetConfig parameterizes a distributed chaos-search fleet: the
+	// underlying ChaosSearchConfig plus the coordinator's listen address,
+	// worker count, lease timeout/retry knobs and journal path.
+	FleetConfig = fleet.Config
 )
 
 // Injectable fault kinds for chaos scenarios.
@@ -184,6 +190,21 @@ func ChaosMatrix(cfg ChaosMatrixConfig) *ChaosReport {
 // at the default budget; see chaos.SearchConfig for the knobs.
 func SearchChaos(cfg ChaosSearchConfig) *ChaosSearchReport {
 	return chaos.Search(cfg)
+}
+
+// SearchFleet runs the same coverage-guided chaos search as SearchChaos,
+// distributed: a coordinator owns the seeded candidate frontier and leases
+// evaluation batches to stateless workers over TCP (cfg.Workers spawns
+// them in-process on the loopback interface; fixd-fleet runs them as
+// separate processes). Candidates are generated sequentially on the
+// coordinator and admitted in candidate order, so for a fixed (seed,
+// budget) the report is byte-identical to SearchChaos at any worker count
+// and across worker crashes; expired leases are reissued and, past the
+// retry limit, evaluated by the coordinator itself. cfg.Journal makes the
+// frontier durable: a restarted coordinator replays journaled results and
+// resumes without re-executing a schedule.
+func SearchFleet(cfg FleetConfig) (*ChaosSearchReport, error) {
+	return fleet.Search(cfg)
 }
 
 // ShrinkChaos minimizes a failing fault schedule by delta debugging:

@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"fmt"
+
 	"repro/internal/dsim"
 	"repro/internal/fault"
 )
@@ -105,6 +107,18 @@ func JitterFreeKV() AppSpec {
 		}
 	}
 	panic("apps: kvstore not registered")
+}
+
+// Lookup resolves one registered application by name — how stateless
+// fleet workers and the fixd-fleet CLI turn an app name from the wire
+// back into a runnable spec.
+func Lookup(name string) (AppSpec, error) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return AppSpec{}, fmt.Errorf("apps: unknown application %q", name)
 }
 
 // Registry returns the five workload applications in matrix order.

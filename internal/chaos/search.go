@@ -1,11 +1,6 @@
 package chaos
 
 import (
-	"encoding/json"
-	"fmt"
-	"hash/fnv"
-	"math/rand"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -55,6 +50,12 @@ type SearchConfig struct {
 	// runtime benchmark and the path-equivalence tests.
 	Baseline bool
 }
+
+// WithDefaults resolves the zero-value knobs to their documented defaults.
+// Search and NewFrontier apply it internally; external drivers (the fleet
+// coordinator) call it to know the resolved seed, budget and application
+// list before building frontiers.
+func (cfg SearchConfig) WithDefaults() SearchConfig { return cfg.withDefaults() }
 
 func (cfg SearchConfig) withDefaults() SearchConfig {
 	if cfg.Apps == nil {
@@ -158,11 +159,15 @@ const searchBatch = 4
 // with every draw flowing through one seeded rng, so the whole search
 // replays deterministically from cfg.Seed. Failing schedules are funneled
 // into Shrink and emitted as replayable artifacts.
+//
+// Search is the in-process driver of a Frontier; the fleet coordinator
+// (internal/fleet) drives the identical frontier with remote evaluation
+// and produces byte-identical reports.
 func Search(cfg SearchConfig) *SearchReport {
 	cfg = cfg.withDefaults()
-	rep := &SearchReport{Strategy: "guided", Seed: cfg.Seed, Budget: cfg.Budget, Buggy: cfg.Buggy}
+	rep := &SearchReport{Strategy: string(StrategyGuided), Seed: cfg.Seed, Budget: cfg.Budget, Buggy: cfg.Buggy}
 	for _, spec := range cfg.Apps {
-		rep.Apps = append(rep.Apps, searchApp(spec, cfg))
+		rep.Apps = append(rep.Apps, driveFrontier(NewFrontier(spec, cfg, StrategyGuided), cfg.Workers))
 	}
 	return rep
 }
@@ -174,48 +179,38 @@ func Search(cfg SearchConfig) *SearchReport {
 // quantifies what the coverage feedback buys (see experiment E10).
 func RandomSearch(cfg SearchConfig) *SearchReport {
 	cfg = cfg.withDefaults()
-	rep := &SearchReport{Strategy: "random", Seed: cfg.Seed, Budget: cfg.Budget, Buggy: cfg.Buggy}
+	rep := &SearchReport{Strategy: string(StrategyRandom), Seed: cfg.Seed, Budget: cfg.Budget, Buggy: cfg.Buggy}
 	for _, spec := range cfg.Apps {
-		rep.Apps = append(rep.Apps, randomApp(spec, cfg))
+		rep.Apps = append(rep.Apps, driveFrontier(NewFrontier(spec, cfg, StrategyRandom), cfg.Workers))
 	}
 	return rep
 }
 
-// appSearchState is the shared bookkeeping both strategies update in
-// deterministic candidate order.
-type appSearchState struct {
-	res       *AppSearch
-	runner    Runner
-	cfg       SearchConfig
-	seenShape map[string]bool
-	seenDig   map[string]bool
-	failSeen  map[string]bool
-}
-
-func newAppSearchState(spec apps.AppSpec, cfg SearchConfig) *appSearchState {
-	return &appSearchState{
-		res:       &AppSearch{App: spec.Name},
-		runner: Runner{Spec: spec, Buggy: cfg.Buggy, Seed: cfg.Seed, Probe: true,
-			CheckEvery: cfg.CheckEvery, Baseline: cfg.Baseline},
-		cfg:       cfg,
-		seenShape: make(map[string]bool),
-		seenDig:   make(map[string]bool),
-		failSeen:  make(map[string]bool),
+// driveFrontier runs one application's frontier to exhaustion on a local
+// worker pool: generate a batch, evaluate it, admit results in candidate
+// order, repeat.
+func driveFrontier(f *Frontier, workers int) *AppSearch {
+	for batch := f.NextBatch(); len(batch) > 0; batch = f.NextBatch() {
+		res := evalCandidates(f.Runner(), workers, batch)
+		for i := range batch {
+			f.Admit(batch[i], res[i])
+		}
 	}
+	return f.Finish()
 }
 
-// evaluate runs one batch of candidates, in parallel when cfg.Workers > 1.
-// Results are written by candidate index, so the admission pass that
-// follows sees them in generation order regardless of completion order.
-func (st *appSearchState) evaluate(batch []Schedule) []*RunResult {
+// evalCandidates runs one batch of candidates, in parallel when
+// workers > 1. Results are written by candidate index, so the admission
+// pass that follows sees them in generation order regardless of completion
+// order.
+func evalCandidates(runner Runner, workers int, batch []Candidate) []*RunResult {
 	out := make([]*RunResult, len(batch))
-	workers := st.cfg.Workers
 	if workers > len(batch) {
 		workers = len(batch)
 	}
 	if workers <= 1 {
-		for i, sched := range batch {
-			out[i] = st.runner.Run(sched)
+		for i, c := range batch {
+			out[i] = runner.Run(c.Schedule)
 		}
 		return out
 	}
@@ -232,227 +227,10 @@ func (st *appSearchState) evaluate(batch []Schedule) []*RunResult {
 				if i >= len(batch) {
 					return
 				}
-				out[i] = st.runner.Run(batch[i])
+				out[i] = runner.Run(batch[i].Schedule)
 			}
 		}()
 	}
 	wg.Wait()
 	return out
-}
-
-// admit processes one evaluated candidate: fingerprint bookkeeping, corpus
-// admission on a new shape, and failure capture (shrink + artifact) on the
-// first schedule violating each distinct invariant set.
-func (st *appSearchState) admit(sched Schedule, op string, r *RunResult) {
-	res := st.res
-	res.Executions++
-	st.seenDig[r.Digest] = true
-	res.DistinctDigests = len(st.seenDig)
-	if !st.seenShape[r.Shape] {
-		st.seenShape[r.Shape] = true
-		res.Corpus = append(res.Corpus, CorpusEntry{
-			Schedule:    sched,
-			Fingerprint: Fingerprint{Digest: r.Digest, Shape: r.Shape},
-			FoundAt:     res.Executions,
-			Op:          op,
-		})
-	}
-	res.DistinctShapes = len(st.seenShape)
-	if n := len(res.Corpus); n > 0 && res.Corpus[n-1].FoundAt == res.Executions {
-		res.Growth = append(res.Growth, GrowthPoint{
-			Execs: res.Executions, Corpus: n,
-			Shapes: res.DistinctShapes, Digests: res.DistinctDigests,
-		})
-	}
-
-	if len(r.Violations) == 0 {
-		return
-	}
-	sig := strings.Join(r.Violations, "|")
-	if st.failSeen[sig] {
-		return
-	}
-	st.failSeen[sig] = true
-	if st.cfg.ShrinkBudget < 0 {
-		res.Failures = append(res.Failures, &SearchFailure{
-			Schedule: sched, Violations: r.Violations, Shrunk: sched,
-			Artifact: NewArtifact(st.runner, sched, r),
-		})
-		return
-	}
-	fails := func(s Schedule) bool {
-		return len(st.runner.Run(s).Violations) > 0
-	}
-	sr := Shrink(sched, fails, st.cfg.ShrinkBudget)
-	res.ShrinkRuns += sr.Runs
-	shrunkRes := st.runner.Run(sr.Schedule)
-	res.Failures = append(res.Failures, &SearchFailure{
-		Schedule:   sched,
-		Violations: r.Violations,
-		Shrunk:     sr.Schedule,
-		ShrinkRuns: sr.Runs,
-		Minimal:    sr.Minimal,
-		Artifact:   NewArtifact(st.runner, sr.Schedule, shrunkRes),
-	})
-}
-
-// finish closes the growth curve with a final sample.
-func (st *appSearchState) finish() *AppSearch {
-	res := st.res
-	if n := len(res.Growth); n == 0 || res.Growth[n-1].Execs != res.Executions {
-		res.Growth = append(res.Growth, GrowthPoint{
-			Execs: res.Executions, Corpus: len(res.Corpus),
-			Shapes: res.DistinctShapes, Digests: res.DistinctDigests,
-		})
-	}
-	return res
-}
-
-// searchRng derives the per-app mutation rng from the master seed and the
-// application name, so adding an app to the sweep never perturbs another
-// app's search trajectory.
-func searchRng(seed int64, app string) *rand.Rand {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "search|%s", app)
-	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
-}
-
-// searchApp runs the guided loop for one application.
-func searchApp(spec apps.AppSpec, cfg SearchConfig) *AppSearch {
-	st := newAppSearchState(spec, cfg)
-	procs := st.runner.Procs()
-	crashable := st.runner.Crashable()
-	rng := searchRng(cfg.Seed, spec.Name)
-
-	// tried dedups candidates by canonical JSON: re-running a schedule the
-	// search already evaluated can never reach new coverage, so duplicate
-	// mutants are regenerated instead of burning budget.
-	tried := make(map[string]bool)
-	mark := func(s Schedule) bool {
-		key, _ := json.Marshal(s)
-		if tried[string(key)] {
-			return false
-		}
-		tried[string(key)] = true
-		return true
-	}
-
-	// Seed batch: the fault-free baseline plus one generated scenario per
-	// matrix kind — the exact cells the random matrix would start from.
-	var batch []Schedule
-	var ops []string
-	add := func(s Schedule, op string) {
-		if st.res.Executions+len(batch) < cfg.Budget && mark(s) {
-			batch = append(batch, s)
-			ops = append(ops, op)
-		}
-	}
-	add(nil, "seed:baseline")
-	for _, kind := range MatrixKinds {
-		add(Schedule{Generate(kind, procs, crashable, spec.Horizon, cfg.Seed)}.Normalize(),
-			"seed:"+kind.String())
-	}
-	// Adaptive op scheduling: every operator starts with one credit and
-	// earns another each time a mutant it produced is admitted, so the
-	// budget drifts toward whatever operator class is currently uncovering
-	// new shapes on this application.
-	opCredit := make(map[string]int, len(MutationOps))
-	for _, op := range MutationOps {
-		opCredit[op] = 1
-	}
-	parents := make([]int, 0, searchBatch) // corpus index each candidate mutated
-
-	for res := st.evaluate(batch); len(batch) > 0; {
-		for i := range batch {
-			before := len(st.res.Corpus)
-			dupDigest := st.seenDig[res[i].Digest]
-			st.admit(batch[i], ops[i], res[i])
-			switch {
-			case len(st.res.Corpus) > before: // admitted: credit op and parent
-				opCredit[ops[i]]++
-				if i < len(parents) {
-					st.res.Corpus[parents[i]].Novelty++
-				}
-			case dupDigest: // behavioral no-op: back off this operator
-				opCredit[ops[i]] = max(1, opCredit[ops[i]]-1)
-			}
-		}
-		if st.res.Executions >= cfg.Budget {
-			break
-		}
-		batch, ops, parents = batch[:0], ops[:0], parents[:0]
-		n := min(searchBatch, cfg.Budget-st.res.Executions)
-		for len(batch) < n {
-			var cand Schedule
-			var pi int
-			op := ""
-			for try := 0; try < 8; try++ { // retry duplicate mutants, bounded
-				pi = pickParent(rng, st.res.Corpus)
-				parent := st.res.Corpus[pi].Schedule
-				donor := st.res.Corpus[rng.Intn(len(st.res.Corpus))].Schedule
-				op = PickOp(rng, opCredit, parent, donor)
-				cand = MutateOp(rng, op, parent, donor, procs, crashable, spec.Horizon)
-				if mark(cand) {
-					break
-				}
-			}
-			batch = append(batch, cand)
-			ops = append(ops, op)
-			parents = append(parents, pi)
-		}
-		res = st.evaluate(batch)
-	}
-	return st.finish()
-}
-
-// pickParent selects the index of the corpus entry to mutate: half the
-// time one of the most recent admissions (the AFL "favor the frontier"
-// heuristic), half the time weighted by how much novelty an entry's
-// mutants have produced so far.
-func pickParent(rng *rand.Rand, corpus []CorpusEntry) int {
-	if len(corpus) <= 1 {
-		return 0
-	}
-	if recent := min(4, len(corpus)); rng.Intn(2) == 0 {
-		return len(corpus) - 1 - rng.Intn(recent)
-	}
-	total := 0
-	for i := range corpus {
-		total += 1 + corpus[i].Novelty
-	}
-	pick := rng.Intn(total)
-	for i := range corpus {
-		w := 1 + corpus[i].Novelty
-		if pick < w {
-			return i
-		}
-		pick -= w
-	}
-	return len(corpus) - 1
-}
-
-// randomApp evaluates the matrix's seeded generation at the same budget:
-// seeds cfg.Seed, cfg.Seed+1, ... sweep the fault kinds in matrix order.
-func randomApp(spec apps.AppSpec, cfg SearchConfig) *AppSearch {
-	st := newAppSearchState(spec, cfg)
-	procs := st.runner.Procs()
-	crashable := st.runner.Crashable()
-
-	var batch []Schedule
-	var ops []string
-	for done := 0; done < cfg.Budget; done += len(batch) {
-		batch, ops = batch[:0], ops[:0]
-		for len(batch) < min(searchBatch, cfg.Budget-done) {
-			i := done + len(batch) // global candidate index: kinds × seeds in matrix order
-			kind := MatrixKinds[i%len(MatrixKinds)]
-			seed := cfg.Seed + int64(i/len(MatrixKinds))
-			batch = append(batch, Schedule{Generate(kind, procs, crashable, spec.Horizon, seed)}.Normalize())
-			ops = append(ops, "random:"+kind.String())
-		}
-		res := st.evaluate(batch)
-		for i := range batch {
-			st.admit(batch[i], ops[i], res[i])
-		}
-	}
-	return st.finish()
 }

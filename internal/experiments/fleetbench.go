@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/fleet"
+)
+
+// FleetBenchPoint is one fleet configuration's throughput and coverage
+// record.
+type FleetBenchPoint struct {
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+	Shapes     int     `json:"shapes"`
+	Digests    int     `json:"digests"`
+	// Identical reports byte-identity of this fleet's report against the
+	// in-process baseline — the fleet's core determinism claim, measured
+	// rather than assumed.
+	Identical bool `json:"identical"`
+}
+
+// FleetBench is the machine-readable result of the fleet benchmark
+// (cmd/fixd-bench -fleet writes it to BENCH_fleet.json): runs/sec and
+// distinct-shape coverage for coordinator + 1/2/4 loopback-TCP workers,
+// against the in-process sharded search at the same (seed, budget).
+type FleetBench struct {
+	Seed            int64              `json:"seed"`
+	Budget          int                `json:"budget"`
+	CheckEvery      uint64             `json:"check_every"`
+	BaselineWorkers int                `json:"baseline_workers"`
+	BaselineSeconds float64            `json:"baseline_seconds"`
+	BaselineRunsSec float64            `json:"baseline_runs_per_sec"`
+	Shapes          int                `json:"shapes"`
+	Digests         int                `json:"digests"`
+	Points          []*FleetBenchPoint `json:"points"`
+	AllIdentical    bool               `json:"all_identical"`
+}
+
+// JSON renders the benchmark result.
+func (b *FleetBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// totalRuns counts every schedule execution a report spent, shrinking
+// included — the numerator of runs/sec.
+func totalRuns(rep *chaos.SearchReport) int {
+	n := 0
+	for _, a := range rep.Apps {
+		n += a.Executions + a.ShrinkRuns
+	}
+	return n
+}
+
+// RunFleetBench measures the fleet against the in-process sharded search:
+// the identical (seed, budget, cadence) search executed in-process with a
+// worker pool, then as a coordinator + N loopback-TCP workers for N in
+// {1, 2, 4}. Every fleet report is checked byte-identical against the
+// baseline, so the benchmark doubles as the determinism acceptance gate.
+func RunFleetBench(workers int, quick bool) (*FleetBench, error) {
+	budget := SearchBudget
+	if quick {
+		budget = 24
+	}
+	cfg := chaos.SearchConfig{Apps: searchApps(), Seed: 1, Budget: budget,
+		Workers: workers, CheckEvery: SearchCheckEvery}
+
+	t0 := time.Now()
+	base := chaos.Search(cfg)
+	baseDur := time.Since(t0)
+	want, err := json.Marshal(base)
+	if err != nil {
+		return nil, err
+	}
+
+	b := &FleetBench{
+		Seed: cfg.Seed, Budget: budget, CheckEvery: cfg.CheckEvery,
+		BaselineWorkers: workers,
+		BaselineSeconds: baseDur.Seconds(),
+		BaselineRunsSec: float64(totalRuns(base)) / baseDur.Seconds(),
+		AllIdentical:    true,
+	}
+	b.Shapes, b.Digests = base.Totals()
+
+	for _, n := range []int{1, 2, 4} {
+		t1 := time.Now()
+		rep, err := fleet.Search(fleet.Config{Search: cfg, Workers: n})
+		if err != nil {
+			return nil, fmt.Errorf("fleet bench: %d workers: %w", n, err)
+		}
+		dur := time.Since(t1)
+		got, err := json.Marshal(rep)
+		if err != nil {
+			return nil, err
+		}
+		p := &FleetBenchPoint{
+			Workers: n, Seconds: dur.Seconds(),
+			RunsPerSec: float64(totalRuns(rep)) / dur.Seconds(),
+			Identical:  bytes.Equal(want, got),
+		}
+		p.Shapes, p.Digests = rep.Totals()
+		b.AllIdentical = b.AllIdentical && p.Identical
+		b.Points = append(b.Points, p)
+	}
+	return b, nil
+}

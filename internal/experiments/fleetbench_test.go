@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestFleetBenchQuick: the fleet benchmark must report byte-identical
+// fleet/baseline reports at every worker count, identical coverage
+// totals, and sane throughput numbers. Quick mode: reduced budget.
+func TestFleetBenchQuick(t *testing.T) {
+	b, err := RunFleetBench(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.AllIdentical {
+		t.Fatal("fleet reports diverged from the in-process baseline")
+	}
+	if len(b.Points) != 3 {
+		t.Fatalf("got %d fleet points, want 3 (1/2/4 workers)", len(b.Points))
+	}
+	for _, p := range b.Points {
+		if !p.Identical {
+			t.Errorf("fleet@%d report diverged from baseline", p.Workers)
+		}
+		if p.Shapes != b.Shapes || p.Digests != b.Digests {
+			t.Errorf("fleet@%d coverage %d/%d differs from baseline %d/%d",
+				p.Workers, p.Shapes, p.Digests, b.Shapes, b.Digests)
+		}
+		if p.RunsPerSec <= 0 {
+			t.Errorf("fleet@%d reports %.1f runs/sec", p.Workers, p.RunsPerSec)
+		}
+	}
+	if b.BaselineRunsSec <= 0 {
+		t.Errorf("baseline reports %.1f runs/sec", b.BaselineRunsSec)
+	}
+	if raw, err := b.JSON(); err != nil || len(raw) == 0 {
+		t.Fatalf("artifact does not render: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+// Package fleet scales coverage-guided chaos search across processes and
+// machines: a coordinator owns the seed/corpus frontier (chaos.Frontier)
+// and the deduplicated fingerprint set, and stateless workers lease
+// candidate batches over a length-prefixed TCP protocol, evaluate them on
+// the pooled {Sim, Fingerprinter} arenas every chaos.Runner uses, and push
+// back fingerprints plus auto-shrunk failing artifacts.
+//
+// The determinism story survives distribution: candidates are generated
+// sequentially from one seeded rng on the coordinator, results are admitted
+// in candidate order no matter which worker produced them or how fast, and
+// shrinking is a deterministic function of (runner parameters, schedule),
+// so the final report — corpus shapes, digests, growth curves, shrunk
+// artifacts — is byte-identical for any worker count, including zero, and
+// across worker crashes, partitions and lease reissues. Any artifact a
+// 100-worker fleet finds replays green from (seed, schedule) on one laptop
+// through the ordinary chaos.Artifact.Verify path.
+//
+// Wire protocol: every frame is [type:1][length:4 big-endian][body], the
+// body a JSON document for the frame's payload type (see wire.go; the
+// exact encoding is pinned by testdata/frames.golden). A worker dials the
+// coordinator, sends Hello, and then answers leases one at a time:
+//
+//	worker                         coordinator
+//	  | -- Hello{Proto, Name} ------> |
+//	  | <-- Lease{ID, Candidates} --- |   run lease: evaluate schedules
+//	  | --- Result{LeaseID, Runs} --> |
+//	  | <-- Lease{ID, Shrink} ------- |   shrink lease: minimize a failure
+//	  | - Result{LeaseID, Failure} -> |
+//	  | <-- Done ------------------- |   search finished: worker exits
+//
+// Leases carry deadlines: a worker that crashes, stalls or partitions
+// simply never answers, the coordinator's read deadline fires, and the
+// lease is reissued to another worker (with backoff, and a local fallback
+// after repeated failures), so the fleet degrades gracefully instead of
+// stalling. With Config.Journal set, the coordinator appends every
+// evaluated result to a JSONL journal and a restarted coordinator replays
+// it through a fresh frontier, resuming the search without re-executing a
+// single schedule.
+//
+// Entry points: Search runs an all-in-one fleet (coordinator plus N
+// loopback workers); NewCoordinator/Worker.Run are the pieces cmd/fixd-fleet
+// wires into the -coordinate/-work/-local modes; fixd.SearchFleet is the
+// public wrapper.
+package fleet

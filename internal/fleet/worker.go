@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// Worker is one stateless fleet evaluator: it dials the coordinator,
+// answers leases — evaluating candidate schedules on the pooled
+// chaos.Runner arenas, or minimizing a failing schedule with the same
+// LocalShrinker code the in-process search uses — and redials with backoff
+// when the connection drops. A worker holds no search state at all; kill
+// one at any moment and the coordinator reissues its lease elsewhere with
+// no effect on the final report.
+type Worker struct {
+	// Join is the coordinator's address.
+	Join string
+	// Name identifies the worker in its Hello (optional).
+	Name string
+	// Slots is how many parallel lease sessions the worker runs
+	// (default 1). Each session is an independent connection, so one
+	// worker process can saturate several cores.
+	Slots int
+	// RedialDelay is the pause before reconnecting after a connection
+	// failure (default 200ms).
+	RedialDelay time.Duration
+
+	// Test instrumentation (in-package tests only): crash the worker by
+	// dropping its connection without answering the Nth lease it receives
+	// (counted across sessions), or partition it — hold the lease silently
+	// for stallFor — on the Nth lease. Zero disables.
+	failOnLease  int
+	stallOnLease int
+	stallFor     time.Duration
+
+	leases chan int // lease arrival counter, when instrumented
+}
+
+// Run serves leases until the coordinator reports the search done or the
+// context is canceled. A lost connection is retried; a Done frame ends the
+// worker cleanly.
+func (w *Worker) Run(ctx context.Context) error {
+	slots := w.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	redial := w.RedialDelay
+	if redial <= 0 {
+		redial = 200 * time.Millisecond
+	}
+	if w.failOnLease > 0 || w.stallOnLease > 0 {
+		w.leases = make(chan int, 1)
+		w.leases <- 0
+	}
+	errs := make(chan error, slots)
+	for s := 0; s < slots; s++ {
+		go func(slot int) { errs <- w.serve(ctx, slot, redial) }(s)
+	}
+	var first error
+	for s := 0; s < slots; s++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// serve runs one lease session: dial, hello, answer leases, redial on
+// failure.
+func (w *Worker) serve(ctx context.Context, slot int, redial time.Duration) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		done, err := w.session(ctx, slot)
+		if done || ctx.Err() != nil {
+			return nil
+		}
+		if err == errInstrumentedExit {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(redial):
+		}
+	}
+}
+
+// errInstrumentedExit marks a deliberate test-hook crash or stall.
+var errInstrumentedExit = fmt.Errorf("fleet: worker instrumented exit")
+
+// session runs one connection to completion. done reports a clean Done
+// frame from the coordinator.
+func (w *Worker) session(ctx context.Context, slot int) (done bool, err error) {
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", w.Join)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	name := w.Name
+	if name == "" {
+		name = "worker"
+	}
+	hello := &Hello{Proto: ProtoVersion, Name: fmt.Sprintf("%s/%d", name, slot)}
+	if err := WriteFrame(conn, &Frame{Type: FrameHello, Hello: hello}); err != nil {
+		return false, err
+	}
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return false, err
+		}
+		switch f.Type {
+		case FrameDone:
+			return true, nil
+		case FrameLease:
+			if hooked, herr := w.hook(ctx, f.Lease); hooked {
+				return false, herr
+			}
+			res := evalLease(f.Lease)
+			if f.Lease.DeadlineMS > 0 {
+				conn.SetWriteDeadline(time.Now().Add(time.Duration(f.Lease.DeadlineMS) * time.Millisecond))
+			}
+			if err := WriteFrame(conn, &Frame{Type: FrameResult, Result: res}); err != nil {
+				return false, err
+			}
+		default:
+			return false, fmt.Errorf("fleet: unexpected frame type %d", f.Type)
+		}
+	}
+}
+
+// hook applies the test instrumentation: returns hooked=true when this
+// lease must not be answered (crash or stall).
+func (w *Worker) hook(ctx context.Context, l *Lease) (bool, error) {
+	if w.leases == nil {
+		return false, nil
+	}
+	n := <-w.leases + 1
+	w.leases <- n
+	if w.failOnLease > 0 && n >= w.failOnLease {
+		return true, errInstrumentedExit // drop the connection mid-lease
+	}
+	if w.stallOnLease > 0 && n >= w.stallOnLease {
+		stall := w.stallFor
+		if stall <= 0 {
+			stall = 30 * time.Second
+		}
+		select { // partitioned: hold the lease silently
+		case <-ctx.Done():
+		case <-time.After(stall):
+		}
+		return true, errInstrumentedExit
+	}
+	return false, nil
+}
+
+// evalLease answers one lease. All the determinism-critical work happens
+// here, on code paths shared byte-for-byte with the in-process search:
+// chaos.Runner.Run on pooled arenas for candidates, chaos.LocalShrinker
+// for shrink jobs.
+func evalLease(l *Lease) *Result {
+	runner, err := chaos.RunnerFor(l.App, l.Buggy, l.Seed, true)
+	if err != nil {
+		return &Result{LeaseID: l.ID, Error: err.Error()}
+	}
+	runner.CheckEvery = l.CheckEvery
+	if l.Shrink != nil {
+		fail := chaos.LocalShrinker(runner, l.ShrinkBudget)(l.Shrink.Schedule, l.Shrink.Result)
+		return &Result{LeaseID: l.ID, Failure: fail}
+	}
+	runs := make([]*chaos.RunResult, len(l.Candidates))
+	for i, c := range l.Candidates {
+		runs[i] = runner.Run(c.Schedule)
+	}
+	return &Result{LeaseID: l.ID, Runs: runs}
+}
