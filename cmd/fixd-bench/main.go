@@ -18,6 +18,13 @@
 //	fixd-bench -search          # guided-search bench -> BENCH_search.json
 //	fixd-bench -runtime         # hot-path bench -> BENCH_runtime.json
 //	fixd-bench -fleet           # distributed-fleet bench -> BENCH_fleet.json
+//	fixd-bench -repair          # repair bench -> BENCH_repair.json
+//
+// -repair hunts a minimal failing artifact for every knobbed seeded-bug
+// application, searches its typed knob space for a verified fix (E11's
+// operating point), and records success rate, runs-to-fix and report
+// byte-identity across worker counts; fewer than three repaired
+// applications or any divergence fails the run.
 //
 // -runtime measures the chaos run loop end to end — runs/sec, ns/run and
 // allocs/run on the matrix and search workloads — on the pooled/streaming
@@ -49,12 +56,13 @@ var runners = map[string]func(bool) *experiments.Table{
 	"E8":  experiments.RunE8,
 	"E9":  experiments.RunE9,
 	"E10": experiments.RunE10,
+	"E11": experiments.RunE11,
 	"ABL": experiments.RunAblations,
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "run a single experiment (E1..E10 or ABL)")
+	only := flag.String("only", "", "run a single experiment (E1..E11 or ABL)")
 	workers := flag.Int("shard.workers", runtime.NumCPU(), "worker pool width for the chaos matrix sweep")
 	chaosJSON := flag.String("chaos.json", "BENCH_chaos.json", "chaos sharding benchmark output path (\"\" disables)")
 	search := flag.Bool("search", false, "run the guided-search benchmark and write its JSON artifact")
@@ -64,6 +72,8 @@ func main() {
 	runtimeReps := flag.Int("runtime.reps", 0, "timing reps per path for -runtime (0 = default: 5, or 1 with -quick)")
 	fleetBench := flag.Bool("fleet", false, "run the distributed-fleet benchmark and write its JSON artifact")
 	fleetJSON := flag.String("fleet.json", "BENCH_fleet.json", "fleet benchmark output path")
+	repairBench := flag.Bool("repair", false, "run the repair benchmark and write its JSON artifact")
+	repairJSON := flag.String("repair.json", "BENCH_repair.json", "repair benchmark output path")
 	flag.Parse()
 
 	experiments.MatrixWorkers = *workers
@@ -72,7 +82,7 @@ func main() {
 		id := strings.ToUpper(*only)
 		run, ok := runners[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "fixd-bench: unknown experiment %q (want E1..E10 or ABL)\n", *only)
+			fmt.Fprintf(os.Stderr, "fixd-bench: unknown experiment %q (want E1..E11 or ABL)\n", *only)
 			os.Exit(2)
 		}
 		fmt.Print(run(*quick).Format())
@@ -87,6 +97,9 @@ func main() {
 		}
 		if *fleetBench {
 			emitFleetBench(*workers, *quick, *fleetJSON)
+		}
+		if *repairBench {
+			emitRepairBench(*workers, *quick, *repairJSON)
 		}
 		return
 	}
@@ -103,6 +116,44 @@ func main() {
 	}
 	if *fleetBench {
 		emitFleetBench(*workers, *quick, *fleetJSON)
+	}
+	if *repairBench {
+		emitRepairBench(*workers, *quick, *repairJSON)
+	}
+}
+
+// emitRepairBench runs the repair benchmark — artifact hunt plus
+// knob-space repair over every knobbed seeded-bug application — and
+// writes the JSON artifact. Fewer than three repaired applications, or
+// any report that is not byte-identical across worker counts, fails the
+// run: the detect → fix loop closing deterministically is the claim.
+func emitRepairBench(workers int, quick bool, path string) {
+	if path == "" {
+		return
+	}
+	b, err := experiments.RunRepairBench(workers, quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: repair bench:", err)
+		os.Exit(1)
+	}
+	out, err := b.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: repair bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: repair bench:", err)
+		os.Exit(1)
+	}
+	verdict := "deterministic"
+	if !b.AllDeterministic {
+		verdict = "REPORTS DIVERGED ACROSS WORKER COUNTS"
+	}
+	fmt.Printf("repair bench: %d/%d apps repaired (%.0f%%, kvstore is the expected honest failure), %s -> %s\n",
+		b.Repaired, len(b.Apps), 100*b.SuccessRate, verdict, path)
+	if b.Repaired < 3 || !b.AllDeterministic {
+		fmt.Fprintln(os.Stderr, "fixd-bench: repair bench: repair regressed (want >= 3 repaired, deterministic reports)")
+		os.Exit(1)
 	}
 }
 

@@ -65,6 +65,7 @@
 package fixd
 
 import (
+	"repro/internal/apps"
 	"repro/internal/baselines"
 	"repro/internal/chaos"
 	"repro/internal/core"
@@ -72,6 +73,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/heal"
+	"repro/internal/repair"
 	"repro/internal/scroll"
 	"repro/internal/substrate"
 )
@@ -146,6 +148,18 @@ type (
 	// underlying ChaosSearchConfig plus the coordinator's listen address,
 	// worker count, lease timeout/retry knobs and journal path.
 	FleetConfig = fleet.Config
+
+	// RepairConfig parameterizes a repair attempt: the failing artifact,
+	// the knob table (nil uses the app's registered table), and the trial,
+	// verification and re-verification budgets.
+	RepairConfig = repair.Config
+	// RepairReport is the repair outcome: the trials in proposal order,
+	// the winning assignment (if any) and the evidence that accepted it.
+	// Byte-identical JSON for a given seed at any worker count.
+	RepairReport = repair.Report
+	// RepairKnob is one tunable, typed parameter of an application's
+	// seeded-bug variant — the unit of the bounded patch space.
+	RepairKnob = apps.Knob
 )
 
 // Injectable fault kinds for chaos scenarios.
@@ -205,6 +219,23 @@ func SearchChaos(cfg ChaosSearchConfig) *ChaosSearchReport {
 // resumes without re-executing a schedule.
 func SearchFleet(cfg FleetConfig) (*ChaosSearchReport, error) {
 	return fleet.Search(cfg)
+}
+
+// Repair closes the detect → fix loop on a minimal failing counterexample:
+// given a ChaosArtifact (found by SearchChaos or the matrix, minimized by
+// the shrinker) for an application with a registered knob table, it
+// searches the bounded space of typed timeout/delay parameters for an
+// assignment under which the bug no longer manifests. Candidates are
+// cheap-rejected by replaying the artifact's minimal schedule against the
+// patched program; survivors are accepted only after the full chaos
+// pipeline — the complete fault-kind matrix plus a coverage-guided search
+// re-run on the patched variant — comes back with zero failures. The
+// report is deterministic: byte-identical JSON for a given seed at any
+// worker count. An exhausted search returns Fixed=false honestly; an
+// error means the inputs are unusable (no artifact, no knob table, or an
+// artifact that does not reproduce).
+func Repair(cfg RepairConfig) (*RepairReport, error) {
+	return repair.Repair(cfg)
 }
 
 // ShrinkChaos minimizes a failing fault schedule by delta debugging:

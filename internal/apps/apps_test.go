@@ -178,9 +178,10 @@ func TestElectionCorrectSingleLeader(t *testing.T) {
 }
 
 func TestElectionBuggyTwoLeaders(t *testing.T) {
-	// The announcement is suppressed in buggy mode and silent nodes
-	// self-elect after the timeout.
-	ms := NewElection(ElectionConfig{N: 5, Buggy: true, ReElectTimeout: 40})
+	// A re-elect timeout shorter than announcement propagation makes
+	// silent nodes self-elect before the real winner's announcement lands,
+	// and buggy leaders never step down.
+	ms := NewElection(ElectionConfig{N: 5, Buggy: true, ReElectTimeout: 6})
 	s := runApp(t, dsim.Config{Seed: 2, MinLatency: 1, MaxLatency: 3, MaxSteps: 10_000}, ms)
 	if v := fault.NewMonitor(ElectionSafety()).Check(s); len(v) == 0 {
 		leaders := 0

@@ -1,0 +1,181 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/dsim"
+)
+
+// Knob is one tunable, typed parameter of a workload application's
+// seeded-bug variant: together the knobs span the bounded patch space the
+// repair searcher (internal/repair) explores. Values are virtual-time
+// units (timeouts, delays, latency bounds); Step defines the grid the
+// searcher may propose on, so candidate assignments are enumerable and a
+// given seed always visits them in the same order.
+type Knob struct {
+	Name    string
+	Min     uint64
+	Max     uint64
+	Step    uint64
+	Current uint64 // effective value in the registered seeded-bug config
+}
+
+// Snap clamps v into [Min, Max] and onto the step grid anchored at Min.
+func (k Knob) Snap(v uint64) uint64 {
+	if v < k.Min {
+		return k.Min
+	}
+	if v > k.Max {
+		return k.Max
+	}
+	if k.Step > 1 {
+		v = k.Min + (v-k.Min)/k.Step*k.Step
+	}
+	return v
+}
+
+// Knobs returns the knob table registered for a workload app: the
+// timeout/delay parameters whose misconfiguration the seeded bugs model.
+// The tables deliberately include knobs that cannot fix the bug (kvstore's
+// blind apply is not a latency problem) so repair has honest negative
+// space to report.
+func Knobs(app string) ([]Knob, error) {
+	switch app {
+	case "twopc":
+		return []Knob{
+			{Name: "timeout", Min: 4, Max: 512, Step: 2, Current: chaosTwoPCBugCfg.Timeout},
+			{Name: "vote-delay", Min: 4, Max: 512, Step: 2, Current: chaosTwoPCBugCfg.VoteDelay},
+		}, nil
+	case "election":
+		return []Knob{
+			{Name: "re-elect-timeout", Min: 4, Max: 2048, Step: 2, Current: chaosElectBugCfg.ReElectTimeout},
+		}, nil
+	case "tokenring":
+		return []Knob{
+			{Name: "regen-timeout", Min: 2, Max: 1 << 16, Step: 2, Current: chaosRingBugCfg.RegenTimeout},
+			{Name: "hold-time", Min: 1, Max: 16, Step: 1, Current: orDefault(chaosRingBugCfg.HoldTime, 2)},
+		}, nil
+	case "kvstore":
+		// The floor keeps real jitter in the band: a latency cap cannot
+		// serialize the replicas, so no value in range fixes the blind
+		// apply — kvstore is the table's honest negative space.
+		return []Knob{
+			{Name: "max-latency", Min: 8, Max: 64, Step: 1, Current: 30},
+		}, nil
+	}
+	return nil, fmt.Errorf("apps: no knob table registered for %q", app)
+}
+
+func orDefault(v, def uint64) uint64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// ApplyKnobs returns the registry spec for app with assign applied to its
+// seeded-bug variant (the correct variant and invariants are untouched —
+// repair patches the broken program, not the oracle). Every assigned name
+// must exist in the app's knob table and every value must lie on the
+// knob's grid; a nil or empty assignment returns the unpatched spec.
+func ApplyKnobs(app string, assign map[string]uint64) (AppSpec, error) {
+	spec, err := Lookup(app)
+	if err != nil {
+		return AppSpec{}, err
+	}
+	table, err := Knobs(app)
+	if err != nil {
+		return AppSpec{}, err
+	}
+	for name, v := range assign {
+		var k *Knob
+		for i := range table {
+			if table[i].Name == name {
+				k = &table[i]
+				break
+			}
+		}
+		if k == nil {
+			return AppSpec{}, fmt.Errorf("apps: %s has no knob %q", app, name)
+		}
+		if k.Snap(v) != v {
+			return AppSpec{}, fmt.Errorf("apps: %s knob %q: value %d outside [%d,%d] step %d",
+				app, name, v, k.Min, k.Max, k.Step)
+		}
+	}
+	if len(assign) == 0 {
+		return spec, nil
+	}
+	switch app {
+	case "twopc":
+		cfg := chaosTwoPCBugCfg
+		if v, ok := assign["timeout"]; ok {
+			cfg.Timeout = v
+		}
+		if v, ok := assign["vote-delay"]; ok {
+			cfg.VoteDelay = v
+		}
+		fixed := cfg
+		fixed.Buggy = false
+		spec.Make = func(buggy bool) map[string]dsim.Machine {
+			if buggy {
+				return NewTwoPC(cfg)
+			}
+			return NewTwoPC(chaosTwoPCCfg)
+		}
+		spec.MakeFixed = func() map[string]dsim.Machine { return NewTwoPC(fixed) }
+	case "election":
+		cfg := chaosElectBugCfg
+		if v, ok := assign["re-elect-timeout"]; ok {
+			cfg.ReElectTimeout = v
+		}
+		fixed := cfg
+		fixed.Buggy = false
+		spec.Make = func(buggy bool) map[string]dsim.Machine {
+			if buggy {
+				return NewElection(cfg)
+			}
+			return NewElection(chaosElectCfg)
+		}
+		spec.MakeFixed = func() map[string]dsim.Machine { return NewElection(fixed) }
+	case "tokenring":
+		cfg := chaosRingBugCfg
+		if v, ok := assign["regen-timeout"]; ok {
+			cfg.RegenTimeout = v
+		}
+		if v, ok := assign["hold-time"]; ok {
+			cfg.HoldTime = v
+		}
+		fixed := cfg
+		fixed.Buggy = false
+		spec.Make = func(buggy bool) map[string]dsim.Machine {
+			if buggy {
+				return NewTokenRing(cfg)
+			}
+			return NewTokenRing(chaosRingCfg)
+		}
+		spec.MakeFixed = func() map[string]dsim.Machine { return NewTokenRing(fixed) }
+	case "kvstore":
+		// kvstore's knob bounds the network's latency band rather than an
+		// app timer: the buggy variant's jitter window shrinks to
+		// [min(MinLatency, max), max].
+		lat, ok := assign["max-latency"]
+		if !ok {
+			return spec, nil
+		}
+		base := spec.Config
+		spec.Config = func(buggy bool) dsim.Config {
+			c := base(buggy)
+			if buggy {
+				c.MaxLatency = lat
+				if c.MinLatency > lat {
+					c.MinLatency = lat
+				}
+			}
+			return c
+		}
+	default:
+		return AppSpec{}, fmt.Errorf("apps: %s has a knob table but no patch rule", app)
+	}
+	return spec, nil
+}

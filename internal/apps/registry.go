@@ -54,7 +54,11 @@ var (
 	chaosKVCfg       = KVConfig{Replicas: 2, Writes: 15, Keys: 3}
 	chaosKVBugCfg    = KVConfig{Replicas: 2, Writes: 30, Keys: 2, Buggy: true}
 	chaosElectCfg    = ElectionConfig{N: 5}
-	chaosElectBugCfg = ElectionConfig{N: 5, Buggy: true, ReElectTimeout: 40}
+	// ReElectTimeout 6 is shorter than announcement propagation (the winning
+	// candidacy alone needs N latency hops), so the buggy premature
+	// re-election splits the ring on every seed; repair (internal/repair)
+	// fixes it by raising the timeout past retransmission delivery.
+	chaosElectBugCfg = ElectionConfig{N: 5, Buggy: true, ReElectTimeout: 6}
 	chaosBankCfg     = BankConfig{Branches: 3, AccountsPer: 4, InitialBalance: 200, Transfers: 12}
 	chaosBankBugCfg  = BankConfig{Branches: 2, AccountsPer: 2, InitialBalance: 50,
 		Transfers: 40, MaxAmount: 60, Buggy: true}

@@ -20,15 +20,32 @@ import (
 // TokenRingConfig parameterizes a token-ring instance.
 type TokenRingConfig struct {
 	N        int    // ring size
-	Rounds   int    // full token circulations before halting
+	Rounds   int    // passes each node performs before halting
 	HoldTime uint64 // virtual ticks the token is held
 	// Buggy enables token regeneration on timeout without checking whether
-	// the token is merely slow — the classic duplicate-token race.
+	// the token is merely slow — the classic duplicate-token race. A
+	// RegenTimeout shorter than a chaos-delayed circulation regenerates
+	// while the real token is alive; one long enough never fires before
+	// the ring completes its rounds, which is what the repair stage
+	// (internal/repair) exploits.
 	Buggy bool
-	// RegenTimeout is the silence window after which a buggy node
+	// RegenTimeout is the token-silence window after which a buggy node
 	// regenerates the token.
 	RegenTimeout uint64
 }
+
+// ringRetxEvery spaces token retransmissions while a pass is unacked, so
+// a finite drop/crash window cannot permanently lose the token (the
+// receiver's generation check discards the duplicates a retransmission
+// race produces).
+const ringRetxEvery = 30
+
+// ringRetxTries bounds retransmissions of a single pass. A successor that
+// has halted drops deliveries and will never acknowledge; without a bound
+// the sender retransmits into the silence until the step budget is gone.
+// Giving the token up for lost after the budget lets the sender halt (or
+// quiesce) — a stalled lap is a liveness gap, not a safety violation.
+const ringRetxTries = 8
 
 // tokenRingState is the serializable per-node state.
 type tokenRingState struct {
@@ -40,6 +57,16 @@ type tokenRingState struct {
 	InCS      bool   // currently in the critical section
 	CSEntries int
 	Fixed     bool // alternate path taken after rollback: stop regenerating
+	// PendingGen is the generation of an unacked pass (0 = none); the retx
+	// timer re-sends it until the successor acknowledges or RetxSpent
+	// exhausts ringRetxTries.
+	PendingGen uint64
+	RetxSpent  int
+	// LastSeen is the last virtual time this node held the token. The
+	// regen timer measures token silence against it: checkpoint restore
+	// re-arms pending timers with fresh short deadlines, so the timeout
+	// must live in state, and early fires re-arm for the remainder.
+	LastSeen uint64
 }
 
 // TokenRing is one node of the ring.
@@ -68,6 +95,7 @@ func NewTokenRing(cfg TokenRingConfig) map[string]dsim.Machine {
 }
 
 func (t *TokenRing) next() string { return RingProcName((t.self + 1) % t.cfg.N) }
+func (t *TokenRing) prev() string { return RingProcName((t.self + t.cfg.N - 1) % t.cfg.N) }
 
 // State implements dsim.Machine.
 func (t *TokenRing) State() any { return &t.st }
@@ -78,6 +106,7 @@ func (t *TokenRing) Init(ctx dsim.Context) {
 		t.st.HasToken = true
 		t.st.TokenGen = 1
 		t.st.LastGen = 1
+		t.st.LastSeen = ctx.Now()
 		t.enterCS(ctx)
 	}
 	if t.cfg.Buggy {
@@ -94,38 +123,86 @@ func (t *TokenRing) enterCS(ctx dsim.Context) {
 	ctx.SetTimer("leave", t.cfg.HoldTime)
 }
 
-// OnMessage handles token arrival. The token carries a generation number
-// that increments on every hop; the correct protocol silently discards a
-// token whose generation this node has already seen, which makes it immune
-// to network-level duplication and to a crashed node replaying an old pass
-// after restarting from a checkpoint. The buggy variant applies tokens
-// blindly (mirroring its unchecked regeneration).
+// OnMessage handles token arrival and pass acknowledgements. The token
+// carries a generation number that increments on every hop; both variants
+// discard a generation they have already accepted — that is what makes
+// retransmission (and a crashed node replaying an old pass after a
+// checkpoint restore) safe. The seeded bug is regeneration, not receipt:
+// regenerated tokens carry fresh, never-seen generations, so the check
+// does not mask them. Every token receipt is acknowledged so the sender
+// stops retransmitting.
 func (t *TokenRing) OnMessage(ctx dsim.Context, from string, payload []byte) {
 	parts := strings.Split(string(payload), "|")
-	if parts[0] != "token" || len(parts) != 2 {
+	if len(parts) != 2 {
 		return
 	}
 	gen, err := strconv.ParseUint(parts[1], 10, 64)
 	if err != nil {
 		return
 	}
-	if (!t.cfg.Buggy || t.st.Fixed) && gen <= t.st.LastGen {
-		return // stale duplicate of a token this node already accepted
-	}
-	if t.st.HasToken || t.st.InCS {
-		// Duplicate token: the local manifestation of the regeneration race.
-		ctx.Fault("token-ring: received token while already holding one")
-		return
-	}
-	t.st.HasToken = true
-	t.st.TokenGen = gen
-	if gen > t.st.LastGen {
+	switch parts[0] {
+	case "ack":
+		if t.st.PendingGen != 0 && gen == t.st.PendingGen {
+			t.st.PendingGen = 0
+			t.maybeHalt(ctx)
+		}
+	case "token":
+		if t.st.Passes >= t.cfg.Rounds {
+			// This node's work is done: retire the token instead of
+			// starting another lap, but still acknowledge so the sender
+			// can finish too.
+			ctx.Send(t.prev(), []byte(fmt.Sprintf("ack|%d", gen)))
+			t.maybeHalt(ctx)
+			return
+		}
+		if gen <= t.st.LastGen {
+			// Stale duplicate (retransmission or replayed pass): discard,
+			// but re-acknowledge — the sender may have missed the ack. A
+			// buggy holder still reports the suspicious arrival: with
+			// unchecked regeneration in play, a second token showing up
+			// mid-hold is the race's local symptom.
+			if t.cfg.Buggy && !t.st.Fixed && (t.st.HasToken || t.st.InCS) {
+				ctx.Fault("token-ring: received token while already holding one")
+			}
+			ctx.Send(t.prev(), []byte(fmt.Sprintf("ack|%d", gen)))
+			return
+		}
+		ctx.Send(t.prev(), []byte(fmt.Sprintf("ack|%d", gen)))
+		if t.st.HasToken || t.st.InCS {
+			// A second live token: the local manifestation of the
+			// regeneration race.
+			ctx.Fault("token-ring: received token while already holding one")
+			return
+		}
+		t.st.HasToken = true
+		t.st.TokenGen = gen
 		t.st.LastGen = gen
+		t.st.LastSeen = ctx.Now()
+		t.enterCS(ctx)
 	}
-	t.enterCS(ctx)
 }
 
-// OnTimer leaves the critical section or regenerates a "lost" token.
+// pass forwards the token to the successor and keeps retransmitting until
+// it is acknowledged.
+func (t *TokenRing) pass(ctx dsim.Context) {
+	t.st.PendingGen = t.st.TokenGen + 1
+	t.st.RetxSpent = 0
+	ctx.Send(t.next(), []byte(fmt.Sprintf("token|%d", t.st.PendingGen)))
+	ctx.SetTimer("retx", ringRetxEvery)
+}
+
+// maybeHalt stops this node once its rounds are done and its last pass is
+// acknowledged; halted processes drop their pending timers, so a finished
+// ring quiesces instead of firing watchdogs into the silence after the
+// last pass.
+func (t *TokenRing) maybeHalt(ctx dsim.Context) {
+	if t.st.Passes >= t.cfg.Rounds && t.st.PendingGen == 0 {
+		ctx.Halt()
+	}
+}
+
+// OnTimer leaves the critical section, retransmits an unacked pass, or
+// regenerates a "lost" token.
 func (t *TokenRing) OnTimer(ctx dsim.Context, name string) {
 	switch name {
 	case "leave":
@@ -135,30 +212,49 @@ func (t *TokenRing) OnTimer(ctx dsim.Context, name string) {
 		t.st.InCS = false
 		t.st.HasToken = false
 		t.st.Passes++
-		if t.self == t.cfg.N-1 && t.st.Passes >= t.cfg.Rounds {
-			ctx.Halt()
+		t.pass(ctx)
+	case "retx":
+		if t.st.PendingGen == 0 {
 			return
 		}
-		ctx.Send(t.next(), []byte(fmt.Sprintf("token|%d", t.st.TokenGen+1)))
+		if t.st.RetxSpent >= ringRetxTries {
+			// The successor is unreachable (halted, or behind a drop window
+			// longer than the whole retransmission budget): give the token
+			// up for lost so this node can halt instead of spinning.
+			t.st.PendingGen = 0
+			t.maybeHalt(ctx)
+			return
+		}
+		t.st.RetxSpent++
+		ctx.Send(t.next(), []byte(fmt.Sprintf("token|%d", t.st.PendingGen)))
+		ctx.SetTimer("retx", ringRetxEvery)
 	case "regen":
-		if t.cfg.Buggy && !t.st.Fixed && !t.st.HasToken {
+		if !t.cfg.Buggy || t.st.Fixed {
+			return
+		}
+		if now := ctx.Now(); now < t.st.LastSeen+t.cfg.RegenTimeout {
+			// Token seen recently (or a restored timer fired early): wait
+			// out the remainder of the silence window.
+			ctx.SetTimer("regen", t.st.LastSeen+t.cfg.RegenTimeout-now)
+			return
+		}
+		if !t.st.HasToken {
 			// BUG: the token may just be slow; a correct protocol would
 			// run a ring-wide query before regenerating.
 			t.st.Regens++
 			t.st.HasToken = true
 			t.st.TokenGen = t.st.LastGen + uint64(t.cfg.N)
 			t.st.LastGen = t.st.TokenGen
+			t.st.LastSeen = ctx.Now()
 			t.enterCS(ctx)
 		}
-		if t.cfg.Buggy && !t.st.Fixed {
-			ctx.SetTimer("regen", t.cfg.RegenTimeout)
-		}
+		ctx.SetTimer("regen", t.cfg.RegenTimeout)
 	}
 }
 
 // OnRollback takes the alternate execution path: stop regenerating tokens
 // (the paper's "different branch of execution that could bypass the error",
-// §3.2).
+// §3.2) and restart the silence window for a revived node.
 func (t *TokenRing) OnRollback(ctx dsim.Context, info dsim.RollbackInfo) {
 	t.st.Fixed = true
 }

@@ -130,6 +130,23 @@ func Shrink(sched Schedule, fails func(Schedule) bool, budget int) *ShrinkResult
 				sc.Intensity.Skew = s
 				return true
 			})
+		case fault.Crash, fault.Partition, fault.Rollback:
+			// No intensity to shrink; the remaining attribute is onset. Halve
+			// Window.From toward the run's start, keeping the length, so a
+			// minimized crash still restarts after the same outage (and a
+			// rollback point event moves to the earliest reproducing time).
+			// Floor 1, not 0: halve(0, 0) would "succeed" in place forever
+			// and burn the whole budget without progress.
+			shrinkAttr(i, func(sc *Scenario) bool {
+				f, ok := halve(sc.Window.From, 1)
+				if !ok {
+					return false
+				}
+				l := sc.Window.Len()
+				sc.Window.From = f
+				sc.Window.To = f + l
+				return true
+			})
 		}
 	}
 

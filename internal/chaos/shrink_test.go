@@ -157,6 +157,75 @@ func TestShrinkInvariantsProperty(t *testing.T) {
 	}
 }
 
+// TestShrinkAttributesEveryKind: every generatable fault kind (the matrix
+// kinds plus Rollback, which only mutation introduces) shrinks without
+// losing the failure, and phase 2 actually minimizes each kind's
+// attributes — window length to 1, intensities to their floors, and for
+// crash/partition/rollback the onset down to From = 1. Before onset
+// shrinking existed, a minimized crash scenario kept whatever late
+// Window.From the generator happened to draw.
+func TestShrinkAttributesEveryKind(t *testing.T) {
+	procs := []string{"p0", "p1", "p2", "p3", ProbeName}
+	crashable := []int{0, 1, 2, 3}
+	kinds := append(append([]fault.Kind{}, MatrixKinds...), fault.Rollback)
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				culprit := Generate(kind, procs, crashable, 80, seed)
+				noise := make(Schedule, 0, 2)
+				for _, nk := range MatrixKinds {
+					if nk != kind && len(noise) < 2 {
+						noise = append(noise, Generate(nk, procs, crashable, 80, seed+100))
+					}
+				}
+				sched := append(Schedule{noise[0]}, culprit, noise[1])
+				fails := func(s Schedule) bool {
+					for _, sc := range s {
+						if sc.Kind == kind {
+							return true
+						}
+					}
+					return false
+				}
+				res := Shrink(sched, fails, 10_000)
+				if !fails(res.Schedule) {
+					t.Fatalf("seed %d: shrinking lost the failure: %s", seed, res.Schedule)
+				}
+				if len(res.Schedule) != 1 || !res.Minimal {
+					t.Fatalf("seed %d: want a 1-minimal singleton, got %s (minimal=%v)",
+						seed, res.Schedule, res.Minimal)
+				}
+				got := res.Schedule[0]
+				if got.Window.Len() != 1 {
+					t.Errorf("seed %d: window not minimized: %s", seed, got)
+				}
+				switch kind {
+				case fault.Crash, fault.Partition, fault.Rollback:
+					if got.Window.From != 1 {
+						t.Errorf("seed %d: onset not minimized: %s", seed, got)
+					}
+				case fault.Delay:
+					if got.Intensity.Extra != 1 {
+						t.Errorf("seed %d: extra not minimized: %s", seed, got)
+					}
+				case fault.Reorder:
+					if got.Intensity.Jitter != 1 {
+						t.Errorf("seed %d: jitter not minimized: %s", seed, got)
+					}
+				case fault.Duplicate, fault.Drop:
+					if p := got.Intensity.Prob; p < 0.05 || p >= 0.1 {
+						t.Errorf("seed %d: prob not at floor: %s", seed, got)
+					}
+				case fault.ClockSkew:
+					if s := got.Intensity.Skew; s != 1 && s != -1 {
+						t.Errorf("seed %d: skew not minimized: %s", seed, got)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestArtifactRoundTrip: JSON → Load → Verify reproduces the run.
 func TestArtifactRoundTrip(t *testing.T) {
 	runner, err := RunnerFor("election", false, 5, true)

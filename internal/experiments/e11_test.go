@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE11RepairsThreeApps: the acceptance claim — the knob-space repair
+// stage fixes every application whose seeded bug actually is a timeout
+// misconfiguration (twopc, election, tokenring) and reports an honest
+// failure for kvstore, whose blind-apply bug no latency knob can fix.
+func TestE11RepairsThreeApps(t *testing.T) {
+	tbl := RunE11(true)
+	if len(tbl.Rows) != len(repairApps) {
+		t.Fatalf("got %d rows, want %d", len(tbl.Rows), len(repairApps))
+	}
+	want := map[string]string{
+		"twopc": "true", "election": "true", "tokenring": "true",
+		"kvstore": "false",
+	}
+	for _, row := range tbl.Rows {
+		app, fixed, winner := row[0], row[4], row[5]
+		if fixed != want[app] {
+			t.Errorf("%s: fixed=%s, want %s (row %v)", app, fixed, want[app], row)
+			continue
+		}
+		if fixed == "true" && winner == "-" {
+			t.Errorf("%s: fixed but no winning assignment", app)
+		}
+		if fixed == "false" && winner != "-" {
+			t.Errorf("%s: not fixed but reports winner %q", app, winner)
+		}
+	}
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "repaired 3/4") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no repaired-3/4 note in %v", tbl.Notes)
+	}
+}
+
+// TestRepairBenchQuick: the machine-readable benchmark carries the same
+// verdict — three repaired applications, byte-identical reports across
+// worker counts — and renders.
+func TestRepairBenchQuick(t *testing.T) {
+	b, err := RunRepairBench(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Repaired != 3 {
+		t.Errorf("repaired %d apps, want 3", b.Repaired)
+	}
+	if !b.AllDeterministic {
+		t.Error("a repair report diverged across worker counts")
+	}
+	for _, app := range b.Apps {
+		if app.Fixed && app.Runs <= 0 {
+			t.Errorf("%s: fixed with %d runs-to-fix", app.App, app.Runs)
+		}
+		if !app.Deterministic {
+			t.Errorf("%s: report not byte-identical at 1 vs 2 workers", app.App)
+		}
+	}
+	if raw, err := b.JSON(); err != nil || len(raw) == 0 {
+		t.Fatalf("artifact does not render: %v", err)
+	}
+}

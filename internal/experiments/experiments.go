@@ -90,6 +90,7 @@ func Suite(quick bool) []*Table {
 		RunE8(quick),
 		RunE9(quick),
 		RunE10(quick),
+		RunE11(quick),
 		RunAblations(quick),
 	}
 }

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"time"
+
+	"repro/internal/repair"
+)
+
+// RepairBenchApp is one application's repair outcome in the benchmark
+// artifact.
+type RepairBenchApp struct {
+	App    string
+	Fixed  bool
+	Winner map[string]uint64 `json:",omitempty"`
+	Trials int
+	// Runs is the paper-style runs-to-fix cost: total schedule executions
+	// across cheap replays, matrix re-verification and the guided-search
+	// re-run.
+	Runs    int
+	Seconds float64
+	// Deterministic: the repair report is byte-identical when re-run at a
+	// different worker count.
+	Deterministic bool
+}
+
+// RepairBench is the machine-readable artifact fixd-bench -repair writes
+// to BENCH_repair.json for CI trending.
+type RepairBench struct {
+	Seed    int64
+	Workers int
+	Quick   bool
+	Apps    []*RepairBenchApp
+	// Repaired counts fixed applications; SuccessRate divides by the apps
+	// attempted. kvstore is expected to fail honestly (its bug is not a
+	// latency problem), so full success is Repaired == len(Apps)-1.
+	Repaired         int
+	SuccessRate      float64
+	AllDeterministic bool
+}
+
+// JSON renders the artifact.
+func (b *RepairBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// RunRepairBench measures the repair stage end to end over every knobbed
+// seeded-bug application: success rate, runs-to-fix, wall time, and the
+// byte-identity of each report across worker counts (workers vs 1).
+func RunRepairBench(workers int, quick bool) (*RepairBench, error) {
+	b := &RepairBench{Seed: 1, Workers: workers, Quick: quick, AllDeterministic: true}
+	searchBudget := 32
+	if quick {
+		searchBudget = 16
+	}
+	for _, app := range repairApps {
+		a, err := findRepairArtifact(app, searchBudget)
+		if err != nil {
+			return nil, err
+		}
+		cfg := repairConfig(a, quick)
+		cfg.Workers = workers
+		start := time.Now()
+		rep, err := repair.Repair(cfg)
+		if err != nil {
+			return nil, err
+		}
+		dur := time.Since(start)
+		out, err := rep.JSON()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Workers = 1
+		rep1, err := repair.Repair(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out1, err := rep1.JSON()
+		if err != nil {
+			return nil, err
+		}
+		pt := &RepairBenchApp{
+			App: app, Fixed: rep.Fixed, Winner: rep.Winner,
+			Trials: len(rep.Trials), Runs: rep.Runs,
+			Seconds:       dur.Seconds(),
+			Deterministic: bytes.Equal(out, out1),
+		}
+		if pt.Fixed {
+			b.Repaired++
+		}
+		b.AllDeterministic = b.AllDeterministic && pt.Deterministic
+		b.Apps = append(b.Apps, pt)
+	}
+	if len(b.Apps) > 0 {
+		b.SuccessRate = float64(b.Repaired) / float64(len(b.Apps))
+	}
+	return b, nil
+}

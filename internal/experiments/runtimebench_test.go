@@ -4,8 +4,8 @@ import "testing"
 
 // TestRuntimeBenchQuick: the hot-path benchmark must report byte-identical
 // old/new reports (sequential and sharded), a pooled path at least as fast
-// as the baseline, and an early-exit tokenring orders of magnitude under
-// its pre-change cost. Quick mode: one rep, one tokenring before-kind.
+// as the baseline, and an early-exit tokenring well under its
+// run-to-quiescence cost. Quick mode: one rep, one tokenring before-kind.
 func TestRuntimeBenchQuick(t *testing.T) {
 	b := RunRuntimeBench(2, 0, true)
 	if b.Workers != 2 || b.Reps != 1 {
@@ -23,8 +23,12 @@ func TestRuntimeBenchQuick(t *testing.T) {
 	if b.TokenringAfterMedianMs >= 100 {
 		t.Errorf("early-exit tokenring median %.1fms; want < 100ms", b.TokenringAfterMedianMs)
 	}
-	if b.TokenringBeforeMedianMs < 10*b.TokenringAfterMedianMs {
-		t.Errorf("before/after tokenring cost %.1fms -> %.1fms: early exit bought < 10x",
+	// Since the ring bounds token retransmission (ringRetxTries) the buggy
+	// variant quiesces instead of saturating the step bound, so the
+	// run-to-quiescence cost collapsed from ~1.2s to ~20ms and the
+	// early-exit payoff is a small multiple, not orders of magnitude.
+	if b.TokenringBeforeMedianMs < 2*b.TokenringAfterMedianMs {
+		t.Errorf("before/after tokenring cost %.1fms -> %.1fms: early exit bought < 2x",
 			b.TokenringBeforeMedianMs, b.TokenringAfterMedianMs)
 	}
 	if raw, err := b.JSON(); err != nil || len(raw) == 0 {

@@ -33,6 +33,11 @@ type Config struct {
 	// coordinator reissues it elsewhere (default 15s).
 	LeaseTimeout time.Duration
 
+	// HelloTimeout bounds the handshake control frames: how long the
+	// coordinator waits for a dialing worker's Hello, and how long it
+	// spends flushing the final Done frame to a session (default 5s).
+	HelloTimeout time.Duration
+
 	// MaxRetries is how many remote attempts a lease gets before the
 	// coordinator evaluates it locally (default 3).
 	MaxRetries int
@@ -50,8 +55,9 @@ type Config struct {
 
 	// NoLocalFallback disables coordinator-side evaluation entirely: with
 	// no workers connected the fleet waits instead of degrading to local
-	// execution. Leases that exhaust MaxRetries are then re-queued
-	// indefinitely rather than run locally.
+	// execution. A lease that exhausts MaxRetries is then poisoned — the
+	// search fails with a descriptive error — rather than re-queued
+	// forever or run locally.
 	NoLocalFallback bool
 }
 
@@ -61,6 +67,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.LeaseTimeout <= 0 {
 		cfg.LeaseTimeout = 15 * time.Second
+	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 5 * time.Second
 	}
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 3
@@ -107,6 +116,14 @@ type Coordinator struct {
 	closed     chan struct{} // closed by Close: everything shuts down
 	closeOnce  sync.Once
 	ran        bool
+
+	// terminal is closed (once) when a lease exhausts MaxRetries with no
+	// local fallback to absorb it: the task can never complete, so the
+	// search fails with terminalErr instead of re-queueing the poisoned
+	// lease forever.
+	terminal    chan struct{}
+	terminalErr error
+	termOnce    sync.Once
 }
 
 // NewCoordinator binds the listen address, recovers the journal (if any)
@@ -142,6 +159,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		kick:       make(chan struct{}, 1),
 		searchDone: make(chan struct{}),
 		closed:     make(chan struct{}),
+		terminal:   make(chan struct{}),
 	}
 	go c.acceptLoop()
 	if !cfg.NoLocalFallback {
@@ -198,7 +216,7 @@ func (c *Coordinator) acceptLoop() {
 // still alive.
 func (c *Coordinator) serveWorker(conn net.Conn) {
 	defer conn.Close()
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(c.cfg.HelloTimeout))
 	f, err := ReadFrame(conn)
 	if err != nil || f.Type != FrameHello || f.Hello.Proto != ProtoVersion {
 		return
@@ -216,7 +234,7 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 		case <-c.closed:
 			return
 		case <-c.searchDone:
-			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			conn.SetWriteDeadline(time.Now().Add(c.cfg.HelloTimeout))
 			WriteFrame(conn, &Frame{Type: FrameDone, Done: &Done{Reason: "search complete"}})
 			return
 		case t := <-c.tasks:
@@ -277,17 +295,24 @@ func resultOut(lease *Lease, r *Result) (taskOut, bool) {
 }
 
 // requeue returns a failed task to the queue with backoff; past
-// MaxRetries (and with the local fallback enabled) the coordinator
-// evaluates it itself, so a pathological fleet still terminates.
+// MaxRetries the coordinator evaluates it itself (so a pathological
+// fleet still terminates) or — with NoLocalFallback — declares the lease
+// poisoned and fails the search, rather than re-queueing it forever.
+// Only genuine fleet reissues count toward the reissues stat: the local
+// handoff takes the lease out of the fleet for good.
 func (c *Coordinator) requeue(t *task) {
 	t.attempts++
-	c.mu.Lock()
-	c.reissues++
-	c.mu.Unlock()
-	if t.attempts > c.cfg.MaxRetries && !c.cfg.NoLocalFallback {
+	if t.attempts > c.cfg.MaxRetries {
+		if c.cfg.NoLocalFallback {
+			c.poison(t)
+			return
+		}
 		go c.runLocal(t)
 		return
 	}
+	c.mu.Lock()
+	c.reissues++
+	c.mu.Unlock()
 	delay := c.cfg.Backoff << min(t.attempts-1, 6)
 	if delay > 2*time.Second {
 		delay = 2 * time.Second
@@ -297,6 +322,23 @@ func (c *Coordinator) requeue(t *task) {
 		case c.tasks <- t:
 		case <-c.closed:
 		}
+	})
+}
+
+// poison records the terminal failure for a lease no one can evaluate:
+// every remote attempt failed, retries are exhausted, and NoLocalFallback
+// forbids the coordinator from absorbing it. The first poisoned lease
+// fails the whole search (Run and evalBatch watch the terminal channel).
+func (c *Coordinator) poison(t *task) {
+	c.termOnce.Do(func() {
+		kind := fmt.Sprintf("%d-candidate lease", len(t.lease.Candidates))
+		if t.lease.Shrink != nil {
+			kind = "shrink lease"
+		}
+		c.terminalErr = fmt.Errorf(
+			"fleet: %s for app %q failed %d worker attempts with no local fallback; giving up",
+			kind, t.lease.App, t.attempts)
+		close(c.terminal)
 	})
 }
 
@@ -422,6 +464,14 @@ func (c *Coordinator) Run() (*chaos.SearchReport, error) {
 		}
 		rep.Apps = append(rep.Apps, f.Finish())
 	}
+	// A lease poisoned during the final shrink unwinds through the local
+	// shrinker without another evalBatch to surface it; the search still
+	// must fail.
+	select {
+	case <-c.terminal:
+		return nil, c.terminalErr
+	default:
+	}
 	return rep, nil
 }
 
@@ -477,6 +527,8 @@ func (c *Coordinator) evalBatch(app string, runner chaos.Runner, batch []chaos.C
 					return nil, err
 				}
 			}
+		case <-c.terminal:
+			return nil, c.terminalErr
 		case <-c.closed:
 			return nil, errors.New("fleet: coordinator closed mid-search")
 		}
@@ -501,6 +553,12 @@ func (c *Coordinator) shrinkRemote(app string, runner chaos.Runner, sched chaos.
 	case o := <-t.done:
 		c.journal.addShrink(app, sig, o.failure)
 		return o.failure
+	case <-c.terminal:
+		// The poisoned lease may be this very shrink job, whose done channel
+		// will never receive. The search is already failing (the next
+		// evalBatch returns terminalErr); shrink locally so the frontier can
+		// unwind instead of blocking forever.
+		return chaos.LocalShrinker(runner, c.scfg.ShrinkBudget)(sched, res)
 	case <-c.closed:
 		// Closing mid-search already fails the batch; shrink locally so
 		// the frontier can unwind without blocking forever.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -303,6 +305,166 @@ func TestFleetConfigValidation(t *testing.T) {
 	bad := chaos.SearchConfig{Apps: []apps.AppSpec{{Name: "not-registered"}}}
 	if _, err := NewCoordinator(Config{Search: bad}); err == nil {
 		t.Error("unregistered app must be rejected: workers cannot resolve it")
+	}
+}
+
+// dialRaw opens a bare client connection to the coordinator for tests
+// that need handshake-level control a Worker does not expose.
+func dialRaw(t *testing.T, coord *Coordinator) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// TestFleetSlowHandshake pins the Hello deadline to configuration: a
+// worker slower than HelloTimeout is rejected, one inside the (raised)
+// window is admitted. The deadline used to be hard-coded at 5s, so a slow
+// but honest worker on a congested link could never join a coordinator
+// that wanted a tighter or looser handshake policy.
+func TestFleetSlowHandshake(t *testing.T) {
+	scfg := chaos.SearchConfig{Apps: fleetApps(t, "bank"), Seed: 1, Budget: 4}
+
+	// Too slow: the Hello lands after HelloTimeout, the session is never
+	// admitted and the connection is closed under us (an immediate EOF, not
+	// a client-side read timeout — that would mean we were admitted and
+	// left waiting for a lease).
+	strict, err := NewCoordinator(Config{Search: scfg, HelloTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer strict.Close()
+	conn := dialRaw(t, strict)
+	time.Sleep(400 * time.Millisecond)
+	WriteFrame(conn, &Frame{Type: FrameHello, Hello: &Hello{Proto: ProtoVersion, Name: "slow"}})
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ReadFrame(conn); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("slow handshake was admitted (read err = %v), want connection closed", err)
+	}
+	strict.mu.Lock()
+	sessions := strict.sessions
+	strict.mu.Unlock()
+	if sessions != 0 {
+		t.Fatalf("rejected handshake still counted: %d sessions", sessions)
+	}
+
+	// Same delay, generous window: admitted.
+	lax, err := NewCoordinator(Config{Search: scfg, HelloTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lax.Close()
+	conn2 := dialRaw(t, lax)
+	time.Sleep(400 * time.Millisecond)
+	if err := WriteFrame(conn2, &Frame{Type: FrameHello, Hello: &Hello{Proto: ProtoVersion, Name: "slow"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitSessions(t, lax, 1)
+}
+
+// TestFleetPoisonedLeaseFailsSearch: with NoLocalFallback, a lease that
+// every worker attempt fails must poison the search with a descriptive
+// error after MaxRetries — it used to be re-queued (and counted as a
+// reissue) forever, hanging the search. The saboteur drops every lease it
+// is handed, so the single task burns exactly MaxRetries reissues and the
+// local fallback is never used.
+func TestFleetPoisonedLeaseFailsSearch(t *testing.T) {
+	scfg := chaos.SearchConfig{Apps: fleetApps(t, "bank"), Seed: 5, Budget: 8, CheckEvery: 64}
+	coord, err := NewCoordinator(Config{
+		Search: scfg, NoLocalFallback: true,
+		LeaseTimeout: 5 * time.Second, MaxRetries: 2, Backoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { // saboteur: hello, take a lease, drop the connection
+		for ctx.Err() == nil {
+			conn, err := net.Dial("tcp", coord.Addr())
+			if err != nil {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			WriteFrame(conn, &Frame{Type: FrameHello, Hello: &Hello{Proto: ProtoVersion, Name: "saboteur"}})
+			f, err := ReadFrame(conn)
+			conn.Close()
+			if err == nil && f.Type == FrameDone {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	waitSessions(t, coord, 1)
+
+	rep, err := coord.Run()
+	if err == nil {
+		t.Fatal("poisoned lease did not fail the search")
+	}
+	if rep != nil {
+		t.Fatalf("failed search returned a report: %+v", rep)
+	}
+	if !strings.Contains(err.Error(), "no local fallback") || !strings.Contains(err.Error(), "bank") {
+		t.Errorf("terminal error is not descriptive: %v", err)
+	}
+	reissues, locals := coord.Stats()
+	if reissues != 2 {
+		t.Errorf("reissues = %d, want exactly MaxRetries (2)", reissues)
+	}
+	if locals != 0 {
+		t.Errorf("NoLocalFallback ran %d tasks locally", locals)
+	}
+}
+
+// TestFleetRequeueStats pins the reissue accounting directly: handing a
+// lease to the local fallback takes it out of the fleet and must not
+// count as a reissue, while exhausting retries under NoLocalFallback
+// poisons the coordinator without inflating either stat.
+func TestFleetRequeueStats(t *testing.T) {
+	scfg := chaos.SearchConfig{Apps: fleetApps(t, "bank"), Seed: 1, Budget: 4}
+	runner, err := chaos.RunnerFor("bank", false, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := NewCoordinator(Config{Search: scfg, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	tk := &task{lease: Lease{App: "bank"}, runner: runner, attempts: 2, done: make(chan taskOut, 1)}
+	coord.requeue(tk) // attempts 3 > MaxRetries: local handoff
+	select {
+	case <-tk.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("local fallback never ran the handed-off task")
+	}
+	if reissues, locals := coord.Stats(); reissues != 0 || locals != 1 {
+		t.Errorf("local handoff: reissues = %d locals = %d, want 0 and 1", reissues, locals)
+	}
+
+	poisoned, err := NewCoordinator(Config{Search: scfg, MaxRetries: 2, NoLocalFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer poisoned.Close()
+	tk2 := &task{lease: Lease{App: "bank"}, runner: runner, attempts: 2, done: make(chan taskOut, 1)}
+	poisoned.requeue(tk2)
+	select {
+	case <-poisoned.terminal:
+	default:
+		t.Fatal("exhausted lease did not poison the coordinator")
+	}
+	if poisoned.terminalErr == nil || !strings.Contains(poisoned.terminalErr.Error(), "bank") {
+		t.Errorf("terminal error is not descriptive: %v", poisoned.terminalErr)
+	}
+	if reissues, locals := poisoned.Stats(); reissues != 0 || locals != 0 {
+		t.Errorf("poisoning inflated stats: reissues = %d locals = %d", reissues, locals)
 	}
 }
 

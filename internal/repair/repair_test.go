@@ -1,0 +1,162 @@
+package repair
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/chaos"
+)
+
+// findArtifact runs a small guided search over an app's seeded-bug variant
+// and returns the first shrunk failure artifact.
+func findArtifact(t *testing.T, app string) *chaos.Artifact {
+	t.Helper()
+	spec, err := apps.Lookup(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := chaos.Search(chaos.SearchConfig{
+		Apps:       []apps.AppSpec{spec},
+		Buggy:      true,
+		Seed:       1,
+		Budget:     16,
+		CheckEvery: 256,
+	})
+	fails := rep.Failures()
+	if len(fails) == 0 {
+		t.Fatalf("search found no failure in buggy %s", app)
+	}
+	if fails[0].Artifact == nil {
+		t.Fatalf("first %s failure has no artifact", app)
+	}
+	return fails[0].Artifact
+}
+
+func quickCfg(a *chaos.Artifact) Config {
+	return Config{
+		Artifact:     a,
+		Seed:         1,
+		MatrixSeeds:  []int64{1},
+		SearchBudget: 12,
+		CheckEvery:   256,
+	}
+}
+
+// TestRepairTwoPCSeededBug: the commit-on-timeout bug is fixed by raising
+// the coordinator timeout past the slow no-vote delay; repair must find a
+// verified assignment.
+func TestRepairTwoPCSeededBug(t *testing.T) {
+	a := findArtifact(t, "twopc")
+	rep, err := Repair(quickCfg(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fixed {
+		out, _ := rep.JSON()
+		t.Fatalf("twopc not repaired:\n%s", out)
+	}
+	if len(rep.Winner) == 0 || rep.Evidence == nil || !rep.Evidence.ReplayClean {
+		t.Fatalf("winner/evidence missing: %+v", rep)
+	}
+	if rep.Evidence.MatrixCells == 0 || rep.Runs <= len(rep.Trials) {
+		t.Errorf("evidence does not account for verification cost: %+v", rep.Evidence)
+	}
+	// The fix must move a knob off its current value.
+	moved := false
+	for _, k := range rep.Knobs {
+		if v, ok := rep.Winner[k.Name]; ok && v != k.Current {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Errorf("winner %v changes nothing", rep.Winner)
+	}
+}
+
+// TestRepairDeterministicAcrossWorkers: same seed + artifact must produce
+// a byte-identical RepairReport at any worker count.
+func TestRepairDeterministicAcrossWorkers(t *testing.T) {
+	a := findArtifact(t, "twopc")
+	var outs [][]byte
+	for _, workers := range []int{1, 4} {
+		cfg := quickCfg(a)
+		cfg.Workers = workers
+		rep, err := Repair(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("report differs across worker counts:\n--- w=1\n%s\n--- w=4\n%s", outs[0], outs[1])
+	}
+}
+
+// TestRepairNoFixInRange: when no assignment in range can fix the bug —
+// here the twopc timeout is capped below the slow no-vote delay and the
+// vote-delay knob is withheld — repair must terminate within budget and
+// report honestly.
+func TestRepairNoFixInRange(t *testing.T) {
+	a := findArtifact(t, "twopc")
+	cfg := quickCfg(a)
+	cfg.Knobs = []apps.Knob{{Name: "timeout", Min: 4, Max: 40, Step: 2, Current: 10}}
+	rep, err := Repair(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fixed || rep.Winner != nil || rep.Evidence != nil {
+		t.Fatalf("claimed a fix that cannot exist: %+v", rep)
+	}
+	if len(rep.Trials) == 0 || len(rep.Trials) > cfg.withDefaults().MaxTrials {
+		t.Fatalf("trial count %d outside budget", len(rep.Trials))
+	}
+	for _, tr := range rep.Trials {
+		if tr.Verified {
+			t.Fatalf("no trial should verify: %+v", tr)
+		}
+	}
+}
+
+// TestRepairAllSeededBugs: election's premature re-election and
+// tokenring's token regeneration are also knob-repairable; kvstore's
+// blind apply is not a latency problem, so its repair must honestly fail.
+func TestRepairAllSeededBugs(t *testing.T) {
+	for _, tc := range []struct {
+		app     string
+		fixable bool
+	}{
+		{"election", true},
+		{"tokenring", true},
+		{"kvstore", false},
+	} {
+		t.Run(tc.app, func(t *testing.T) {
+			rep, err := Repair(quickCfg(findArtifact(t, tc.app)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Fixed != tc.fixable {
+				out, _ := rep.JSON()
+				t.Fatalf("Fixed = %v, want %v:\n%s", rep.Fixed, tc.fixable, out)
+			}
+			if tc.fixable && rep.Evidence == nil {
+				t.Fatal("fixed without evidence")
+			}
+		})
+	}
+}
+
+// TestRepairRejectsNonReproducingArtifact: a passing schedule is not a
+// counterexample; Repair must refuse rather than "fix" a non-bug.
+func TestRepairRejectsNonReproducingArtifact(t *testing.T) {
+	a := findArtifact(t, "twopc")
+	clean := *a
+	clean.Buggy = false // the correct variant does not fail this schedule
+	if _, err := Repair(Config{Artifact: &clean}); err == nil {
+		t.Fatal("expected a does-not-reproduce error")
+	}
+}
