@@ -6,7 +6,9 @@
 // -search, the guided-search benchmark additionally runs and records
 // corpus growth, distinct-fingerprint counts (guided vs the equal-budget
 // random baseline) and the shrunk failing-schedule artifacts into
-// BENCH_search.json.
+// BENCH_search.json; it sweeps every seeded-bug application including the
+// scenario-zoo workloads, runs twice at different worker counts, and
+// fails on any report divergence.
 //
 // Usage:
 //
@@ -35,6 +37,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -57,12 +60,13 @@ var runners = map[string]func(bool) *experiments.Table{
 	"E9":  experiments.RunE9,
 	"E10": experiments.RunE10,
 	"E11": experiments.RunE11,
+	"E12": experiments.RunE12,
 	"ABL": experiments.RunAblations,
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "run a single experiment (E1..E11 or ABL)")
+	only := flag.String("only", "", "run a single experiment (E1..E12 or ABL)")
 	workers := flag.Int("shard.workers", runtime.NumCPU(), "worker pool width for the chaos matrix sweep")
 	chaosJSON := flag.String("chaos.json", "BENCH_chaos.json", "chaos sharding benchmark output path (\"\" disables)")
 	search := flag.Bool("search", false, "run the guided-search benchmark and write its JSON artifact")
@@ -82,7 +86,7 @@ func main() {
 		id := strings.ToUpper(*only)
 		run, ok := runners[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "fixd-bench: unknown experiment %q (want E1..E11 or ABL)\n", *only)
+			fmt.Fprintf(os.Stderr, "fixd-bench: unknown experiment %q (want E1..E12 or ABL)\n", *only)
 			os.Exit(2)
 		}
 		fmt.Print(run(*quick).Format())
@@ -229,12 +233,15 @@ func emitRuntimeBench(workers, reps int, quick bool, path string) {
 
 // emitSearchBench runs the guided-vs-random search benchmark (E10's
 // operating point) and writes the JSON artifact, including the corpus
-// growth curves and the shrunk failing-schedule artifacts.
+// growth curves and the shrunk failing-schedule artifacts. The benchmark
+// runs twice at different worker counts and fails the run if the reports
+// diverge (timing fields excluded): the corpus, coverage counts and
+// shrunk artifacts must not depend on how the search was sharded.
 func emitSearchBench(workers int, path string) {
 	if path == "" {
 		return
 	}
-	b := experiments.RunSearchBench(workers)
+	b := emitSearchBenchChecked(workers)
 	out, err := b.JSON()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fixd-bench: search bench:", err)
@@ -250,6 +257,28 @@ func emitSearchBench(workers int, path string) {
 	}
 	fmt.Printf("guided-search bench: %d runs/app, guided %d shapes vs random %d (%s), %d apps -> %s\n",
 		b.Budget, b.GuidedShapes, b.RandomShapes, verdict, len(b.Apps), path)
+}
+
+// emitSearchBenchChecked runs the search benchmark at the requested worker
+// count plus one alternate count and exits non-zero on report divergence.
+func emitSearchBenchChecked(workers int) *experiments.SearchBench {
+	alt := 1
+	if workers <= 1 {
+		alt = 4
+	}
+	b := experiments.RunSearchBench(workers)
+	b2 := experiments.RunSearchBench(alt)
+	f1, err1 := b.Fingerprint()
+	f2, err2 := b2.Fingerprint()
+	if err1 != nil || err2 != nil {
+		fmt.Fprintln(os.Stderr, "fixd-bench: search bench: fingerprint:", err1, err2)
+		os.Exit(1)
+	}
+	if !bytes.Equal(f1, f2) {
+		fmt.Fprintf(os.Stderr, "fixd-bench: search bench: reports diverged at %d vs %d workers\n", workers, alt)
+		os.Exit(1)
+	}
+	return b
 }
 
 // emitChaosBench runs the sequential-vs-sharded matrix benchmark (reduced

@@ -12,7 +12,7 @@ import (
 // TestRunnersComplete: every experiment the suite knows is reachable via
 // -only, including the chaos matrix.
 func TestRunnersComplete(t *testing.T) {
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "ABL"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "ABL"} {
 		if runners[id] == nil {
 			t.Errorf("experiment %s not registered", id)
 		}

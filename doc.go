@@ -22,8 +22,16 @@
 // durable cells written by the abandoned timeline are invalidated so a
 // later crash-restart cannot re-install them — delivery is
 // exactly-once-per-timeline on both backends, not at-least-once across
-// timelines. See README.md for the layout, the capability matrix
-// ("Timeline epochs"), and the experiment index.
+// timelines. The scenario zoo extends the fault DSL with two opt-in
+// kinds — fault.Corrupt (seeded single-byte mutation of a delivery's
+// payload copy) and fault.SlowNode (per-process handler lag, resource
+// exhaustion as distinct from message delay) — and two workloads built
+// to be broken by them: a microservice chain whose seeded timeout
+// misconfiguration cascades into duplicate side-effects (knob-repairable
+// by fixd.Repair) and a cache-aside layer whose cache-authority
+// invariant only corruption can violate. See README.md for the layout,
+// the capability matrix ("Timeline epochs", "Scenario zoo"), and the
+// experiment index.
 //
 // # Performance
 //

@@ -171,6 +171,11 @@ const (
 	FaultDuplicate = fault.Duplicate
 	FaultDrop      = fault.Drop
 	FaultClockSkew = fault.ClockSkew
+	// Opt-in kinds: valid in any schedule or scenario, absent from the
+	// default matrix sweep (see chaos.MatrixKinds).
+	FaultRollback = fault.Rollback
+	FaultCorrupt  = fault.Corrupt
+	FaultSlowNode = fault.SlowNode
 )
 
 // Chaos sweeps the deterministic chaos matrix — every registered workload

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dsim"
+	"repro/internal/fault"
 )
 
 // Knob is one tunable, typed parameter of a workload application's
@@ -61,6 +62,15 @@ func Knobs(app string) ([]Knob, error) {
 		// apply — kvstore is the table's honest negative space.
 		return []Knob{
 			{Name: "max-latency", Min: 8, Max: 64, Step: 1, Current: 30},
+		}, nil
+	case "mservice":
+		// The timeout cascade is a misconfiguration: any knob that stretches
+		// the backend-adjacent tier's patience past the 40-tick slow path
+		// (a bigger timeout, more retries, steeper backoff) is a valid fix.
+		return []Knob{
+			{Name: "timeout", Min: 4, Max: 512, Step: 2, Current: chaosMSBugCfg.Timeout},
+			{Name: "retries", Min: 1, Max: 6, Step: 1, Current: uint64(chaosMSBugCfg.Retries)},
+			{Name: "backoff", Min: 2, Max: 64, Step: 2, Current: chaosMSBugCfg.Backoff},
 		}, nil
 	}
 	return nil, fmt.Errorf("apps: no knob table registered for %q", app)
@@ -155,6 +165,38 @@ func ApplyKnobs(app string, assign map[string]uint64) (AppSpec, error) {
 			return NewTokenRing(chaosRingCfg)
 		}
 		spec.MakeFixed = func() map[string]dsim.Machine { return NewTokenRing(fixed) }
+	case "mservice":
+		cfg := chaosMSBugCfg
+		if v, ok := assign["timeout"]; ok {
+			cfg.Timeout = v
+		}
+		if v, ok := assign["retries"]; ok {
+			cfg.Retries = int(v)
+		}
+		if v, ok := assign["backoff"]; ok {
+			cfg.Backoff = v
+		}
+		fixed := cfg
+		fixed.Buggy = false
+		spec.Make = func(buggy bool) map[string]dsim.Machine {
+			if buggy {
+				return NewMService(cfg)
+			}
+			return NewMService(chaosMSCfg)
+		}
+		spec.MakeFixed = func() map[string]dsim.Machine { return NewMService(fixed) }
+		// The retry-storm limit and latency bound are derived from the knob
+		// values, so the oracle must track the patch: a legitimately longer
+		// retry schedule is not a storm.
+		spec.Invariants = func(buggy bool) []fault.GlobalInvariant {
+			c := chaosMSCfg
+			if buggy {
+				c = cfg
+			}
+			return []fault.GlobalInvariant{
+				MSNoDuplicateSideEffects(), MSNoRetryStorm(c), MSBoundedLatency(c),
+			}
+		}
 	case "kvstore":
 		// kvstore's knob bounds the network's latency band rather than an
 		// app timer: the buggy variant's jitter window shrinks to

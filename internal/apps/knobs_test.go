@@ -8,7 +8,7 @@ import (
 )
 
 func TestKnobTablesRegistered(t *testing.T) {
-	for _, app := range []string{"twopc", "election", "tokenring", "kvstore"} {
+	for _, app := range []string{"twopc", "election", "tokenring", "kvstore", "mservice"} {
 		table, err := Knobs(app)
 		if err != nil {
 			t.Fatalf("%s: %v", app, err)
@@ -89,5 +89,53 @@ func TestApplyKnobsPatchesBuggyVariantOnly(t *testing.T) {
 	s := runApp(t, cfg, base.Make(true))
 	if v := fault.NewMonitor(base.Invariants(true)...).Check(s); len(v) == 0 {
 		t.Error("unpatched buggy twopc did not violate fault-free")
+	}
+}
+
+// TestApplyKnobsMService: raising the chain's per-hop timeout past the
+// backend slow path cures the timeout cascade, and the patched spec's
+// invariants track the patch — the retry-storm limit and latency bound are
+// derived from the knob values, so a legitimately longer retry schedule
+// must not read as a storm.
+func TestApplyKnobsMService(t *testing.T) {
+	spec, err := ApplyKnobs("mservice", map[string]uint64{"timeout": 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(buggy bool) []fault.Violation {
+		cfg := spec.Config(buggy)
+		cfg.Seed = 1
+		s := runApp(t, cfg, spec.Make(buggy))
+		return fault.NewMonitor(spec.Invariants(buggy)...).Check(s)
+	}
+	if v := run(true); len(v) != 0 {
+		t.Errorf("patched buggy mservice still violates fault-free: %v", v)
+	}
+	if v := run(false); len(v) != 0 {
+		t.Errorf("correct mservice violates after patch: %v", v)
+	}
+
+	base, err := ApplyKnobs("mservice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base.Config(true)
+	cfg.Seed = 1
+	s := runApp(t, cfg, base.Make(true))
+	if v := fault.NewMonitor(base.Invariants(true)...).Check(s); len(v) == 0 {
+		t.Error("unpatched buggy mservice did not violate fault-free")
+	}
+
+	// A retry-schedule stretch is an equally valid fix: more retries with a
+	// steeper backoff outlast the slow path without touching the timeout.
+	alt, err := ApplyKnobs("mservice", map[string]uint64{"retries": 5, "backoff": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = alt.Config(true)
+	cfg.Seed = 1
+	s = runApp(t, cfg, alt.Make(true))
+	if v := fault.NewMonitor(alt.Invariants(true)...).Check(s); len(v) != 0 {
+		t.Errorf("retry-schedule patch still violates: %v", v)
 	}
 }

@@ -62,6 +62,18 @@ var (
 	chaosBankCfg     = BankConfig{Branches: 3, AccountsPer: 4, InitialBalance: 200, Transfers: 12}
 	chaosBankBugCfg  = BankConfig{Branches: 2, AccountsPer: 2, InitialBalance: 50,
 		Transfers: 40, MaxAmount: 60, Buggy: true}
+	chaosMSCfg = MServiceConfig{Hops: 2, Requests: 6, Timeout: 60, Retries: 2, Backoff: 8,
+		SlowEvery: 3, SlowDelay: 40}
+	// Timeout 4 sits far below the backend's 40-tick slow path, so the
+	// backend-adjacent tier exhausts its retries and fails over while the
+	// primary backend is still working — the timeout cascade that commits
+	// every slow request on two backends. Repair (internal/repair) fixes it
+	// by raising the timeout (or stretching the retry schedule) past the
+	// slow path.
+	chaosMSBugCfg = MServiceConfig{Hops: 2, Requests: 8, Timeout: 4, Retries: 2, Backoff: 2,
+		SlowEvery: 2, SlowDelay: 40, Buggy: true}
+	chaosCACfg    = CacheAsideConfig{Keys: 2, Rounds: 3}
+	chaosCABugCfg = CacheAsideConfig{Keys: 2, Rounds: 4, Buggy: true}
 )
 
 // chaosConfig is the shared simulation profile: enough checkpoints for
@@ -115,14 +127,92 @@ func JitterFreeKV() AppSpec {
 
 // Lookup resolves one registered application by name — how stateless
 // fleet workers and the fixd-fleet CLI turn an app name from the wire
-// back into a runnable spec.
+// back into a runnable spec. It resolves scenario-zoo applications too:
+// artifacts recorded against a zoo workload replay through the same path
+// as matrix ones.
 func Lookup(name string) (AppSpec, error) {
 	for _, s := range Registry() {
 		if s.Name == name {
 			return s, nil
 		}
 	}
+	for _, s := range Zoo() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
 	return AppSpec{}, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// Zoo returns the scenario-zoo workloads: applications that exist to
+// exercise the opt-in fault kinds (Corrupt, SlowNode) and the richer
+// failure modes they unlock, kept out of Registry so the default chaos
+// matrix — and every artifact pinned against it — stays byte-identical.
+// Sweeps that want them list them explicitly (MatrixConfig.Apps,
+// SearchConfig.Apps) or combine Registry()+Zoo(), as experiment E12 and
+// the search benchmark do.
+func Zoo() []AppSpec {
+	return []AppSpec{
+		{
+			Name: "mservice",
+			Make: func(buggy bool) map[string]dsim.Machine {
+				if buggy {
+					return NewMService(chaosMSBugCfg)
+				}
+				return NewMService(chaosMSCfg)
+			},
+			MakeFixed: func() map[string]dsim.Machine {
+				cfg := chaosMSBugCfg
+				cfg.Buggy = false
+				return NewMService(cfg)
+			},
+			Invariants: func(buggy bool) []fault.GlobalInvariant {
+				cfg := chaosMSCfg
+				if buggy {
+					cfg = chaosMSBugCfg
+				}
+				return []fault.GlobalInvariant{
+					MSNoDuplicateSideEffects(), MSNoRetryStorm(cfg), MSBoundedLatency(cfg),
+				}
+			},
+			// Backends durably log each committed request before responding,
+			// so a restart re-serves the cached verdict instead of committing
+			// twice; tiers and client are stateless retriers.
+			CrashOK: func(string) bool { return true },
+			Config: func(buggy bool) dsim.Config {
+				return chaosConfig(1, 2)
+			},
+			Horizon: 120,
+		},
+		{
+			Name: "cacheaside",
+			Make: func(buggy bool) map[string]dsim.Machine {
+				if buggy {
+					return NewCacheAside(chaosCABugCfg)
+				}
+				return NewCacheAside(chaosCACfg)
+			},
+			MakeFixed: func() map[string]dsim.Machine {
+				cfg := chaosCABugCfg
+				cfg.Buggy = false
+				return NewCacheAside(cfg)
+			},
+			Invariants: func(buggy bool) []fault.GlobalInvariant {
+				if buggy {
+					return []fault.GlobalInvariant{CANoStaleReads()}
+				}
+				return []fault.GlobalInvariant{CANoStaleReads(), CACacheNeverAhead()}
+			},
+			// The primary durably logs every write before acknowledging it
+			// (kvstore's recovery idiom); the cache reboots cold; the client's
+			// read fence only ever rewinds, which under-approximates staleness.
+			CrashOK: func(string) bool { return true },
+			Config: func(buggy bool) dsim.Config {
+				return chaosConfig(1, 2)
+			},
+			Horizon: 100,
+		},
+	}
 }
 
 // Registry returns the five workload applications in matrix order.

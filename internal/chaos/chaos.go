@@ -58,9 +58,9 @@ func (w Window) Len() uint64 {
 // Intensity quantifies a scenario's severity. Only the fields relevant to
 // the scenario's kind are used.
 type Intensity struct {
-	Extra  uint64  `json:",omitempty"` // Delay/Reorder: fixed extra latency
+	Extra  uint64  `json:",omitempty"` // Delay/Reorder: fixed extra latency; SlowNode: handler lag
 	Jitter uint64  `json:",omitempty"` // Reorder: seeded extra latency bound
-	Prob   float64 `json:",omitempty"` // Duplicate/Drop: per-message probability
+	Prob   float64 `json:",omitempty"` // Duplicate/Drop/Corrupt: per-message probability
 	Skew   int64   `json:",omitempty"` // ClockSkew: observed-clock offset
 }
 
@@ -91,10 +91,12 @@ func (sc Scenario) String() string {
 		fmt.Fprintf(&b, "(+%d)", sc.Intensity.Extra)
 	case fault.Reorder:
 		fmt.Fprintf(&b, "(j=%d)", sc.Intensity.Jitter)
-	case fault.Duplicate, fault.Drop:
+	case fault.Duplicate, fault.Drop, fault.Corrupt:
 		fmt.Fprintf(&b, "(p=%.2f)", sc.Intensity.Prob)
 	case fault.ClockSkew:
 		fmt.Fprintf(&b, "(%+d)", sc.Intensity.Skew)
+	case fault.SlowNode:
+		fmt.Fprintf(&b, "(+%d)", sc.Intensity.Extra)
 	}
 	fmt.Fprintf(&b, "@[%d,%d)", sc.Window.From, sc.Window.To)
 	if len(sc.Targets) > 0 {
@@ -170,6 +172,14 @@ func (s Schedule) Compile(procs []string) *fault.Plan {
 			for _, p := range targets {
 				add(fault.Injection{Kind: fault.Rollback, Proc: p, At: sc.Window.From})
 			}
+		case fault.Corrupt:
+			add(fault.Injection{Kind: fault.Corrupt, Group: targets,
+				At: sc.Window.From, Until: sc.Window.To, Prob: sc.Intensity.Prob})
+		case fault.SlowNode:
+			for _, p := range targets {
+				add(fault.Injection{Kind: fault.SlowNode, Proc: p,
+					At: sc.Window.From, Until: sc.Window.To, Extra: sc.Intensity.Extra})
+			}
 		}
 	}
 	return plan
@@ -177,6 +187,11 @@ func (s Schedule) Compile(procs []string) *fault.Plan {
 
 // MatrixKinds are the fault kinds the matrix sweeps by default. Restart is
 // not listed separately: Crash scenarios compile to crash-restart pairs.
+// Rollback, Corrupt and SlowNode are deliberately absent: they are valid
+// scenario kinds (Generate/Compile/Normalize/mutation all handle them) but
+// opt-in — schedules only carry them when a caller asks (e.g.
+// MatrixConfig.Kinds or SearchConfig.ExtraKinds) — so every matrix/search
+// artifact generated before they existed stays byte-identical.
 var MatrixKinds = []fault.Kind{
 	fault.Crash, fault.Partition, fault.Delay, fault.Reorder,
 	fault.Duplicate, fault.Drop, fault.ClockSkew,
@@ -204,9 +219,9 @@ func Generate(kind fault.Kind, procs []string, crashable []int, horizon uint64, 
 	}
 	sc := Scenario{Kind: kind}
 	switch kind {
-	case fault.Crash, fault.Partition, fault.Delay, fault.Rollback:
+	case fault.Crash, fault.Partition, fault.Delay, fault.Rollback, fault.SlowNode:
 		sc.Window = window(horizon / 4)
-	case fault.Reorder, fault.Duplicate, fault.Drop:
+	case fault.Reorder, fault.Duplicate, fault.Drop, fault.Corrupt:
 		sc.Window = window(horizon / 3)
 	case fault.ClockSkew:
 		// Bound the window so the probe is still ticking when the skew
@@ -224,6 +239,12 @@ func Generate(kind fault.Kind, procs []string, crashable []int, horizon uint64, 
 		sc.Intensity.Prob = 0.3 + 0.4*rng.Float64()
 	case fault.Drop:
 		sc.Intensity.Prob = 0.2 + 0.4*rng.Float64()
+	case fault.Corrupt:
+		sc.Intensity.Prob = 0.3 + 0.4*rng.Float64()
+	case fault.SlowNode:
+		// Enough lag that timeout-sensitive protocols feel it, bounded so
+		// runs still quiesce inside the step budget.
+		sc.Intensity.Extra = 10 + uint64(rng.Int63n(30))
 	case fault.ClockSkew:
 		// The probe ticks every 5; an offset > 5 guarantees the window edge
 		// shows up as a regression on one side.

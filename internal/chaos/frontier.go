@@ -217,6 +217,12 @@ func (f *Frontier) seedBatch() []Candidate {
 		add(Schedule{Generate(kind, f.procs, f.crashable, f.spec.Horizon, f.cfg.Seed)}.Normalize(),
 			"seed:"+kind.String())
 	}
+	// Opt-in kinds come after the matrix seeds so an empty ExtraKinds leaves
+	// the stream — and every pinned fixture — byte-identical.
+	for _, kind := range f.cfg.ExtraKinds {
+		add(Schedule{Generate(kind, f.procs, f.crashable, f.spec.Horizon, f.cfg.Seed)}.Normalize(),
+			"seed:"+kind.String())
+	}
 	f.issued += len(batch)
 	return batch
 }

@@ -27,9 +27,11 @@ func FuzzScheduleRoundTrip(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(raw)
-		f.Add([]byte(DecodeSchedule(raw).String())) // degenerate non-JSON seed
-		if sched, err := json.Marshal(DecodeSchedule(raw)); err == nil {
-			f.Add(sched)
+		if dec, err := DecodeSchedule(raw); err == nil {
+			f.Add([]byte(dec.String())) // degenerate non-JSON seed
+			if sched, err := json.Marshal(dec); err == nil {
+				f.Add(sched)
+			}
 		}
 	}
 	// Binary-form seeds: one scenario per kind, and some garbage.
@@ -37,9 +39,23 @@ func FuzzScheduleRoundTrip(f *testing.F) {
 	f.Add([]byte{6, 10, 1, 40, 0b1, 200, 0, 0, 0, 0, 3, 0, 0, 9, 0b11, 128, 7, 0, 0, 0})
 	f.Add([]byte{})
 	f.Add([]byte("\xff\x00\x13garbage that is not a schedule"))
+	// JSON seeds carrying the opt-in kinds (Rollback=8, Corrupt=9,
+	// SlowNode=10): valid scenario kinds that the binary form never emits.
+	f.Add([]byte(`[{"Kind":9,"Targets":[0,1],"Window":{"From":10,"To":60},"Intensity":{"Prob":0.5}}]`))
+	f.Add([]byte(`[{"Kind":10,"Targets":[1],"Window":{"From":5,"To":40},"Intensity":{"Extra":25}},` +
+		`{"Kind":8,"Targets":[0],"Window":{"From":12,"To":12}}]`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		norm := DecodeSchedule(data).Normalize()
+		dec, err := DecodeSchedule(data)
+		if err != nil {
+			// Rejected inputs must be rejected stably and descriptively, not
+			// silently compiled to a no-op.
+			if err.Error() == "" {
+				t.Fatal("DecodeSchedule returned an empty error")
+			}
+			return
+		}
+		norm := dec.Normalize()
 		if len(norm) > MaxScheduleLen {
 			t.Fatalf("normalized schedule too long: %d", len(norm))
 		}

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -26,11 +27,13 @@ const (
 
 // validScenarioKind reports whether k is a scenario kind (Restart is not:
 // it exists only as the compiled second half of a Crash scenario).
-// Rollback is a valid scenario kind without being matrix-swept: the heal ×
-// crash storms compose it explicitly, and mutation must not normalize it
-// away when it splices such a schedule.
+// Rollback, Corrupt and SlowNode are valid scenario kinds without being
+// matrix-swept: the storm suites and the scenario-zoo sweeps compose them
+// explicitly, and mutation must not normalize them away when it splices
+// such a schedule.
 func validScenarioKind(k fault.Kind) bool {
-	if k == fault.Rollback {
+	switch k {
+	case fault.Rollback, fault.Corrupt, fault.SlowNode:
 		return true
 	}
 	for _, mk := range MatrixKinds {
@@ -98,12 +101,12 @@ func (s Schedule) Normalize() Schedule {
 
 		// Intensity: only the kind's fields, clamped.
 		switch sc.Kind {
-		case fault.Delay:
+		case fault.Delay, fault.SlowNode:
 			n.Intensity.Extra = min(sc.Intensity.Extra, maxExtra)
 		case fault.Reorder:
 			n.Intensity.Extra = min(sc.Intensity.Extra, maxExtra)
 			n.Intensity.Jitter = min(sc.Intensity.Jitter, maxExtra)
-		case fault.Duplicate, fault.Drop:
+		case fault.Duplicate, fault.Drop, fault.Corrupt:
 			p := sc.Intensity.Prob
 			switch {
 			case math.IsNaN(p) || p <= 0:
@@ -132,20 +135,29 @@ func (s Schedule) Normalize() Schedule {
 
 // DecodeSchedule interprets arbitrary bytes as a fault schedule — the entry
 // point fuzzing and corpus seeding share. JSON input (as emitted for
-// schedules inside shrinker artifacts) is decoded structurally; anything
-// else is consumed as a compact binary form, ten bytes per scenario. The
-// result is not yet normalized: callers sanitize with Normalize.
-func DecodeSchedule(data []byte) Schedule {
+// schedules inside shrinker artifacts) is decoded structurally and every
+// scenario kind is validated: an unknown or non-scenario kind is a
+// descriptive error, not a silently dropped no-op. Anything else is
+// consumed as a compact binary form, ten bytes per scenario, whose kind
+// byte always maps onto a matrix kind. The result is not yet normalized:
+// callers sanitize with Normalize.
+func DecodeSchedule(data []byte) (Schedule, error) {
 	var s Schedule
 	if len(data) > 0 && (data[0] == '[' || data[0] == '{') {
-		if json.Unmarshal(data, &s) == nil {
-			return s
+		if err := json.Unmarshal(data, &s); err != nil {
+			var a struct{ Schedule Schedule }
+			if err2 := json.Unmarshal(data, &a); err2 != nil {
+				return nil, fmt.Errorf("chaos: schedule JSON: %w", err)
+			}
+			s = a.Schedule
 		}
-		var a struct{ Schedule Schedule }
-		if json.Unmarshal(data, &a) == nil {
-			return a.Schedule
+		for i, sc := range s {
+			if !validScenarioKind(sc.Kind) {
+				return nil, fmt.Errorf("chaos: scenario %d has unknown fault kind %v (valid: matrix kinds plus %v, %v, %v)",
+					i, sc.Kind, fault.Rollback, fault.Corrupt, fault.SlowNode)
+			}
 		}
-		return nil
+		return s, nil
 	}
 	const per = 10
 	for len(data) >= per && len(s) < MaxScheduleLen {
@@ -173,7 +185,7 @@ func DecodeSchedule(data []byte) Schedule {
 		}
 		s = append(s, sc)
 	}
-	return s
+	return s, nil
 }
 
 // Mutation operator names, as recorded in CorpusEntry.Op.
@@ -295,11 +307,11 @@ func MutateOp(rng *rand.Rand, op string, parent, donor Schedule, procs []string,
 			return v / 2
 		}
 		switch sc.Kind {
-		case fault.Delay:
+		case fault.Delay, fault.SlowNode:
 			sc.Intensity.Extra = scale(sc.Intensity.Extra)
 		case fault.Reorder:
 			sc.Intensity.Jitter = scale(sc.Intensity.Jitter)
-		case fault.Duplicate, fault.Drop:
+		case fault.Duplicate, fault.Drop, fault.Corrupt:
 			if grow {
 				sc.Intensity.Prob = math.Min(1, sc.Intensity.Prob*1.5+0.05)
 			} else {
@@ -345,8 +357,9 @@ func MutateOp(rng *rand.Rand, op string, parent, donor Schedule, procs []string,
 // pickTargets draws a scenario's target set — the single implementation
 // Generate and the retarget mutation share: crash scenarios target one
 // crashable process, clock skew targets the probe (always the trailing
-// process, see ProbeName), partitions leave someone outside, and
-// message-level kinds pick a non-empty subset of the app's processes.
+// process, see ProbeName), partitions leave someone outside, slow-node
+// slows one application process, and message-level kinds (Corrupt
+// included) pick a non-empty subset of the app's processes.
 func pickTargets(rng *rand.Rand, kind fault.Kind, procs []string, crashable []int) []int {
 	n := len(procs) - 1 // exclude the trailing clock probe
 	if n < 1 {
@@ -369,6 +382,8 @@ func pickTargets(rng *rand.Rand, kind fault.Kind, procs []string, crashable []in
 		return []int{crashable[rng.Intn(len(crashable))]}
 	case fault.ClockSkew:
 		return []int{len(procs) - 1}
+	case fault.SlowNode:
+		return []int{rng.Intn(n)}
 	case fault.Partition:
 		return subset(len(procs) - 2)
 	default:

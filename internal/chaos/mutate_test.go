@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/fault"
@@ -62,7 +63,11 @@ func TestNormalizeIdempotentStableJSON(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		raw := make([]byte, rng.Intn(64))
 		rng.Read(raw)
-		norm := DecodeSchedule(raw).Normalize()
+		dec, err := DecodeSchedule(raw)
+		if err != nil {
+			continue // malformed JSON-looking input: rejection is fine here
+		}
+		norm := dec.Normalize()
 		if again := norm.Normalize(); !reflect.DeepEqual(norm, again) {
 			t.Fatalf("not idempotent: %s vs %s", norm, again)
 		}
@@ -90,15 +95,35 @@ func TestDecodeScheduleJSON(t *testing.T) {
 	sched := Schedule{{Kind: fault.Drop, Targets: []int{1}, Window: Window{From: 5, To: 25},
 		Intensity: Intensity{Prob: 0.5}}}
 	raw, _ := json.Marshal(sched)
-	if got := DecodeSchedule(raw); !reflect.DeepEqual(got, sched) {
-		t.Errorf("decoded %s, want %s", got, sched)
+	if got, err := DecodeSchedule(raw); err != nil || !reflect.DeepEqual(got, sched) {
+		t.Errorf("decoded %s (err %v), want %s", got, err, sched)
 	}
 	art, _ := (&Artifact{App: "election", Seed: 5, Schedule: sched}).JSON()
-	if got := DecodeSchedule(art); !reflect.DeepEqual(got, sched) {
-		t.Errorf("artifact-wrapped decode = %s, want %s", got, sched)
+	if got, err := DecodeSchedule(art); err != nil || !reflect.DeepEqual(got, sched) {
+		t.Errorf("artifact-wrapped decode = %s (err %v), want %s", got, err, sched)
 	}
-	if got := DecodeSchedule([]byte("{broken")); got != nil {
-		t.Errorf("broken JSON decoded to %v", got)
+	if got, err := DecodeSchedule([]byte("{broken")); err == nil {
+		t.Errorf("broken JSON decoded to %v, want error", got)
+	}
+	// Opt-in kinds (Rollback/Corrupt/SlowNode) are valid in JSON schedules.
+	optIn := Schedule{
+		{Kind: fault.Corrupt, Targets: []int{0, 1}, Window: Window{From: 10, To: 60},
+			Intensity: Intensity{Prob: 0.5}},
+		{Kind: fault.SlowNode, Targets: []int{1}, Window: Window{From: 5, To: 40},
+			Intensity: Intensity{Extra: 25}},
+	}
+	raw, _ = json.Marshal(optIn)
+	if got, err := DecodeSchedule(raw); err != nil || !reflect.DeepEqual(got, optIn) {
+		t.Errorf("opt-in kinds decode = %s (err %v), want %s", got, err, optIn)
+	}
+	// Unknown kinds are rejected with a descriptive error, not silently
+	// dropped: an artifact naming a kind this binary does not know must not
+	// quietly replay as a weaker schedule.
+	bad := []byte(`[{"Kind":42,"Window":{"From":1,"To":2}}]`)
+	if got, err := DecodeSchedule(bad); err == nil {
+		t.Errorf("unknown kind decoded to %v, want error", got)
+	} else if !strings.Contains(err.Error(), "unknown fault kind") {
+		t.Errorf("unknown-kind error = %q, want mention of the bad kind", err)
 	}
 }
 

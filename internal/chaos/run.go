@@ -194,12 +194,13 @@ func (r Runner) finish(sched Schedule, s *dsim.Sim, a *runArena) *RunResult {
 	return res
 }
 
-// RunnerFor finds the registered application by name.
+// RunnerFor finds the registered application by name — matrix registry
+// first, then the scenario zoo, so zoo artifacts replay through the same
+// path as matrix ones.
 func RunnerFor(app string, buggy bool, seed int64, probe bool) (Runner, error) {
-	for _, spec := range apps.Registry() {
-		if spec.Name == app {
-			return Runner{Spec: spec, Buggy: buggy, Seed: seed, Probe: probe}, nil
-		}
+	spec, err := apps.Lookup(app)
+	if err != nil {
+		return Runner{}, fmt.Errorf("chaos: unknown application %q", app)
 	}
-	return Runner{}, fmt.Errorf("chaos: unknown application %q", app)
+	return Runner{Spec: spec, Buggy: buggy, Seed: seed, Probe: probe}, nil
 }

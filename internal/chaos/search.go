@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/apps"
+	"repro/internal/fault"
 )
 
 // Fingerprint is one run's behavioral coverage signature: the exact merged
@@ -49,6 +50,12 @@ type SearchConfig struct {
 	// Runner.Baseline); the report must be byte-identical. Used by the
 	// runtime benchmark and the path-equivalence tests.
 	Baseline bool
+	// ExtraKinds seeds the guided corpus with generated scenarios for fault
+	// kinds beyond MatrixKinds (Rollback, Corrupt, SlowNode). They are
+	// appended after the matrix seeds, so the default empty list leaves every
+	// existing search trajectory — and the pinned pre-refactor fixtures —
+	// byte-identical.
+	ExtraKinds []fault.Kind
 }
 
 // WithDefaults resolves the zero-value knobs to their documented defaults.

@@ -15,13 +15,11 @@ func fastApps() []apps.AppSpec { return apps.RegistryExcept("tokenring") }
 
 func appByName(t *testing.T, name string) apps.AppSpec {
 	t.Helper()
-	for _, s := range apps.Registry() {
-		if s.Name == name {
-			return s
-		}
+	s, err := apps.Lookup(name) // registry first, then the scenario zoo
+	if err != nil {
+		t.Fatalf("%s not registered", name)
 	}
-	t.Fatalf("%s not registered", name)
-	return apps.AppSpec{}
+	return s
 }
 
 func marshal(t *testing.T, v any) []byte {

@@ -101,7 +101,7 @@ func Shrink(sched Schedule, fails func(Schedule) bool, budget int) *ShrinkResult
 			return ok
 		})
 		switch cur[i].Kind {
-		case fault.Delay:
+		case fault.Delay, fault.SlowNode:
 			shrinkAttr(i, func(sc *Scenario) bool {
 				var ok bool
 				sc.Intensity.Extra, ok = halve(sc.Intensity.Extra, 1)
@@ -113,7 +113,7 @@ func Shrink(sched Schedule, fails func(Schedule) bool, budget int) *ShrinkResult
 				sc.Intensity.Jitter, ok = halve(sc.Intensity.Jitter, 1)
 				return ok
 			})
-		case fault.Duplicate, fault.Drop:
+		case fault.Duplicate, fault.Drop, fault.Corrupt:
 			shrinkAttr(i, func(sc *Scenario) bool {
 				if sc.Intensity.Prob/2 < 0.05 {
 					return false

@@ -283,6 +283,7 @@ const (
 	ruleDelay netRuleKind = iota
 	ruleDrop
 	ruleDup
+	ruleCorrupt
 )
 
 // netRule is a windowed, target-scoped network perturbation installed by
@@ -295,7 +296,7 @@ type netRule struct {
 	from, to uint64
 	extra    uint64  // ruleDelay: fixed extra latency
 	jitter   uint64  // ruleDelay: seeded extra in [0, jitter] — reorders
-	prob     float64 // ruleDrop / ruleDup: per-message probability
+	prob     float64 // ruleDrop / ruleDup / ruleCorrupt: per-message probability
 }
 
 // matches reports whether the rule applies to a from->to message at time t.
@@ -311,6 +312,18 @@ type skewRule struct {
 	proc     string
 	from, to uint64
 	offset   int64
+}
+
+// slowRule lags every event one process handles — inbound deliveries and
+// its own timer fires — by extra ticks during a window: a slow node
+// (resource exhaustion), as distinct from a slow link (ruleDelay, which is
+// message-scoped and matches either endpoint). Slow rules consume no
+// seeded randomness, so schedules without them leave the rng stream — and
+// therefore every existing artifact — untouched.
+type slowRule struct {
+	proc     string
+	from, to uint64
+	extra    uint64
 }
 
 // Sim is a deterministic distributed-system simulation.
@@ -333,6 +346,8 @@ type Sim struct {
 	parts    []partition
 	rules    []netRule
 	skews    []skewRule
+	slows    []slowRule
+	corrupts uint64 // payloads mutated by ruleCorrupt (not in Stats: artifact JSON is pinned)
 	msgN     uint64
 	msgIDBuf []byte                   // scratch for message-ID rendering
 	timerRec map[string]timerRecParts // cached timer-record strings/payloads
@@ -459,6 +474,8 @@ func (s *Sim) Reset(cfg Config) {
 	s.parts = s.parts[:0]
 	s.rules = s.rules[:0]
 	s.skews = s.skews[:0]
+	s.slows = s.slows[:0]
+	s.corrupts = 0
 	s.stop = false
 	clear(s.lastFIFO)
 	s.monEvery, s.monFn = 0, nil
@@ -704,6 +721,29 @@ func (s *Sim) InjectSkew(proc string, from, to uint64, offset int64) {
 	s.skews = append(s.skews, skewRule{proc: proc, from: from, to: to, offset: offset})
 }
 
+// InjectCorrupt mutates the payload of messages touching one of procs with
+// probability prob while in transit during [from, to) — seeded byzantine
+// corruption. The sender's scroll keeps the bytes it actually sent; the
+// receiver records (and handles) the corrupted copy, so per-process replay
+// reproduces the lie exactly.
+func (s *Sim) InjectCorrupt(procs []string, from, to uint64, prob float64) {
+	s.rules = append(s.rules, netRule{
+		kind: ruleCorrupt, procs: procSet(procs), from: from, to: to, prob: prob,
+	})
+}
+
+// InjectSlow lags every event proc handles — inbound deliveries and its
+// own timer fires — by extra ticks during [from, to): a slow node, as
+// distinct from a slow link (InjectDelay).
+func (s *Sim) InjectSlow(proc string, from, to, extra uint64) {
+	s.slows = append(s.slows, slowRule{proc: proc, from: from, to: to, extra: extra})
+}
+
+// Corrupted reports how many delivered payloads a corrupt rule mutated.
+// It lives outside Stats deliberately: RunResult embeds Stats in the
+// pinned artifact JSON, so Stats cannot grow fields.
+func (s *Sim) Corrupted() uint64 { return s.corrupts }
+
 // injectedDelay sums the extra latency of every delay rule matching a
 // from->to message sent at time t (jitter draws consume seeded randomness).
 func (s *Sim) injectedDelay(from, to string, t uint64) uint64 {
@@ -751,6 +791,49 @@ func (s *Sim) ruleDups(from, to string, t uint64) bool {
 		}
 	}
 	return dup
+}
+
+// ruleCorrupts reports whether a corrupt rule mutates a from->to message
+// delivered at time t. Like ruleDrops, every matching rule consumes its
+// draw so evaluation stays deterministic regardless of earlier matches.
+func (s *Sim) ruleCorrupts(from, to string, t uint64) bool {
+	hit := false
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.kind != ruleCorrupt || !r.matches(from, to, t) {
+			continue
+		}
+		if s.rng.Float64() < r.prob {
+			hit = true
+		}
+	}
+	return hit
+}
+
+// corruptPayload returns a mutated copy of payload: one seeded byte index
+// xor'd with a seeded non-zero mask, so the result always differs. The
+// original slice is never touched — it backs the sender's scroll record.
+func (s *Sim) corruptPayload(payload []byte) []byte {
+	if len(payload) == 0 {
+		return payload
+	}
+	out := append([]byte(nil), payload...)
+	i := s.rng.Intn(len(out))
+	out[i] ^= byte(1 + s.rng.Intn(255))
+	return out
+}
+
+// slowExtra sums the handler lag of every slow rule covering proc at time
+// t. No randomness is consumed: schedules without slow rules leave the
+// seeded stream byte-identical.
+func (s *Sim) slowExtra(proc string, t uint64) uint64 {
+	var d uint64
+	for _, r := range s.slows {
+		if r.proc == proc && t >= r.from && t < r.to {
+			d += r.extra
+		}
+	}
+	return d
 }
 
 // skewedNow returns proc's observed clock at time t.
@@ -865,6 +948,14 @@ func (s *Sim) deliver(ev *event) {
 		s.stats.Dropped++
 		return
 	}
+	// Byzantine corruption: the receiver records — and handles — a mutated
+	// copy; the sender's scroll (which shares ev.payload's backing array)
+	// keeps the original bytes.
+	payload := ev.payload
+	if s.ruleCorrupts(ev.from, ev.to, s.now) {
+		payload = s.corruptPayload(payload)
+		s.corrupts++
+	}
 	// Communication-induced checkpoint: save state before consuming a new
 	// message (Fig. 6).
 	if s.cfg.CICheckpoint {
@@ -880,13 +971,13 @@ func (s *Sim) deliver(ev *event) {
 	lam := p.lamport.Witness(ev.lamport)
 	if _, err := p.scroll.Append(scroll.Record{
 		Kind: scroll.KindRecv, MsgID: ev.msgID, Peer: ev.from,
-		Payload: ev.payload, Lamport: lam, Clock: p.clockSnap(),
+		Payload: payload, Lamport: lam, Clock: p.clockSnap(),
 	}); err != nil {
 		panic(fmt.Sprintf("dsim: scroll append: %v", err))
 	}
 	p.delivered++
 	s.stats.Delivered++
-	p.machine.OnMessage(p.ctx, ev.from, ev.payload)
+	p.machine.OnMessage(p.ctx, ev.from, payload)
 	// Periodic (uncoordinated) checkpoint policy.
 	if n := s.cfg.CheckpointEvery; n > 0 && (p.delivered+p.ckptSkew)%n == 0 {
 		s.takeCheckpoint(p, "", "periodic")
@@ -1323,8 +1414,10 @@ func (c *simContext) Send(to string, payload []byte) {
 			s.lastFIFO[key] = t
 		}
 		// Injected delay applies after the FIFO clamp: chaos rules may
-		// reorder a channel on purpose.
+		// reorder a channel on purpose. A slow receiver lags every
+		// delivery it handles on top of that.
 		t += s.injectedDelay(p.id, to, s.now)
+		t += s.slowExtra(to, s.now)
 		s.push(event{
 			time: t, kind: evMessage,
 			msgID: id, from: p.id, to: to, payload: body,
@@ -1342,10 +1435,11 @@ func (c *simContext) Send(to string, payload []byte) {
 	}
 }
 
-// SetTimer schedules OnTimer(name) after delay virtual ticks.
+// SetTimer schedules OnTimer(name) after delay virtual ticks. A slow node
+// lags its own timer fires too: the slowdown is per-handler, not per-link.
 func (c *simContext) SetTimer(name string, delay uint64) {
 	c.sim.push(event{
-		time: c.sim.now + delay, kind: evTimer,
+		time: c.sim.now + delay + c.sim.slowExtra(c.proc.id, c.sim.now), kind: evTimer,
 		proc: c.proc.id, timerName: name, creatorSeq: uint64(c.proc.scroll.Len()),
 	})
 }

@@ -24,8 +24,10 @@ const SearchBudget = 96
 const SearchCheckEvery = 256
 
 // searchApps returns the seeded-bug applications E10 sweeps — the full
-// registry: tokenring is affordable again under SearchCheckEvery.
-func searchApps() []apps.AppSpec { return apps.Registry() }
+// registry (tokenring is affordable again under SearchCheckEvery) plus the
+// scenario zoo, whose seeded bugs (timeout cascade, stale cache) give the
+// strategy comparison two more fault-free-manifesting targets.
+func searchApps() []apps.AppSpec { return append(apps.Registry(), apps.Zoo()...) }
 
 // RunE10 compares coverage-guided chaos search against the random matrix's
 // blind seeded sampling at an equal execution budget on the seeded-bug

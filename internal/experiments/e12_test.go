@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE12ZooAcceptance: the scenario-zoo acceptance claims — the matrix
+// rows cover both zoo workloads × both opt-in kinds, corruption (and only
+// corruption) breaks the correct cache-aside variant, mservice absorbs
+// both kinds, and the pipeline notes report a found+shrunk+replayed
+// timeout-cascade artifact repaired deterministically.
+func TestE12ZooAcceptance(t *testing.T) {
+	tbl := RunE12(true)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 apps × 2 kinds):\n%s", len(tbl.Rows), tbl.Format())
+	}
+	violating := map[string]string{}
+	for _, row := range tbl.Rows {
+		app, kind, bad := row[0], row[1], row[3]
+		violating[app+"/"+kind] = bad
+	}
+	if violating["mservice/corrupt"] != "0" || violating["mservice/slow-node"] != "0" {
+		t.Errorf("mservice should absorb both opt-in kinds: %v", violating)
+	}
+	if violating["cacheaside/slow-node"] != "0" {
+		t.Errorf("slow nodes cannot produce stale state: %v", violating)
+	}
+	if violating["cacheaside/corrupt"] == "0" {
+		t.Errorf("corruption never broke the correct cache-aside variant: %v", violating)
+	}
+	var pipeline, repaired bool
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "replay-verified") {
+			pipeline = true
+		}
+		if strings.Contains(n, "fixed=true") && strings.Contains(n, "byte-identical") {
+			repaired = true
+		}
+	}
+	if !pipeline {
+		t.Errorf("pipeline note missing or replay failed:\n%s", strings.Join(tbl.Notes, "\n"))
+	}
+	if !repaired {
+		t.Errorf("repair note missing, not fixed, or nondeterministic:\n%s", strings.Join(tbl.Notes, "\n"))
+	}
+}

@@ -91,6 +91,7 @@ func Suite(quick bool) []*Table {
 		RunE9(quick),
 		RunE10(quick),
 		RunE11(quick),
+		RunE12(quick),
 		RunAblations(quick),
 	}
 }

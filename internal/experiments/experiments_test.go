@@ -209,7 +209,7 @@ func TestSuiteQuick(t *testing.T) {
 		t.Skip("suite is slow")
 	}
 	tables := Suite(true)
-	if len(tables) != 12 {
+	if len(tables) != 13 {
 		t.Fatalf("tables = %d", len(tables))
 	}
 	for _, tbl := range tables {

@@ -42,6 +42,17 @@ type SearchBench struct {
 // JSON renders the benchmark result.
 func (b *SearchBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
 
+// Fingerprint renders the report with the fields that legitimately vary
+// across invocations — worker count and wall-clock timings — neutralized.
+// Two runs at different worker counts must produce equal fingerprints:
+// sharding is an execution detail, never a search result.
+func (b *SearchBench) Fingerprint() ([]byte, error) {
+	c := *b
+	c.Workers = 0
+	c.GuidedSeconds, c.RandomSeconds = 0, 0
+	return json.Marshal(&c)
+}
+
 // RunSearchBench runs guided search and the random baseline at the E10
 // operating point (seeded-bug applications, equal budget) and records the
 // coverage curves. The guided pass shrinks its failures, so the bench

@@ -29,7 +29,13 @@ const (
 	Drop                  // probabilistic message loss in a window
 	ClockSkew             // offset applied to one process's observed clock
 	Rollback              // deliberate rollback to the latest checkpoint (new timeline epoch)
+	Corrupt               // probabilistic deterministic payload mutation (byzantine corruption)
+	SlowNode              // per-process handler slowdown (resource exhaustion)
 )
+
+// NumKinds is one past the highest declared Kind; the exhaustiveness
+// property test iterates [0, NumKinds) and demands a stable name for each.
+const NumKinds = int(SlowNode) + 1
 
 // String returns the kind name.
 func (k Kind) String() string {
@@ -52,6 +58,10 @@ func (k Kind) String() string {
 		return "clock-skew"
 	case Rollback:
 		return "rollback"
+	case Corrupt:
+		return "corrupt"
+	case SlowNode:
+		return "slow-node"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -60,13 +70,13 @@ func (k Kind) String() string {
 // Injection is one planned fault.
 type Injection struct {
 	Kind   Kind
-	Proc   string   // Crash/Restart/ClockSkew target
-	Group  []string // Partition group A; Delay/Reorder/Duplicate/Drop targets (empty = all messages)
+	Proc   string   // Crash/Restart/ClockSkew/SlowNode target
+	Group  []string // Partition group A; Delay/Reorder/Duplicate/Drop/Corrupt targets (empty = all messages)
 	At     uint64   // virtual time (window start for windowed kinds)
 	Until  uint64   // window end for windowed kinds
-	Extra  uint64   // Delay: fixed extra latency
+	Extra  uint64   // Delay: fixed extra latency; SlowNode: per-event handler lag
 	Jitter uint64   // Reorder: seeded extra latency in [0, Jitter]
-	Prob   float64  // Duplicate/Drop: per-message probability
+	Prob   float64  // Duplicate/Drop/Corrupt: per-message probability
 	Skew   int64    // ClockSkew: observed-clock offset
 }
 
@@ -101,6 +111,15 @@ type Injector interface {
 	InjectDup(procs []string, from, to uint64, prob float64)
 	// InjectSkew offsets proc's observed clock by offset during [from, to).
 	InjectSkew(proc string, from, to uint64, offset int64)
+	// InjectCorrupt mutates matching message payloads with probability prob
+	// — a seeded deterministic byzantine corruption: which messages are hit
+	// and which byte flips are functions of the substrate seed, and the
+	// sender's scroll keeps the original bytes (only the delivery is lied to).
+	InjectCorrupt(procs []string, from, to uint64, prob float64)
+	// InjectSlow lags every event proc handles — inbound deliveries and its
+	// own timer fires — by extra ticks during [from, to): a slow node, as
+	// distinct from a slow link (InjectDelay).
+	InjectSlow(proc string, from, to, extra uint64)
 }
 
 // Apply arms every injection on the substrate's injector. Call before the
@@ -126,6 +145,10 @@ func (p *Plan) Apply(s Injector) {
 			s.InjectDrop(inj.Group, inj.At, inj.Until, inj.Prob)
 		case ClockSkew:
 			s.InjectSkew(inj.Proc, inj.At, inj.Until, inj.Skew)
+		case Corrupt:
+			s.InjectCorrupt(inj.Group, inj.At, inj.Until, inj.Prob)
+		case SlowNode:
+			s.InjectSlow(inj.Proc, inj.At, inj.Until, inj.Extra)
 		}
 	}
 }

@@ -9,10 +9,31 @@ import (
 )
 
 func TestKindString(t *testing.T) {
-	for k, want := range map[Kind]string{Crash: "crash", Restart: "restart", Partition: "partition", Kind(9): "Kind(9)"} {
+	for k, want := range map[Kind]string{Crash: "crash", Restart: "restart", Partition: "partition", Corrupt: "corrupt", SlowNode: "slow-node", Kind(99): "Kind(99)"} {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d) = %q, want %q", int(k), got, want)
 		}
+	}
+}
+
+// TestKindExhaustiveNames: every declared kind renders a stable lowercase
+// name — an unnamed kind would silently print "Kind(n)", which breaks
+// schedule artifacts and the DecodeSchedule error messages.
+func TestKindExhaustiveNames(t *testing.T) {
+	seen := map[string]Kind{}
+	for i := 0; i < NumKinds; i++ {
+		k := Kind(i)
+		name := k.String()
+		if strings.HasPrefix(name, "Kind(") {
+			t.Errorf("Kind(%d) has no declared name", i)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("Kind(%d) and Kind(%d) share the name %q", int(prev), i, name)
+		}
+		seen[name] = k
+	}
+	if name := Kind(NumKinds).String(); !strings.HasPrefix(name, "Kind(") {
+		t.Errorf("Kind(%d) = %q: NumKinds lags the enum; bump it", NumKinds, name)
 	}
 }
 

@@ -150,6 +150,51 @@ func TestRepairAllSeededBugs(t *testing.T) {
 	}
 }
 
+// TestRepairMServiceTimeoutCascade: the scenario-zoo microservice chain's
+// seeded timeout misconfiguration is knob-repairable — stretching the
+// chain's patience past the backend slow path stops the duplicate-commit
+// failover — and the report stays byte-identical across worker counts.
+// This is the case that needs ApplyKnobs to rebuild the invariants from
+// the patched config: the retry-storm limit and latency bound are derived
+// from the knob values, so a static oracle would reject every fix.
+func TestRepairMServiceTimeoutCascade(t *testing.T) {
+	a := findArtifact(t, "mservice")
+	var outs [][]byte
+	for _, workers := range []int{1, 4} {
+		cfg := quickCfg(a)
+		cfg.Workers = workers
+		rep, err := Repair(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Fixed {
+			out, _ := rep.JSON()
+			t.Fatalf("mservice not repaired (workers=%d):\n%s", workers, out)
+		}
+		if len(rep.Winner) == 0 || rep.Evidence == nil || !rep.Evidence.ReplayClean {
+			t.Fatalf("winner/evidence missing: %+v", rep)
+		}
+		moved := false
+		for _, k := range rep.Knobs {
+			if v, ok := rep.Winner[k.Name]; ok && v != k.Current {
+				moved = true
+			}
+		}
+		if !moved {
+			t.Errorf("winner %v changes nothing", rep.Winner)
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("mservice repair report differs across worker counts:\n--- w=1\n%s\n--- w=4\n%s",
+			outs[0], outs[1])
+	}
+}
+
 // TestRepairRejectsNonReproducingArtifact: a passing schedule is not a
 // counterexample; Repair must refuse rather than "fix" a non-bug.
 func TestRepairRejectsNonReproducingArtifact(t *testing.T) {

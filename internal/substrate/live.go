@@ -149,6 +149,7 @@ type LiveSubstrate struct {
 	faults  []dsim.FaultRecord
 	handler func(dsim.FaultRecord) bool
 	skews   []liveSkew
+	slows   []liveSlow
 	pending []func() // injections armed before Run, fired at start
 	ctlTims []*time.Timer
 	started bool
@@ -198,6 +199,15 @@ type liveSkew struct {
 	proc     string
 	from, to uint64
 	offset   int64
+}
+
+// liveSlow lags one process's handlers during a tick window. The delivery
+// half is enforced at the hub (ChaosNet); this list covers the event-loop
+// half — the slowed process's own timer fires.
+type liveSlow struct {
+	proc     string
+	from, to uint64
+	extra    uint64
 }
 
 // NewLive returns a live substrate. With cfg.UseTCP it starts a TCP hub on
@@ -1115,6 +1125,34 @@ func (s *LiveSubstrate) InjectDup(procs []string, from, to uint64, prob float64)
 	s.net.InjectDup(procs, from, to, prob)
 }
 
+// InjectCorrupt implements fault.Injector at the transport hub.
+func (s *LiveSubstrate) InjectCorrupt(procs []string, from, to uint64, prob float64) {
+	s.net.InjectCorrupt(procs, from, to, prob)
+}
+
+// InjectSlow implements fault.Injector: deliveries to proc are lagged at
+// the hub, and proc's own timer fires are lagged by the event loop — the
+// node is slow, not its links.
+func (s *LiveSubstrate) InjectSlow(proc string, from, to, extra uint64) {
+	s.net.InjectSlow(proc, from, to, extra)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slows = append(s.slows, liveSlow{proc: proc, from: from, to: to, extra: extra})
+}
+
+// slowExtra sums the handler lag of every slow rule covering proc at tick t.
+func (s *LiveSubstrate) slowExtra(proc string, t uint64) uint64 {
+	var d uint64
+	s.mu.Lock()
+	for _, r := range s.slows {
+		if r.proc == proc && t >= r.from && t < r.to {
+			d += r.extra
+		}
+	}
+	s.mu.Unlock()
+	return d
+}
+
 // InjectSkew implements fault.Injector: proc's Context.Now observations
 // are offset during [from, to).
 func (s *LiveSubstrate) InjectSkew(proc string, from, to uint64, offset int64) {
@@ -1254,10 +1292,12 @@ func (c *liveCtx) Send(to string, payload []byte) {
 
 // SetTimer schedules OnTimer(name) after delay ticks of wall time. The
 // arming incarnation rides along so a fire from before a restore is fenced
-// (callers hold p.mu, so the read is stable).
+// (callers hold p.mu, so the read is stable). A slow node's own timers lag
+// by the injected extra, matching the simulator's per-handler slowdown.
 func (c *liveCtx) SetTimer(name string, delay uint64) {
 	p := c.p
 	gen := p.incarnation
+	delay += p.sub.slowExtra(p.id, p.sub.Now())
 	p.pendingTimers = append(p.pendingTimers, name)
 	p.sub.activity.Add(1) // held until the timer event is handled
 	time.AfterFunc(time.Duration(delay)*p.sub.cfg.Tick, func() {

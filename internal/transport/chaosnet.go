@@ -37,26 +37,31 @@ type ChaosNet struct {
 	delivered  atomic.Uint64
 	dropped    atomic.Uint64
 	duplicated atomic.Uint64
+	corrupted  atomic.Uint64
 
 	tap func(msg Message, verdict string)
 }
 
 // chaosRule mirrors dsim's netRule: one windowed, target-scoped
 // perturbation. A rule matches a message when the send time falls in
-// [from, to) and either endpoint is in procs (empty procs = every message).
+// [from, to) and either endpoint is in procs (empty procs = every message);
+// slow-node rules additionally require the receiver to be the slowed
+// process — the lag models a busy handler, not a busy link.
 type chaosRule struct {
-	kind     int // 0 delay, 1 drop, 2 dup
+	kind     int
 	procs    map[string]bool
 	from, to uint64
-	extra    uint64
+	extra    uint64 // chaosDelay / chaosSlow: extra ticks
 	jitter   uint64
-	prob     float64
+	prob     float64 // chaosDrop / chaosDup / chaosCorrupt
 }
 
 const (
 	chaosDelay = iota
 	chaosDrop
 	chaosDup
+	chaosCorrupt
+	chaosSlow
 )
 
 // chaosPartition cuts groupA off from everyone else during [from, to).
@@ -77,8 +82,8 @@ func NewChaosNet(now func() uint64, tick time.Duration, seed int64) *ChaosNet {
 }
 
 // SetTap installs a delivery-tap callback invoked with every routed message
-// and its verdict ("deliver", "drop", "partition", "dup"). The live
-// substrate uses it to keep network stats and an injection audit trail.
+// and its verdict ("deliver", "drop", "partition", "dup", "corrupt"). The
+// live substrate uses it to keep network stats and an injection audit trail.
 func (n *ChaosNet) SetTap(tap func(msg Message, verdict string)) { n.tap = tap }
 
 // Partition splits groupA from everyone else during [from, to).
@@ -107,6 +112,21 @@ func (n *ChaosNet) InjectDrop(procs []string, from, to uint64, prob float64) {
 // [from, to); the copy takes its own delay draw.
 func (n *ChaosNet) InjectDup(procs []string, from, to uint64, prob float64) {
 	n.addRule(chaosRule{kind: chaosDup, procs: chaosSet(procs), from: from, to: to, prob: prob})
+}
+
+// InjectCorrupt mutates the payload of matching messages with probability
+// prob during [from, to) — byzantine corruption at the hub. The mutation
+// happens on a copy: the sender's scroll record shares the original
+// payload's backing array and must keep the bytes that were actually sent.
+func (n *ChaosNet) InjectCorrupt(procs []string, from, to uint64, prob float64) {
+	n.addRule(chaosRule{kind: chaosCorrupt, procs: chaosSet(procs), from: from, to: to, prob: prob})
+}
+
+// InjectSlow lags every delivery proc receives by extra ticks during
+// [from, to) — the network half of a slow node. The event-loop half (timer
+// lag) lives in the substrate, which owns the timers.
+func (n *ChaosNet) InjectSlow(proc string, from, to, extra uint64) {
+	n.addRule(chaosRule{kind: chaosSlow, procs: chaosSet([]string{proc}), from: from, to: to, extra: extra})
 }
 
 func (n *ChaosNet) addRule(r chaosRule) {
@@ -142,6 +162,9 @@ func (n *ChaosNet) Stats() (delivered, dropped, duplicated uint64) {
 	return n.delivered.Load(), n.dropped.Load(), n.duplicated.Load()
 }
 
+// Corrupted returns how many routed payloads a corrupt rule mutated.
+func (n *ChaosNet) Corrupted() uint64 { return n.corrupted.Load() }
+
 // Wrap decorates a node Transport so its sends flow through the rule set.
 // Register and Close pass through untouched.
 func (n *ChaosNet) Wrap(inner Transport) Transport {
@@ -162,9 +185,10 @@ func (n *ChaosNet) route(inner Transport, msg Message) error {
 		}
 	}
 	var (
-		delay uint64
-		dup   bool
-		drop  bool
+		delay   uint64
+		dup     bool
+		drop    bool
+		corrupt bool
 	)
 	for i := range n.rules {
 		r := &n.rules[i]
@@ -185,7 +209,25 @@ func (n *ChaosNet) route(inner Transport, msg Message) error {
 			if n.rng.Float64() < r.prob {
 				dup = true
 			}
+		case chaosCorrupt:
+			if n.rng.Float64() < r.prob {
+				corrupt = true
+			}
+		case chaosSlow:
+			// A slow node lags what it handles: only deliveries TO the
+			// slowed process, unlike delay rules which match either end.
+			if r.procs[msg.To] {
+				delay += r.extra
+			}
 		}
+	}
+	if corrupt && len(msg.Payload) > 0 {
+		// Mutate a copy: the caller's scroll record shares the original
+		// payload's backing array.
+		p := append([]byte(nil), msg.Payload...)
+		i := n.rng.Intn(len(p))
+		p[i] ^= byte(1 + n.rng.Intn(255))
+		msg.Payload = p
 	}
 	dupDelay := delay
 	if dup && delay > 0 {
@@ -199,10 +241,17 @@ func (n *ChaosNet) route(inner Transport, msg Message) error {
 					dupDelay += uint64(n.rng.Int63n(int64(r.jitter + 1)))
 				}
 			}
+			if r.kind == chaosSlow && r.matches(msg.From, msg.To, t) && r.procs[msg.To] {
+				dupDelay += r.extra
+			}
 		}
 	}
 	n.mu.Unlock()
 
+	if corrupt && len(msg.Payload) > 0 {
+		n.corrupted.Add(1)
+		n.emit(msg, "corrupt")
+	}
 	if drop {
 		n.dropped.Add(1)
 		n.emit(msg, "drop")

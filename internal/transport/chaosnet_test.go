@@ -127,6 +127,81 @@ func TestChaosNetPartition(t *testing.T) {
 	}
 }
 
+func TestChaosNetCorruptMutatesCopy(t *testing.T) {
+	net := NewChaosNet(func() uint64 { return 10 }, time.Millisecond, 1)
+	net.InjectCorrupt(nil, 0, 100, 1.0)
+	var verdicts []string
+	net.SetTap(func(_ Message, v string) { verdicts = append(verdicts, v) })
+	tr, _, b := chaosEnv(t, net)
+	orig := []byte("payload")
+	sent := append([]byte(nil), orig...)
+	if err := tr.Send(Message{From: "a", To: "b", Payload: sent}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := recvWithin(t, b, time.Second)
+	if !ok {
+		t.Fatal("corrupted message never arrived")
+	}
+	if string(m.Payload) == string(orig) {
+		t.Fatal("payload survived a p=1.0 corrupt rule unmutated")
+	}
+	if len(m.Payload) != len(orig) {
+		t.Errorf("corruption changed the length: %d vs %d", len(m.Payload), len(orig))
+	}
+	// The mutation happened on a copy: the sender's buffer is untouched.
+	if string(sent) != string(orig) {
+		t.Errorf("sender's payload buffer was mutated in place: %q", sent)
+	}
+	if net.Corrupted() != 1 {
+		t.Errorf("corrupted = %d, want 1", net.Corrupted())
+	}
+	if len(verdicts) != 2 || verdicts[0] != "corrupt" || verdicts[1] != "deliver" {
+		t.Errorf("verdicts = %v, want [corrupt deliver]", verdicts)
+	}
+}
+
+func TestChaosNetCorruptSkipsEmptyPayload(t *testing.T) {
+	net := NewChaosNet(func() uint64 { return 10 }, time.Millisecond, 1)
+	net.InjectCorrupt(nil, 0, 100, 1.0)
+	tr, _, b := chaosEnv(t, net)
+	if err := tr.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, b, time.Second); !ok {
+		t.Fatal("empty-payload message never arrived")
+	}
+	if net.Corrupted() != 0 {
+		t.Errorf("corrupted = %d, want 0 for empty payloads", net.Corrupted())
+	}
+}
+
+func TestChaosNetSlowLagsOnlyReceiver(t *testing.T) {
+	net := NewChaosNet(func() uint64 { return 10 }, 5*time.Millisecond, 1)
+	net.InjectSlow("b", 0, 100, 40) // 40 ticks × 5ms = 200ms, deliveries to b only
+	tr, a, b := chaosEnv(t, net)
+	start := time.Now()
+	if err := tr.Send(Message{From: "a", To: "b", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if net.InFlight() != 1 {
+		t.Errorf("in-flight = %d, want 1", net.InFlight())
+	}
+	// Traffic FROM the slow node is not lagged: the rule models a busy
+	// handler, not a busy link.
+	if err := tr.Send(Message{From: "b", To: "a", Payload: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, a, time.Second); !ok {
+		t.Fatal("message from the slow node was lagged")
+	}
+	if _, ok := recvWithin(t, b, 5*time.Second); !ok {
+		t.Fatal("delivery to the slow node never arrived")
+	}
+	if took := time.Since(start); took < 100*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~200ms of slow-node lag", took)
+	}
+}
+
 func TestChaosNetTap(t *testing.T) {
 	net := NewChaosNet(func() uint64 { return 10 }, time.Millisecond, 1)
 	var verdicts []string
