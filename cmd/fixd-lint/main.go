@@ -1,0 +1,91 @@
+// Command fixd-lint runs FixD's determinism-safety static analysis suite
+// (internal/analysis): detwall, detmaprange, detgoroutine, kindswitch,
+// and scrollrecord.
+//
+// Usage:
+//
+//	fixd-lint [-C dir] [-json] [packages...]
+//
+// Packages default to ./... relative to the module root (found by walking
+// up from -C, default the working directory, to the nearest go.mod).
+// Patterns are ./... style recursive patterns or plain directories;
+// naming a testdata fixture directory runs that fixture's analyzer, which
+// is how CI asserts the suite still fails on seeded-dirty code.
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("fixd-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+	chdir := fs.String("C", ".", "directory to resolve the module root from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot(*chdir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-lint:", err)
+		return 2
+	}
+	suite, err := analysis.NewSuite(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-lint:", err)
+		return 2
+	}
+	diags, err := suite.Run(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixd-lint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "fixd-lint:", err)
+			return 2
+		}
+	} else {
+		analysis.WriteText(os.Stdout, root, diags)
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "fixd-lint: %d issue(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest directory holding a
+// go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// TestExitCodes pins the CLI contract CI depends on: 0 on clean trees,
+// 1 when diagnostics are found (the negative smoke on the dirty
+// fixture), 2 on operational errors.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"dirty fixture fails", []string{"-C", "../..", "./internal/analysis/testdata/src/detwall/dirty"}, 1},
+		{"clean fixture passes", []string{"-C", "../..", "./internal/analysis/testdata/src/detwall/clean"}, 0},
+		{"dirty fixture fails with -json", []string{"-json", "-C", "../..", "./internal/analysis/testdata/src/kindswitch/dirty"}, 1},
+		{"bad flag is operational error", []string{"-definitely-not-a-flag"}, 2},
+		{"missing directory is operational error", []string{"-C", "../..", "./no/such/dir"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

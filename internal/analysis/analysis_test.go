@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// moduleRoot is the repo root (this package lives at internal/analysis).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root %s: %v", root, err)
+	}
+	return root
+}
+
+// sharedSuite reuses one Loader across all tests in this package: the
+// source importer's stdlib type-checking dominates load time, and the
+// cache makes every fixture after the first load in milliseconds.
+var (
+	suiteOnce sync.Once
+	suiteVal  *Suite
+	suiteErr  error
+)
+
+func sharedSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() {
+		root, err := filepath.Abs("../..")
+		if err != nil {
+			suiteErr = err
+			return
+		}
+		suiteVal, suiteErr = NewSuite(root)
+	})
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return suiteVal
+}
+
+var fixtureAnalyzers = []string{"detwall", "detmaprange", "detgoroutine", "kindswitch", "scrollrecord"}
+
+// TestDirtyFixtures runs each analyzer's intentionally-dirty fixture and
+// compares the diagnostics against the committed golden file. A silent
+// pass on dirty code means the analyzer has stopped working — the
+// meta-bug this test exists to catch.
+func TestDirtyFixtures(t *testing.T) {
+	root := moduleRoot(t)
+	suite := sharedSuite(t)
+	for _, name := range fixtureAnalyzers {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("internal", "analysis", "testdata", "src", name, "dirty")
+			diags, err := suite.Run(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diags) == 0 {
+				t.Fatalf("%s produced no diagnostics on its dirty fixture", name)
+			}
+			var buf bytes.Buffer
+			WriteText(&buf, root, diags)
+			got := strings.TrimSpace(buf.String())
+			goldenPath := filepath.Join(root, dir, "expect.txt")
+			golden, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := strings.TrimSpace(string(golden))
+			if got != want {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestCleanFixtures runs each analyzer's clean twin — same shape as the
+// dirty fixture with the determinism-safe idiom — and requires silence.
+// A diagnostic here is a false positive that would teach people to
+// scatter annotations.
+func TestCleanFixtures(t *testing.T) {
+	suite := sharedSuite(t)
+	for _, name := range fixtureAnalyzers {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("internal", "analysis", "testdata", "src", name, "clean")
+			diags, err := suite.Run(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diags) != 0 {
+				root := moduleRoot(t)
+				var buf bytes.Buffer
+				WriteText(&buf, root, diags)
+				t.Errorf("clean fixture produced diagnostics:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+// TestRepoClean is the merge gate satellite: the suite must exit clean on
+// the repository itself. Every intentional wall-clock read and
+// scroll-free Context method is annotated; anything new that trips an
+// analyzer is either a real determinism bug or a site that needs an
+// audited annotation.
+func TestRepoClean(t *testing.T) {
+	root := moduleRoot(t)
+	suite := sharedSuite(t)
+	diags, err := suite.Run("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		var buf bytes.Buffer
+		WriteText(&buf, root, diags)
+		t.Errorf("fixd-lint is not clean on the repo:\n%s", buf.String())
+	}
+}
+
+// TestWriteJSON checks the -json shape: module-relative file paths and
+// the file/line/col/analyzer/message fields tooling keys on.
+func TestWriteJSON(t *testing.T) {
+	root := moduleRoot(t)
+	suite := sharedSuite(t)
+	diags, err := suite.Run(filepath.Join("internal", "analysis", "testdata", "src", "detwall", "dirty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	var out []JSONDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != len(diags) {
+		t.Fatalf("JSON has %d entries, want %d", len(out), len(diags))
+	}
+	first := out[0]
+	if first.File != "internal/analysis/testdata/src/detwall/dirty/dirty.go" {
+		t.Errorf("File = %q, want module-relative fixture path", first.File)
+	}
+	if first.Line == 0 || first.Col == 0 {
+		t.Errorf("Line/Col = %d/%d, want positioned", first.Line, first.Col)
+	}
+	if first.Analyzer != "detwall" {
+		t.Errorf("Analyzer = %q, want detwall", first.Analyzer)
+	}
+	if first.Message == "" {
+		t.Error("Message is empty")
+	}
+}
+
+// TestAnnotationValidation pins the escape-hatch contract: a reasonless
+// annotation is itself a diagnostic and does not suppress, so escapes
+// cannot rot into unaudited blanket waivers.
+func TestAnnotationValidation(t *testing.T) {
+	suite := sharedSuite(t)
+	diags, err := suite.Run(filepath.Join("internal", "analysis", "testdata", "src", "detwall", "dirty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var annCount, detwallOnAnnLine int
+	for _, d := range diags {
+		if d.Analyzer == "annotation" {
+			annCount++
+			for _, e := range diags {
+				if e.Analyzer == "detwall" && e.Pos.Line == d.Pos.Line {
+					detwallOnAnnLine++
+				}
+			}
+		}
+	}
+	if annCount != 1 {
+		t.Errorf("want exactly 1 reasonless-annotation diagnostic, got %d", annCount)
+	}
+	if detwallOnAnnLine != 1 {
+		t.Errorf("reasonless //fixd:wallclock must not suppress: want the detwall diagnostic on its line, got %d", detwallOnAnnLine)
+	}
+}

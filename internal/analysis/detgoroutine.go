@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detgoroutine forbids concurrency constructs inside the single-threaded
+// simulation core (internal/dsim): go statements, channel makes/sends/
+// receives, select, and sync/sync/atomic primitives. Machine execution is
+// deterministic precisely because exactly one event handler runs at a
+// time in virtual-time order; a goroutine or channel in that path would
+// hand scheduling back to the Go runtime and break byte-identical replay.
+// The chaos worker pools and the live backend are outside this scope on
+// purpose — their concurrency is proven safe by merge-order determinism
+// tests, not forbidden.
+var Detgoroutine = &Analyzer{
+	Name: "detgoroutine",
+	Doc:  "forbid goroutines, channels, select, and sync primitives in the simulation core",
+	Run:  runDetgoroutine,
+}
+
+func runDetgoroutine(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in the simulation core — machine execution must stay single-threaded for deterministic replay")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in the simulation core — events flow through the deterministic queue, not channels")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select in the simulation core — runtime-picked cases are unordered and break replay")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in the simulation core — events flow through the deterministic queue, not channels")
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+							if t := pass.Info.TypeOf(n.Args[0]); t != nil {
+								if _, isChan := t.Underlying().(*types.Chan); isChan {
+									pass.Reportf(n.Pos(), "make(chan) in the simulation core — events flow through the deterministic queue, not channels")
+								}
+							}
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if path, name, ok := selectorPkgFunc(pass.Info, n); ok {
+					if path == "sync" || path == "sync/atomic" {
+						pass.Reportf(n.Pos(), "%s.%s in the simulation core — cross-goroutine synchronization implies concurrency the simulator must not have", lastPathElem(path), name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("repro/internal/dsim")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, with comments
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-internal imports are resolved against the
+// module root, everything else (the standard library) through go/importer's
+// source importer. The module stays zero-dep — no go/packages, no vendoring.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*Package       // loaded module packages by import path
+	deps  map[string]*types.Package // resolved imports by path (module + std)
+}
+
+// NewLoader returns a loader rooted at the module directory containing
+// go.mod. The module path is read from go.mod's module directive.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: module root %s: %w", abs, err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: abs,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      make(map[string]*Package),
+		deps:       make(map[string]*types.Package),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer: module-internal paths load from the
+// module tree, everything else delegates to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.deps[path]; ok {
+		return p, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.ModuleRoot, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	p, err := l.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.deps[path] = p
+	return p, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path. Results are cached by import path, so diamond
+// imports type-check once. Test files are excluded: the analyzers guard
+// production code; tests legitimately use wall clocks and goroutines.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: %s: no buildable Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = pkg
+	l.deps[path] = tpkg
+	return pkg, nil
+}
+
+// Load resolves the given patterns into packages. Supported patterns:
+// "./..." (every package under the module root), "./dir/..." (every
+// package under dir), and plain directories ("./internal/dsim",
+// "internal/dsim"). Recursive patterns skip testdata, hidden, and
+// vendor directories; naming a testdata directory explicitly loads it —
+// that is how the CLI and CI point the suite at dirty fixtures.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			expanded, err := l.expand(l.ModuleRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range expanded {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.ModuleRoot, strings.TrimSuffix(pat, "/..."))
+			expanded, err := l.expand(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range expanded {
+				add(d)
+			}
+		default:
+			d := pat
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(l.ModuleRoot, pat)
+			}
+			add(filepath.Clean(d))
+		}
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// expand walks root collecting every directory holding at least one
+// non-test Go file, skipping testdata, vendor, and hidden directories.
+func (l *Loader) expand(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				out = append(out, p)
+				break
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module root %s", dir, l.ModuleRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}

@@ -1,0 +1,21 @@
+// Package clean is the silent twin of the detgoroutine dirty fixture:
+// the same fan-out computed single-threaded in deterministic order.
+package clean
+
+// Fan sums work sequentially — the simulation core's only legal shape.
+func Fan(work []int) int {
+	sum := 0
+	for _, w := range work {
+		sum += w
+	}
+	return sum
+}
+
+// Queue models event dispatch with a slice, not a channel.
+func Queue(events []string) []string {
+	out := make([]string, 0, len(events))
+	for _, e := range events {
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package dirty seeds concurrency constructs for the detgoroutine
+// fixture: everything here would hand machine scheduling to the Go
+// runtime and break byte-identical replay.
+package dirty
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fan runs work on goroutines coordinated by channels and sync — all of
+// it forbidden in the simulation core.
+func Fan(work []int) int {
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	var total uint64
+	for _, w := range work {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			atomic.AddUint64(&total, uint64(w))
+			ch <- w
+		}(w)
+	}
+	sum := 0
+	for range work {
+		sum += <-ch
+	}
+	wg.Wait()
+	return sum + int(total)
+}
+
+// Pick lets the runtime choose a case — unordered, unreplayable.
+func Pick(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

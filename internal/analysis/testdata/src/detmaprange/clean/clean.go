@@ -1,0 +1,29 @@
+// Package clean is the silent twin of the detmaprange dirty fixture:
+// the collect-keys-then-sort idiom and order-insensitive per-key writes.
+package clean
+
+import "sort"
+
+// Sorted iterates keys in deterministic order — the one safe idiom.
+func Sorted(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Copy builds fresh per-key value copies — no cross-iteration
+// accumulation, so map order cannot leak into the result.
+func Copy(m map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(m))
+	for k, v := range m {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package dirty seeds the classic digest-divergence bug for the
+// detmaprange fixture: map iteration feeding order-sensitive sinks.
+package dirty
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Flatten appends map values in iteration order — Go randomizes that
+// order, so the slice differs across runs.
+func Flatten(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Dump marshals and prints entries in iteration order.
+func Dump(w io.Writer, m map[string]string) {
+	for k, v := range m {
+		b, _ := json.Marshal(v)
+		fmt.Fprintf(w, "%s=%s\n", k, b)
+	}
+}

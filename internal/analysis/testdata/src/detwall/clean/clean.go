@@ -1,0 +1,26 @@
+// Package clean is the silent twin of the detwall dirty fixture: seeded
+// randomness, injected time, and a properly annotated intentional read.
+// The suite must emit zero diagnostics here.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seeded draws from an explicitly seeded source — allowed: the seed is an
+// input, so the stream is reproducible.
+func Seeded(seed int64) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	return uint64(r.Int63())
+}
+
+// Elapsed computes with injected instants instead of reading the clock.
+func Elapsed(from, to time.Time) time.Duration {
+	return to.Sub(from)
+}
+
+// Annotated reads the clock intentionally, with an audited reason.
+func Annotated() int64 {
+	return time.Now().UnixNano() //fixd:wallclock fixture: audited intentional wall read
+}

@@ -1,0 +1,28 @@
+// Package dirty is an intentionally nondeterministic detwall fixture:
+// every ambient read below must be flagged. The meta-test in
+// internal/analysis compares the suite's output against expect.txt, and
+// CI runs fixd-lint on this package asserting a non-zero exit.
+package dirty
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Stamp reads ambient inputs the deterministic core must never touch.
+func Stamp() string {
+	t := time.Now()
+	n := rand.Intn(10)
+	host := os.Getenv("HOSTNAME")
+	cpus := runtime.NumCPU()
+	time.Sleep(time.Millisecond)
+	return t.String() + host + string(rune('0'+n)) + string(rune('0'+cpus%10))
+}
+
+// Bare reads the clock under an annotation missing its reason — the
+// annotation is itself a diagnostic and must NOT suppress the read.
+func Bare() int64 {
+	return time.Now().UnixNano() //fixd:wallclock
+}

@@ -1,0 +1,28 @@
+// Package clean is the silent twin of the kindswitch dirty fixture: one
+// switch made safe by a default clause, one by exhaustive cases.
+package clean
+
+import "repro/internal/fault"
+
+// Describe handles every future Kind through its default clause.
+func Describe(k fault.Kind) string {
+	switch k {
+	case fault.Crash:
+		return "crash"
+	default:
+		return "other"
+	}
+}
+
+// Message reports whether a kind acts on individual messages, listing
+// every constant explicitly.
+func Message(k fault.Kind) bool {
+	switch k {
+	case fault.Delay, fault.Reorder, fault.Duplicate, fault.Drop, fault.Corrupt:
+		return true
+	case fault.Crash, fault.Restart, fault.Partition, fault.ClockSkew,
+		fault.Rollback, fault.SlowNode:
+		return false
+	}
+	return false
+}

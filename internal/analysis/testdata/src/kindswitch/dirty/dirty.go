@@ -1,0 +1,18 @@
+// Package dirty seeds non-exhaustive enum switches for the kindswitch
+// fixture — the PR 9 rollout hazard (a new fault.Kind silently skipped by
+// an unupdated switch) reproduced in miniature.
+package dirty
+
+import "repro/internal/fault"
+
+// Describe covers two kinds, no default: every other Kind falls through
+// silently, which is exactly what kindswitch exists to catch.
+func Describe(k fault.Kind) string {
+	switch k {
+	case fault.Crash:
+		return "crash"
+	case fault.Delay:
+		return "delay"
+	}
+	return "unhandled"
+}

@@ -51,9 +51,9 @@ var (
 	chaosTwoPCCfg    = TwoPCConfig{Participants: 3}
 	chaosTwoPCBugCfg = TwoPCConfig{Participants: 2, NoVoters: []int{1}, SlowVoters: []int{1},
 		Timeout: 10, VoteDelay: 100, Buggy: true}
-	chaosKVCfg       = KVConfig{Replicas: 2, Writes: 15, Keys: 3}
-	chaosKVBugCfg    = KVConfig{Replicas: 2, Writes: 30, Keys: 2, Buggy: true}
-	chaosElectCfg    = ElectionConfig{N: 5}
+	chaosKVCfg    = KVConfig{Replicas: 2, Writes: 15, Keys: 3}
+	chaosKVBugCfg = KVConfig{Replicas: 2, Writes: 30, Keys: 2, Buggy: true}
+	chaosElectCfg = ElectionConfig{N: 5}
 	// ReElectTimeout 6 is shorter than announcement propagation (the winning
 	// candidacy alone needs N latency hops), so the buggy premature
 	// re-election splits the ring on every seed; repair (internal/repair)

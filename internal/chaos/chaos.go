@@ -97,6 +97,9 @@ func (sc Scenario) String() string {
 		fmt.Fprintf(&b, "(%+d)", sc.Intensity.Skew)
 	case fault.SlowNode:
 		fmt.Fprintf(&b, "(+%d)", sc.Intensity.Extra)
+	case fault.Crash, fault.Restart, fault.Partition, fault.Rollback:
+		// No intensity to print: these kinds are fully described by
+		// window and targets.
 	}
 	fmt.Fprintf(&b, "@[%d,%d)", sc.Window.From, sc.Window.To)
 	if len(sc.Targets) > 0 {
@@ -180,6 +183,10 @@ func (s Schedule) Compile(procs []string) *fault.Plan {
 				add(fault.Injection{Kind: fault.SlowNode, Proc: p,
 					At: sc.Window.From, Until: sc.Window.To, Extra: sc.Intensity.Extra})
 			}
+		case fault.Restart:
+			// Restart is not a scenario kind: it exists only as the
+			// compiled second half of a Crash scenario, and DecodeSchedule's
+			// validScenarioKind rejects it before a schedule reaches here.
 		}
 	}
 	return plan
@@ -228,6 +235,9 @@ func Generate(kind fault.Kind, procs []string, crashable []int, horizon uint64, 
 		// starts and ends — both edges are detectable regressions.
 		from := 5 + uint64(rng.Int63n(25))
 		sc.Window = Window{From: from, To: from + 20 + uint64(rng.Int63n(40))}
+	case fault.Restart:
+		// Not a scenario kind: Generate is only called with matrix or
+		// ExtraKinds members, never Restart (compiled from Crash).
 	}
 	sc.Targets = pickTargets(rng, kind, procs, crashable)
 	switch kind {
@@ -253,6 +263,8 @@ func Generate(kind fault.Kind, procs []string, crashable []int, horizon uint64, 
 			off = -off
 		}
 		sc.Intensity.Skew = off
+	case fault.Crash, fault.Restart, fault.Partition, fault.Rollback:
+		// No intensity dimension: window and targets say it all.
 	}
 	return sc
 }

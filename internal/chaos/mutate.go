@@ -32,7 +32,7 @@ const (
 // explicitly, and mutation must not normalize them away when it splices
 // such a schedule.
 func validScenarioKind(k fault.Kind) bool {
-	switch k {
+	switch k { //fixd:nondeterm membership test: kinds not listed fall through to the MatrixKinds scan below
 	case fault.Rollback, fault.Corrupt, fault.SlowNode:
 		return true
 	}
@@ -124,6 +124,8 @@ func (s Schedule) Normalize() Schedule {
 				sk = -maxSkewAbs
 			}
 			n.Intensity.Skew = sk
+		case fault.Crash, fault.Restart, fault.Partition, fault.Rollback:
+			// No intensity fields to clamp; n.Intensity stays zero.
 		}
 		out = append(out, n)
 	}
@@ -178,11 +180,20 @@ func DecodeSchedule(data []byte) (Schedule, error) {
 		case fault.Reorder:
 			sc.Intensity.Extra = uint64(b[5])
 			sc.Intensity.Jitter = uint64(b[6])
-		case fault.Duplicate, fault.Drop:
+		case fault.Duplicate, fault.Drop, fault.Corrupt:
 			sc.Intensity.Prob = float64(b[5]) / 255
 		case fault.ClockSkew:
 			sc.Intensity.Skew = int64(b[5]) - 128
+		case fault.SlowNode:
+			sc.Intensity.Extra = uint64(b[5])
+		case fault.Crash, fault.Restart, fault.Partition, fault.Rollback:
+			// No intensity bytes to decode.
 		}
+		// Corrupt and SlowNode are unreachable today — the kind byte maps
+		// onto MatrixKinds only — but the PR 9 rollout left their intensity
+		// decode missing here, which would have silently produced zero
+		// probability/lag the day either joins the binary form. fixd-lint's
+		// kindswitch analyzer found the gap.
 		s = append(s, sc)
 	}
 	return s, nil

@@ -130,6 +130,10 @@ func Shrink(sched Schedule, fails func(Schedule) bool, budget int) *ShrinkResult
 				sc.Intensity.Skew = s
 				return true
 			})
+		case fault.Restart:
+			// Restart is not a scenario kind: Compile emits it from Crash
+			// windows and validScenarioKind rejects it, so shrink never
+			// sees one. Listed so kindswitch keeps this table exhaustive.
 		case fault.Crash, fault.Partition, fault.Rollback:
 			// No intensity to shrink; the remaining attribute is onset. Halve
 			// Window.From toward the run's start, keeping the length, so a

@@ -25,7 +25,7 @@ func (m *stamper) OnMessage(ctx Context, _ string, payload []byte) {
 	m.st.MsgAt = ctx.Now()
 	m.st.Got = string(payload)
 }
-func (m *stamper) OnTimer(ctx Context, _ string) { m.st.TimerAt = ctx.Now() }
+func (m *stamper) OnTimer(ctx Context, _ string)    { m.st.TimerAt = ctx.Now() }
 func (m *stamper) OnRollback(Context, RollbackInfo) {}
 
 func TestInjectCorruptMutatesReceiverCopy(t *testing.T) {

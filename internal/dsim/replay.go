@@ -44,6 +44,7 @@ func (c *replayCtx) fail(err error) {
 
 func (c *replayCtx) Self() string { return c.id }
 
+//fixd:nondeterm replayer consumes scroll records instead of producing them
 func (c *replayCtx) Now() uint64 {
 	rec, err := c.rp.Next(scroll.KindTime)
 	if err != nil {
@@ -53,6 +54,7 @@ func (c *replayCtx) Now() uint64 {
 	return binary.LittleEndian.Uint64(rec.Payload)
 }
 
+//fixd:nondeterm replayer consumes scroll records instead of producing them
 func (c *replayCtx) Random() uint64 {
 	rec, err := c.rp.Next(scroll.KindRandom)
 	if err != nil {
@@ -62,6 +64,7 @@ func (c *replayCtx) Random() uint64 {
 	return binary.LittleEndian.Uint64(rec.Payload)
 }
 
+//fixd:nondeterm replayer consumes scroll records instead of producing them
 func (c *replayCtx) Send(to string, payload []byte) {
 	if err := c.rp.ExpectSend(to, payload); err != nil {
 		c.fail(err)
@@ -75,6 +78,8 @@ func (c *replayCtx) Heap() *checkpoint.Heap { return c.heap }
 // DurablePut verifies the re-executed write against the recorded one —
 // like ExpectSend, a differing durable write means the replay took a
 // different path than the original run.
+//
+//fixd:nondeterm replayer consumes scroll records instead of producing them
 func (c *replayCtx) DurablePut(key string, value []byte) {
 	rec, err := c.rp.Next(scroll.KindEnv)
 	if err != nil {
@@ -88,6 +93,8 @@ func (c *replayCtx) DurablePut(key string, value []byte) {
 }
 
 // DurableGet feeds the recorded read outcome back.
+//
+//fixd:nondeterm replayer consumes scroll records instead of producing them
 func (c *replayCtx) DurableGet(key string) ([]byte, bool) {
 	rec, err := c.rp.Next(scroll.KindEnv)
 	if err != nil {
@@ -108,6 +115,8 @@ func (c *replayCtx) DurableGet(key string) ([]byte, bool) {
 }
 
 // DurableKeys feeds the recorded key list back.
+//
+//fixd:nondeterm replayer consumes scroll records instead of producing them
 func (c *replayCtx) DurableKeys() []string {
 	rec, err := c.rp.Next(scroll.KindEnv)
 	if err != nil {

@@ -42,14 +42,14 @@ func RunChaosBench(workers int) *ChaosBench {
 	}
 	cfg := chaos.MatrixConfig{Seeds: seeds}
 
-	t0 := time.Now()
+	t0 := time.Now() //fixd:wallclock harness timing: measures real runtime, never feeds digests
 	seq := chaos.RunMatrix(cfg)
-	seqDur := time.Since(t0)
+	seqDur := time.Since(t0) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 
 	cfg.Workers = workers
-	t1 := time.Now()
+	t1 := time.Now() //fixd:wallclock harness timing: measures real runtime, never feeds digests
 	shard := chaos.RunMatrix(cfg)
-	shardDur := time.Since(t1)
+	shardDur := time.Since(t1) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 
 	b := &ChaosBench{
 		Cells:             len(seq.Cells),

@@ -29,9 +29,9 @@ func RunE7(quick bool) *Table {
 	prevStates := 0
 	for _, n := range sizes {
 		root, engine := mutexModel(n)
-		start := time.Now()
+		start := time.Now() //fixd:wallclock harness timing: measures real runtime, never feeds digests
 		res := engine.Explore(root, modeld.Options{Strategy: modeld.BFS, MaxStates: 2_000_000})
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 		growth := 0.0
 		if prevStates > 0 {
 			growth = float64(res.StatesVisited) / float64(prevStates)

@@ -67,9 +67,9 @@ func RunFleetBench(workers int, quick bool) (*FleetBench, error) {
 	cfg := chaos.SearchConfig{Apps: searchApps(), Seed: 1, Budget: budget,
 		Workers: workers, CheckEvery: SearchCheckEvery}
 
-	t0 := time.Now()
+	t0 := time.Now() //fixd:wallclock harness timing: measures real runtime, never feeds digests
 	base := chaos.Search(cfg)
-	baseDur := time.Since(t0)
+	baseDur := time.Since(t0) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 	want, err := json.Marshal(base)
 	if err != nil {
 		return nil, err
@@ -85,12 +85,12 @@ func RunFleetBench(workers int, quick bool) (*FleetBench, error) {
 	b.Shapes, b.Digests = base.Totals()
 
 	for _, n := range []int{1, 2, 4} {
-		t1 := time.Now()
+		t1 := time.Now() //fixd:wallclock harness timing: measures real runtime, never feeds digests
 		rep, err := fleet.Search(fleet.Config{Search: cfg, Workers: n})
 		if err != nil {
 			return nil, fmt.Errorf("fleet bench: %d workers: %w", n, err)
 		}
-		dur := time.Since(t1)
+		dur := time.Since(t1) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 		got, err := json.Marshal(rep)
 		if err != nil {
 			return nil, err

@@ -59,12 +59,12 @@ func RunRepairBench(workers int, quick bool) (*RepairBench, error) {
 		}
 		cfg := repairConfig(a, quick)
 		cfg.Workers = workers
-		start := time.Now()
+		start := time.Now() //fixd:wallclock harness timing: measures real runtime, never feeds digests
 		rep, err := repair.Repair(cfg)
 		if err != nil {
 			return nil, err
 		}
-		dur := time.Since(start)
+		dur := time.Since(start) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 		out, err := rep.JSON()
 		if err != nil {
 			return nil, err

@@ -66,9 +66,9 @@ func runtimeSearchCfg(baseline bool) chaos.SearchConfig {
 // timeOnce times one collected-heap execution of fn.
 func timeOnce(fn func()) time.Duration {
 	runtime.GC()
-	t0 := time.Now()
+	t0 := time.Now() //fixd:wallclock harness timing: measures real runtime, never feeds digests
 	fn()
-	return time.Since(t0)
+	return time.Since(t0) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 }
 
 // measurePair times the new and old paths over interleaved reps — the two
@@ -179,14 +179,14 @@ func RunRuntimeBench(workers, reps int, quick bool) *RuntimeBench {
 	var beforeTimes, afterTimes []time.Duration
 	for _, kind := range kinds {
 		sched := chaos.Schedule{chaos.Generate(kind, runner.Procs(), runner.Crashable(), runner.Spec.Horizon, 1)}
-		t0 := time.Now()
+		t0 := time.Now() //fixd:wallclock harness timing: measures real runtime, never feeds digests
 		runner.Run(sched)
-		beforeTimes = append(beforeTimes, time.Since(t0))
+		beforeTimes = append(beforeTimes, time.Since(t0)) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 		fast := runner
 		fast.CheckEvery = SearchCheckEvery
-		t1 := time.Now()
+		t1 := time.Now() //fixd:wallclock harness timing: measures real runtime, never feeds digests
 		fast.Run(sched)
-		afterTimes = append(afterTimes, time.Since(t1))
+		afterTimes = append(afterTimes, time.Since(t1)) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 	}
 	b.TokenringBeforeMedianMs = medianMs(beforeTimes)
 	b.TokenringAfterMedianMs = medianMs(afterTimes)

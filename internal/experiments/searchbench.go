@@ -61,15 +61,15 @@ func RunSearchBench(workers int) *SearchBench {
 	cfg := chaos.SearchConfig{Apps: searchApps(), Buggy: true, Seed: 1,
 		Budget: SearchBudget, Workers: workers, CheckEvery: SearchCheckEvery}
 
-	t0 := time.Now()
+	t0 := time.Now() //fixd:wallclock harness timing: measures real runtime, never feeds digests
 	guided := chaos.Search(cfg)
-	guidedDur := time.Since(t0)
+	guidedDur := time.Since(t0) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 
 	rcfg := cfg
 	rcfg.ShrinkBudget = -1 // the baseline only measures coverage
-	t1 := time.Now()
+	t1 := time.Now()       //fixd:wallclock harness timing: measures real runtime, never feeds digests
 	random := chaos.RandomSearch(rcfg)
-	randomDur := time.Since(t1)
+	randomDur := time.Since(t1) //fixd:wallclock harness timing: measures real runtime, never feeds digests
 
 	b := &SearchBench{
 		Seed: cfg.Seed, Budget: SearchBudget, Workers: workers,

@@ -169,15 +169,20 @@ func (c *sandboxCtx) Self() string { return c.self }
 
 // Now returns a logical step counter: the investigation abstracts real
 // time away (actions may fire "any time", §4.3).
+//
+//fixd:nondeterm sandbox models effects locally; no scroll exists during investigation
 func (c *sandboxCtx) Now() uint64 { return c.step }
 
 // Random returns a deterministic stream — an environment model standing in
 // for the recorded randomness (substituting recorded randomness for live draws).
+//
+//fixd:nondeterm sandbox models effects locally; no scroll exists during investigation
 func (c *sandboxCtx) Random() uint64 {
 	c.randSeq = c.randSeq*6364136223846793005 + 1442695040888963407
 	return c.randSeq
 }
 
+//fixd:nondeterm sandbox models effects locally; no scroll exists during investigation
 func (c *sandboxCtx) Send(to string, payload []byte) {
 	c.sends = append(c.sends, Msg{From: c.self, To: to, Payload: append([]byte(nil), payload...)})
 }
@@ -195,6 +200,8 @@ func (c *sandboxCtx) Heap() *checkpoint.Heap { return c.heap }
 // in a handler-local overlay. The overlay is not part of the explored
 // state space — the investigator explores message/timer interleavings,
 // not crash-recovery paths.
+//
+//fixd:nondeterm sandbox models effects locally; no scroll exists during investigation
 func (c *sandboxCtx) DurablePut(key string, value []byte) {
 	if c.durable == nil {
 		c.durable = make(map[string][]byte)
@@ -202,6 +209,7 @@ func (c *sandboxCtx) DurablePut(key string, value []byte) {
 	c.durable[key] = append([]byte(nil), value...)
 }
 
+//fixd:nondeterm sandbox models effects locally; no scroll exists during investigation
 func (c *sandboxCtx) DurableGet(key string) ([]byte, bool) {
 	v, ok := c.durable[key]
 	if !ok {
@@ -213,6 +221,7 @@ func (c *sandboxCtx) DurableGet(key string) ([]byte, bool) {
 	return append([]byte(nil), v...), true
 }
 
+//fixd:nondeterm sandbox models effects locally; no scroll exists during investigation
 func (c *sandboxCtx) DurableKeys() []string {
 	seen := make(map[string]bool, len(c.durable)+len(c.base))
 	keys := make([]string, 0, len(c.durable)+len(c.base))

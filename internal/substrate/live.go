@@ -682,7 +682,7 @@ func (s *LiveSubstrate) Run() dsim.Stats {
 	s.mu.Lock()
 	if !s.started {
 		s.started = true
-		now := time.Now()
+		now := time.Now() //fixd:wallclock live backend anchors tick 0 to real start time
 		s.startAt.Store(&now)
 		for _, f := range s.pending {
 			f()
@@ -754,7 +754,7 @@ func (s *LiveSubstrate) idle() bool {
 // waitQuiesce polls until the system stays idle for the settle window, the
 // run is paused, or MaxWait elapses.
 func (s *LiveSubstrate) waitQuiesce() dsim.Stats {
-	deadline := time.Now().Add(s.cfg.MaxWait)
+	deadline := time.Now().Add(s.cfg.MaxWait) //fixd:wallclock quiesce deadline is real time by design
 	var quietSince time.Time
 	for {
 		if s.isPaused() {
@@ -770,20 +770,20 @@ func (s *LiveSubstrate) waitQuiesce() dsim.Stats {
 			quietSince = time.Time{} // handler declined the pause; keep running
 			continue
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //fixd:wallclock quiesce deadline is real time by design
 			return s.Stats()
 		}
 		if s.idle() {
 			if quietSince.IsZero() {
-				quietSince = time.Now()
+				quietSince = time.Now() //fixd:wallclock quiet-period tracking is real time by design
 			}
-			if time.Since(quietSince) >= s.cfg.Settle {
+			if time.Since(quietSince) >= s.cfg.Settle { //fixd:wallclock quiet-period tracking is real time by design
 				return s.Stats()
 			}
 		} else {
 			quietSince = time.Time{}
 		}
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond) //fixd:wallclock live backend polls idleness in real time
 	}
 }
 
@@ -804,7 +804,7 @@ func (s *LiveSubstrate) Now() uint64 {
 	if start == nil {
 		return 0
 	}
-	return uint64(time.Since(*start) / s.cfg.Tick)
+	return uint64(time.Since(*start) / s.cfg.Tick) //fixd:wallclock maps elapsed wall time onto virtual ticks
 }
 
 // Stats implements Substrate.
@@ -1093,13 +1093,13 @@ func (s *LiveSubstrate) at(tick uint64, f func()) {
 func (s *LiveSubstrate) armAt(tick uint64, f func()) {
 	var d time.Duration
 	if start := s.startAt.Load(); start != nil {
-		d = time.Duration(tick)*s.cfg.Tick - time.Since(*start)
+		d = time.Duration(tick)*s.cfg.Tick - time.Since(*start) //fixd:wallclock converts a tick deadline to a wall delay
 	}
 	if d < 0 {
 		d = 0
 	}
 	s.ctlPending.Add(1)
-	s.ctlTims = append(s.ctlTims, time.AfterFunc(d, func() {
+	s.ctlTims = append(s.ctlTims, time.AfterFunc(d, func() { //fixd:wallclock live backend arms real timers
 		defer s.ctlPending.Add(-1)
 		f()
 	}))
@@ -1299,8 +1299,8 @@ func (c *liveCtx) SetTimer(name string, delay uint64) {
 	gen := p.incarnation
 	delay += p.sub.slowExtra(p.id, p.sub.Now())
 	p.pendingTimers = append(p.pendingTimers, name)
-	p.sub.activity.Add(1) // held until the timer event is handled
-	time.AfterFunc(time.Duration(delay)*p.sub.cfg.Tick, func() {
+	p.sub.activity.Add(1)                                        // held until the timer event is handled
+	time.AfterFunc(time.Duration(delay)*p.sub.cfg.Tick, func() { //fixd:wallclock live backend arms real timers
 		p.post(liveEvent{kind: levTimer, timer: name, gen: gen}, false)
 	})
 }
